@@ -1,0 +1,475 @@
+// Package repro's root benchmark suite regenerates every table and
+// figure of the paper (see DESIGN.md §3 for the experiment index) and
+// additionally benchmarks the hot paths of each substrate, including the
+// ablations called out in DESIGN.md §4. Model training happens once per
+// cloud outside the timed regions; each benchmark times the experiment
+// regeneration itself.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/glm"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// benchScale trims the sampling volume so the whole suite completes in
+// minutes while exercising every code path.
+func benchScale() experiments.Scale {
+	s := experiments.SmallScale()
+	s.Samples = 10
+	s.Tuples = 20
+	return s
+}
+
+var (
+	azureOnce  sync.Once
+	azureCloud *experiments.Cloud
+
+	huaweiOnce  sync.Once
+	huaweiCloud *experiments.Cloud
+)
+
+func benchAzure(b *testing.B) *experiments.Cloud {
+	b.Helper()
+	azureOnce.Do(func() {
+		azureCloud = experiments.NewCloud(experiments.Azure, benchScale())
+		azureCloud.Model() // train outside the timed region
+	})
+	return azureCloud
+}
+
+func benchHuawei(b *testing.B) *experiments.Cloud {
+	b.Helper()
+	huaweiOnce.Do(func() {
+		s := benchScale()
+		s.Samples = 6
+		s.Tuples = 12
+		huaweiCloud = experiments.NewCloud(experiments.Huawei, s)
+		huaweiCloud.Model()
+	})
+	return huaweiCloud
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(c)
+	}
+}
+
+func BenchmarkFigure4BatchArrivalsAzure(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(c)
+	}
+}
+
+func BenchmarkFigure5BatchArrivalsHuawei(b *testing.B) {
+	c := benchHuawei(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(c)
+	}
+}
+
+func BenchmarkFigure6NaiveArrivals(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(c)
+	}
+}
+
+func BenchmarkTable2Flavors(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(c)
+	}
+}
+
+func BenchmarkTable3Lifetimes(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(c)
+	}
+}
+
+func BenchmarkTable4SurvivalMSE(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(c)
+	}
+}
+
+func BenchmarkFigure7CapacityAzure(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(c)
+	}
+}
+
+func BenchmarkFigure8CapacityHuawei(b *testing.B) {
+	c := benchHuawei(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8(c)
+	}
+}
+
+func BenchmarkFigure9ReuseDistance(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(c)
+	}
+}
+
+func BenchmarkTable5Packing(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(c)
+	}
+}
+
+func BenchmarkTenXScaling(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.TenX(c)
+	}
+}
+
+// BenchmarkFigure1Visualize times the batch grouping that backs the
+// Figure 1 rendering.
+func BenchmarkFigure1Visualize(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Test.PeriodBatches()
+	}
+}
+
+func BenchmarkCensoringAblation(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.CensoringAblation(c)
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkSynthGenerateDay(b *testing.B) {
+	cfg := synth.AzureLike()
+	cfg.Days = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Generate(int64(i))
+	}
+}
+
+func BenchmarkLSTMStepForward(b *testing.B) {
+	net := nn.NewLSTM(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	st := net.NewState(1)
+	x := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.StepForward(x, st)
+	}
+}
+
+func BenchmarkLSTMTrainWindow(b *testing.B) {
+	net := nn.NewLSTM(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	g := rng.New(2)
+	const steps, batch = 32, 8
+	xs := make([]*mat.Dense, steps)
+	targets := make([][]int, steps)
+	for s := range xs {
+		x := mat.NewDense(batch, 64)
+		for i := range x.Data {
+			x.Data[i] = g.NormFloat64()
+		}
+		xs[s] = x
+		tg := make([]int, batch)
+		for i := range tg {
+			tg[i] = g.Intn(17)
+		}
+		targets[s] = tg
+	}
+	opt := nn.NewAdam(1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		ys, cache := net.Forward(xs, nil)
+		dys := make([]*mat.Dense, steps)
+		for s, y := range ys {
+			_, d, _ := nn.SoftmaxCE(y, targets[s], nil)
+			dys[s] = d
+		}
+		net.Backward(cache, dys)
+		opt.Step(net.Params())
+	}
+}
+
+func BenchmarkPoissonRegressionIRLS(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainArrival(c.Train, core.ArrivalOptions{Kind: core.BatchArrivals, UseDOH: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoissonRegressionProx is the DESIGN.md §4 solver ablation
+// counterpart of the IRLS bench.
+func BenchmarkPoissonRegressionProx(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainArrival(c.Train, core.ArrivalOptions{
+			Kind: core.BatchArrivals, UseDOH: true, L1: 0.01,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKaplanMeier(b *testing.B) {
+	c := benchAzure(b)
+	obs := make([]survival.Observation, len(c.Train.VMs))
+	for i, vm := range c.Train.VMs {
+		obs[i] = survival.Observation{Duration: vm.Duration, Censored: vm.Censored}
+	}
+	bins := survival.PaperBins()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		survival.KaplanMeier(obs, bins)
+	}
+}
+
+func BenchmarkGenerateTraceLSTM(b *testing.B) {
+	c := benchAzure(b)
+	m := c.Model()
+	g := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate(g.Split(), c.TestW)
+	}
+}
+
+func BenchmarkGenerateTraceNaive(b *testing.B) {
+	c := benchAzure(b)
+	n := c.Naive()
+	g := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Generate(g.Split(), c.TestW)
+	}
+}
+
+func BenchmarkPackBusiestFit(b *testing.B) {
+	c := benchAzure(b)
+	g := rng.New(1)
+	events := sched.Events(c.Test, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Pack(c.Test, events, sched.PackOptions{
+			Servers: 20, CPUCap: 64, MemCap: 256, Alg: sched.BusiestFit{},
+		}, g)
+	}
+}
+
+func BenchmarkReuseDistances(b *testing.B) {
+	c := benchAzure(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.ReuseDistances(c.Test)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// BenchmarkCategoricalCDF vs BenchmarkCategoricalAlias: the two
+// categorical samplers available to the hot generation loop.
+func BenchmarkCategoricalCDF(b *testing.B) {
+	g := rng.New(1)
+	w := rng.ZipfWeights(260, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Categorical(w)
+	}
+}
+
+func BenchmarkCategoricalAlias(b *testing.B) {
+	g := rng.New(1)
+	a := rng.NewAlias(rng.ZipfWeights(260, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(g)
+	}
+}
+
+// BenchmarkLSTMForwardBatched vs BenchmarkLSTMForwardUnbatched: the
+// batched training step amortizes loop overhead across sequences.
+func BenchmarkLSTMForwardBatched(b *testing.B) {
+	benchForward(b, 8)
+}
+
+func BenchmarkLSTMForwardUnbatched(b *testing.B) {
+	benchForward(b, 1)
+}
+
+func benchForward(b *testing.B, batch int) {
+	net := nn.NewLSTM(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	g := rng.New(2)
+	const steps = 16
+	xs := make([]*mat.Dense, steps)
+	for s := range xs {
+		x := mat.NewDense(batch, 64)
+		for i := range x.Data {
+			x.Data[i] = g.NormFloat64()
+		}
+		xs[s] = x
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(xs, nil)
+	}
+	// Report per-sequence-step cost so batched/unbatched are comparable.
+	b.ReportMetric(float64(b.N*steps*batch)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkHazardHead vs BenchmarkPMFHead: hazard parameterization (the
+// paper's choice) vs a PMF/softmax head of the same width.
+func BenchmarkHazardHead(b *testing.B) {
+	logits := mat.NewDense(8, 47)
+	targets := mat.NewDense(8, 47)
+	mask := mat.NewDense(8, 47)
+	g := rng.New(3)
+	for i := range logits.Data {
+		logits.Data[i] = g.NormFloat64()
+		if g.Bernoulli(0.5) {
+			targets.Data[i] = 1
+		}
+		if g.Bernoulli(0.7) {
+			mask.Data[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.MaskedBCEWithLogits(logits, targets, mask)
+	}
+}
+
+func BenchmarkPMFHead(b *testing.B) {
+	logits := mat.NewDense(8, 47)
+	g := rng.New(3)
+	for i := range logits.Data {
+		logits.Data[i] = g.NormFloat64()
+	}
+	targets := make([]int, 8)
+	for i := range targets {
+		targets[i] = g.Intn(47)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.SoftmaxCE(logits, targets, nil)
+	}
+}
+
+// Architecture ablation benches: per-step inference cost of the three
+// sequence architectures at equal capacity-ish settings.
+func BenchmarkGRUStepForward(b *testing.B) {
+	net := nn.NewGRU(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	st := net.NewState(1)
+	x := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.StepForward(x, st)
+	}
+}
+
+func BenchmarkTransformerWindowStep(b *testing.B) {
+	net := nn.NewTransformer(nn.TransformerConfig{
+		InputDim: 64, ModelDim: 48, Heads: 4, FFDim: 96, Layers: 2,
+		OutputDim: 17, MaxLen: 64,
+	}, rng.New(1))
+	w := net.NewWindow()
+	x := make([]float64, 64)
+	// Pre-fill the window so each timed step pays the full-context cost.
+	for i := 0; i < 64; i++ {
+		w.Append(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Append(x)
+	}
+}
+
+func BenchmarkTransformerForwardSeq(b *testing.B) {
+	net := nn.NewTransformer(nn.TransformerConfig{
+		InputDim: 64, ModelDim: 48, Heads: 4, FFDim: 96, Layers: 2,
+		OutputDim: 17, MaxLen: 64,
+	}, rng.New(1))
+	g := rng.New(2)
+	x := mat.NewDense(64, 64)
+	for i := range x.Data {
+		x.Data[i] = g.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkTraceSliceCensor(b *testing.B) {
+	c := benchAzure(b)
+	w := trace.Window{Start: 0, End: c.Full.Periods / 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Full.Slice(w, 0)
+	}
+}
+
+func BenchmarkGLMFitLarge(b *testing.B) {
+	g := rng.New(1)
+	n, d := 2000, 40
+	x := mat.NewDense(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x.Set(i, j, g.Uniform(0, 1))
+		}
+		y[i] = float64(g.Poisson(3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := glm.Fit(x, y, glm.Options{Solver: glm.IRLS, L2: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

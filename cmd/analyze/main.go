@@ -1,0 +1,73 @@
+// Command analyze prints a workload characterization report for a
+// synthetic preset or a trace CSV: arrival dispersion and seasonality,
+// batch structure, flavor popularity, lifetime quantiles and censoring,
+// and the inter-job correlations (momentum) that the paper's models
+// exploit.
+//
+// Usage:
+//
+//	analyze [-cloud azure|huawei] [-days 6] [-seed 1]
+//	analyze -csv trace.csv -flavors 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	cloud := flag.String("cloud", "azure", "azure or huawei preset (ignored with -csv)")
+	days := flag.Int("days", 6, "days of synthetic workload")
+	seed := flag.Int64("seed", 1, "generation seed")
+	csvPath := flag.String("csv", "", "analyze this trace CSV instead of generating")
+	flavors := flag.Int("flavors", 16, "flavor count for -csv input")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var name string
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fs := &trace.FlavorSet{}
+		for i := 0; i < *flavors; i++ {
+			fs.Defs = append(fs.Defs, trace.FlavorDef{Name: fmt.Sprintf("f%d", i), CPU: 1, MemGB: 1})
+		}
+		tr, err = trace.ReadCSV(f, fs, 1<<30)
+		if err != nil {
+			fatal(err)
+		}
+		max := 0
+		for _, vm := range tr.VMs {
+			if vm.Start > max {
+				max = vm.Start
+			}
+		}
+		tr.Periods = max + 1
+		name = *csvPath
+	} else {
+		cfg := synth.AzureLike()
+		if *cloud == "huawei" {
+			cfg = synth.HuaweiLike()
+		}
+		cfg.Days = *days
+		full := cfg.Generate(*seed)
+		// Impose an observation window so censoring statistics are
+		// realistic.
+		tr = full.Slice(trace.Window{Start: 0, End: full.Periods}, 0)
+		name = cfg.Name
+	}
+	analysis.Characterize(name, tr).Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

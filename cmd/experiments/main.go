@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic clouds and prints them in the paper's format.
+//
+// Usage:
+//
+//	experiments [-full] [-cloud azure|huawei|both] [-exp all|table1|fig4|fig5|fig6|table2|table3|table4|fig7|fig8|fig9|table5|tenx|censoring|joint] [-seed N]
+//
+// The default scale is the fast test configuration; -full uses the
+// larger configuration (several minutes of LSTM training per cloud).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the larger FullScale configuration")
+	cloud := flag.String("cloud", "both", "azure, huawei, or both")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (all, table1, fig4, fig5, fig6, table2, table3, table4, fig7, fig8, fig9, table5, tenx, censoring, joint, forecast, arch, heads)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	export := flag.String("export", "", "also write per-figure TSV plot data into this directory")
+	flag.Parse()
+
+	scale := experiments.SmallScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+	scale.Seed = *seed
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	want := func(name string) bool { return wants["all"] || wants[name] }
+
+	var clouds []*experiments.Cloud
+	runAzure := *cloud == "azure" || *cloud == "both"
+	runHuawei := *cloud == "huawei" || *cloud == "both"
+	start := time.Now()
+	var azure, huawei *experiments.Cloud
+	if runAzure {
+		azure = experiments.NewCloud(experiments.Azure, scale)
+		clouds = append(clouds, azure)
+	}
+	if runHuawei {
+		huawei = experiments.NewCloud(experiments.Huawei, scale)
+		clouds = append(clouds, huawei)
+	}
+	if len(clouds) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: unknown -cloud value")
+		os.Exit(2)
+	}
+	fmt.Printf("Prepared %d synthetic cloud(s) in %v\n\n", len(clouds), time.Since(start).Round(time.Millisecond))
+
+	if want("table1") {
+		experiments.RenderTable1(os.Stdout, experiments.Table1(clouds...))
+		fmt.Println()
+	}
+	for _, c := range clouds {
+		name := c.ID.String()
+		if want("fig4") && c.ID == experiments.Azure {
+			sampled, lastDay := experiments.Figure4(c)
+			experiments.RenderArrivalCoverage(os.Stdout, "Figure 4 ("+name+")", sampled)
+			experiments.RenderArrivalCoverage(os.Stdout, "Figure 4 ablation ("+name+")", lastDay)
+			fmt.Println()
+		}
+		if want("fig5") && c.ID == experiments.Huawei {
+			sampled, lastDay := experiments.Figure5(c)
+			experiments.RenderArrivalCoverage(os.Stdout, "Figure 5 ("+name+")", sampled)
+			experiments.RenderArrivalCoverage(os.Stdout, "Figure 5 ablation ("+name+")", lastDay)
+			fmt.Println()
+		}
+		if want("fig6") {
+			noDOH, withDOH := experiments.Figure6(c)
+			experiments.RenderArrivalCoverage(os.Stdout, "Figure 6 ("+name+")", noDOH)
+			experiments.RenderArrivalCoverage(os.Stdout, "Figure 6 with DOH ("+name+")", withDOH)
+			fmt.Println()
+		}
+		if want("table2") {
+			experiments.RenderTable2(os.Stdout, name, experiments.Table2(c))
+			fmt.Println()
+		}
+		if want("table3") {
+			experiments.RenderTable3(os.Stdout, name, experiments.Table3(c))
+			fmt.Println()
+		}
+		if want("table4") && c.ID == experiments.Azure {
+			experiments.RenderTable4(os.Stdout, experiments.Table4(c))
+			fmt.Println()
+		}
+		if want("censoring") {
+			experiments.RenderCensoring(os.Stdout, name, experiments.CensoringAblation(c))
+			fmt.Println()
+		}
+		if want("fig7") && c.ID == experiments.Azure {
+			experiments.RenderCapacity(os.Stdout, "Figure 7 ("+name+"). Total-CPU forecast coverage", experiments.Figure7(c))
+			fmt.Println()
+		}
+		if want("fig8") && c.ID == experiments.Huawei {
+			experiments.RenderCapacity(os.Stdout, "Figure 8 ("+name+"). Total-CPU forecast coverage", experiments.Figure8(c))
+			fmt.Println()
+		}
+		if want("fig9") {
+			actual, results := experiments.Figure9(c)
+			experiments.RenderReuse(os.Stdout, name, actual, results)
+			fmt.Println()
+		}
+		if want("table5") {
+			experiments.RenderPacking(os.Stdout, name, experiments.Table5(c))
+			fmt.Println()
+		}
+		if want("tenx") {
+			experiments.RenderTenX(os.Stdout, name, experiments.TenX(c))
+			fmt.Println()
+		}
+		if want("joint") && c.ID == experiments.Azure {
+			experiments.RenderJoint(os.Stdout, name, experiments.JointVsStaged(c))
+			fmt.Println()
+		}
+		if want("forecast") && c.ID == experiments.Azure {
+			experiments.RenderForecast(os.Stdout, name, experiments.ForecastVsGenerative(c))
+			fmt.Println()
+		}
+		if want("arch") && c.ID == experiments.Azure {
+			experiments.RenderArch(os.Stdout, name, experiments.ArchitectureAblation(c))
+			fmt.Println()
+		}
+		if want("heads") && c.ID == experiments.Azure {
+			experiments.RenderHeads(os.Stdout, name, experiments.PMFvsHazard(c))
+			fmt.Println()
+		}
+	}
+	if *export != "" {
+		if err := experiments.ExportAll(*export, clouds...); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Plot data exported to %s\n", *export)
+	}
+	fmt.Printf("Total time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,88 @@
+// Command traced trains the generative model (or loads a serialized
+// one) and serves synthetic traces over HTTP — the "trace generation as
+// a service" deployment of the model.
+//
+// Usage:
+//
+//	traced [-addr :8080] [-cloud azure|huawei] [-days 9] [-seed 1]
+//	traced -model model.bin -flavors azure
+//
+// Endpoints: GET /healthz, GET /model, POST /generate
+// (see internal/server for the request schema).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cloud := flag.String("cloud", "azure", "azure or huawei preset")
+	days := flag.Int("days", 9, "history length for training")
+	seed := flag.Int64("seed", 1, "data/training seed")
+	modelPath := flag.String("model", "", "load a serialized model instead of training")
+	hidden := flag.Int("hidden", 24, "LSTM hidden units")
+	epochs := flag.Int("epochs", 40, "training epochs")
+	flag.Parse()
+
+	cfg := synth.AzureLike()
+	if *cloud == "huawei" {
+		cfg = synth.HuaweiLike()
+	}
+
+	var model *core.Model
+	if *modelPath != "" {
+		blob, err := os.ReadFile(*modelPath)
+		if err != nil {
+			log.Fatalf("traced: read model: %v", err)
+		}
+		model = &core.Model{}
+		if err := model.UnmarshalBinary(blob); err != nil {
+			log.Fatalf("traced: load model: %v", err)
+		}
+		log.Printf("loaded model from %s (%d flavors)", *modelPath, model.Flavor.K)
+	} else {
+		cfg.Days = *days
+		history := cfg.Generate(*seed)
+		devStart := history.Periods * 85 / 100
+		train := history.Slice(trace.Window{Start: 0, End: devStart}, 0)
+		dev := history.Slice(trace.Window{Start: devStart, End: history.Periods}, 0)
+		log.Printf("training on %d VMs (%s, %d days)...", len(train.VMs), cfg.Name, *days)
+		start := time.Now()
+		var err error
+		model, err = core.TrainModel(train, core.ModelOptions{
+			Bins: survival.PaperBins(),
+			Train: core.TrainConfig{
+				Hidden: *hidden, Epochs: *epochs, Seed: *seed,
+				Dev: dev, DevOffset: devStart,
+			},
+		})
+		if err != nil {
+			log.Fatalf("traced: train: %v", err)
+		}
+		log.Printf("trained in %v", time.Since(start).Round(time.Second))
+	}
+
+	s := server.New(model, cfg.Flavors)
+	log.Printf("serving on %s (POST /generate)", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "traced:", err)
+		os.Exit(1)
+	}
+}

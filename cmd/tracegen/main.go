@@ -1,0 +1,101 @@
+// Command tracegen trains the three-stage model on a synthetic
+// "historical" trace and emits a generated future trace as CSV on
+// stdout (or to -o). The -scale flag implements the paper's single-knob
+// stress-test scaling (§6.2: "we generated 10X workloads by changing a
+// single line of code").
+//
+// Usage:
+//
+//	tracegen [-cloud azure|huawei] [-days N] [-gen-days N] [-scale X] [-seed N] [-o trace.csv] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	cloud := flag.String("cloud", "azure", "azure or huawei preset")
+	days := flag.Int("days", 9, "history length in days (training data)")
+	genDays := flag.Int("gen-days", 2, "length of the generated future trace in days")
+	scale := flag.Float64("scale", 1, "arrival-rate multiplier for the generated trace")
+	seed := flag.Int64("seed", 1, "seed for data generation, training, and sampling")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	hidden := flag.Int("hidden", 24, "LSTM hidden units per layer")
+	epochs := flag.Int("epochs", 40, "training epochs")
+	verbose := flag.Bool("v", false, "log training progress to stderr")
+	flag.Parse()
+
+	var cfg synth.Config
+	switch *cloud {
+	case "azure":
+		cfg = synth.AzureLike()
+	case "huawei":
+		cfg = synth.HuaweiLike()
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: -cloud must be azure or huawei")
+		os.Exit(2)
+	}
+	cfg.Days = *days
+
+	history := cfg.Generate(*seed)
+	// Hold out the final ~15% of the history as a development window for
+	// model selection.
+	devStart := history.Periods * 85 / 100
+	trainW := trace.Window{Start: 0, End: devStart}
+	devW := trace.Window{Start: devStart, End: history.Periods}
+	train := history.Slice(trainW, 0)
+	dev := history.Slice(devW, 0)
+
+	tc := core.TrainConfig{
+		Hidden: *hidden, Epochs: *epochs, Seed: *seed,
+		Dev: dev, DevOffset: devW.Start,
+	}
+	if *verbose {
+		tc.Progress = func(epoch int, loss float64) {
+			fmt.Fprintf(os.Stderr, "epoch %3d  loss %.4f\n", epoch, loss)
+		}
+	}
+	start := time.Now()
+	model, err := core.TrainModel(train, core.ModelOptions{Bins: survival.PaperBins(), Train: tc})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "trained on %d VMs in %v\n", len(train.VMs), time.Since(start).Round(time.Millisecond))
+	}
+
+	model.RateScale = *scale
+	futureW := trace.Window{
+		Start: history.Periods,
+		End:   history.Periods + *genDays*trace.PeriodsPerDay,
+	}
+	generated := core.WithCatalog(model.Generate(rng.New(*seed+1), futureW), cfg.Flavors)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := generated.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d VMs over %d periods (scale %.1fx)\n",
+		len(generated.VMs), generated.Periods, *scale)
+}

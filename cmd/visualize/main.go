@@ -1,0 +1,107 @@
+// Command visualize renders a workload trace in the style of the
+// paper's Figure 1: one row per 5-minute period, one colored cell per
+// VM (color = flavor, width = lifetime bin index compressed to a digit),
+// batches separated by spaces. It reads a CSV written by tracegen or
+// renders a fresh synthetic trace.
+//
+// Usage:
+//
+//	visualize [-cloud azure|huawei] [-days 1] [-periods 40] [-seed 7] [-no-color]
+//	visualize -csv trace.csv -flavors 16 -periods 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	cloud := flag.String("cloud", "azure", "azure or huawei preset (ignored with -csv)")
+	days := flag.Int("days", 1, "days of synthetic workload to generate")
+	seed := flag.Int64("seed", 7, "generation seed")
+	csvPath := flag.String("csv", "", "render this trace CSV instead of generating")
+	flavors := flag.Int("flavors", 16, "flavor count for -csv input")
+	periodsFlag := flag.Int("periods", 48, "number of periods (rows) to render")
+	noColor := flag.Bool("no-color", false, "disable ANSI colors")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *csvPath != "":
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fs := &trace.FlavorSet{}
+		for i := 0; i < *flavors; i++ {
+			fs.Defs = append(fs.Defs, trace.FlavorDef{Name: fmt.Sprintf("f%d", i), CPU: 1, MemGB: 1})
+		}
+		tr, err = trace.ReadCSV(f, fs, 1<<30)
+		if err != nil {
+			fatal(err)
+		}
+		max := 0
+		for _, vm := range tr.VMs {
+			if vm.Start > max {
+				max = vm.Start
+			}
+		}
+		tr.Periods = max + 1
+	default:
+		cfg := synth.AzureLike()
+		if *cloud == "huawei" {
+			cfg = synth.HuaweiLike()
+		}
+		cfg.Days = *days
+		tr = cfg.Generate(*seed)
+	}
+
+	bins := survival.PaperBins()
+	pb := tr.PeriodBatches()
+	n := *periodsFlag
+	if n > len(pb) {
+		n = len(pb)
+	}
+	fmt.Printf("Workload visualization: %d periods, %d VMs, %d flavors\n", n, len(tr.VMs), tr.Flavors.K())
+	fmt.Println("(row = 5-minute period; cell = VM: color/letter = flavor, digit = lifetime bin width class; batches space-separated)")
+	for p := 0; p < n; p++ {
+		var row strings.Builder
+		fmt.Fprintf(&row, "%4d |", p)
+		for bi, b := range pb[p] {
+			if bi > 0 {
+				row.WriteString(" ")
+			}
+			for _, idx := range b.Indices {
+				vm := tr.VMs[idx]
+				bin := bins.Index(vm.Duration)
+				row.WriteString(cell(vm.Flavor, bin, !*noColor))
+			}
+		}
+		fmt.Println(row.String())
+	}
+}
+
+// cell renders one VM as a width-class digit on a flavor-colored
+// background (letter-coded when colors are off).
+func cell(flavor, bin int, color bool) string {
+	// Compress the 47 bins to a single digit 0-9.
+	width := bin * 10 / 47
+	if !color {
+		return fmt.Sprintf("%c%d", 'a'+rune(flavor%26), width)
+	}
+	// Cycle through the 256-color palette for flavor identity.
+	bg := 17 + (flavor*37)%214
+	return fmt.Sprintf("\x1b[48;5;%dm\x1b[97m%d\x1b[0m", bg, width)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "visualize:", err)
+	os.Exit(1)
+}

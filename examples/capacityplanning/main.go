@@ -1,0 +1,72 @@
+// Capacity planning (§6.1 of the paper): sample many future traces from
+// the trained generator, build 90% prediction intervals for total CPUs
+// in use, and check how much of the actual future they cover. This is
+// the workflow a capacity-engineering team uses to decide server
+// purchases ("do we have enough servers to cover 95% of possible
+// workload scenarios next month?").
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/capacity"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+)
+
+func main() {
+	// Prepare the synthetic cloud and its train/dev/test windows the
+	// same way the experiments harness does.
+	scale := experiments.SmallScale()
+	scale.Samples = 60
+	cloud := experiments.NewCloud(experiments.Azure, scale)
+	fmt.Printf("cloud: %s — train %d VMs, test %d VMs\n",
+		cloud.ID, len(cloud.Train.VMs), len(cloud.Test.VMs))
+
+	model := cloud.Model() // trains on first use
+
+	// Sample futures and compute per-period total-CPU series.
+	g := rng.New(99)
+	samples := make([][]float64, scale.Samples)
+	for i := range samples {
+		tr := core.WithCatalog(model.Generate(g.Split(), cloud.TestW), cloud.Full.Flavors)
+		samples[i] = capacity.TotalCPUSeries(tr)
+	}
+
+	// VMs already running at the test-window start contribute a known
+	// carried-over load (added to every forecast, §6.1).
+	carry := capacity.CarryOverSeries(cloud.Full, cloud.TestW)
+	actual := capacity.TotalCPUSeries(cloud.Full.Slice(cloud.TestW, 0))
+
+	f := capacity.Evaluate(samples, actual, carry, 0.9)
+	fmt.Printf("coverage: %.1f%% of true values inside the 90%% interval\n", f.Coverage*100)
+
+	// Print a daily-resolution view of the band.
+	per := len(f.Actual) / 8
+	if per == 0 {
+		per = 1
+	}
+	fmt.Println("period    lo       median   hi       actual")
+	for p := 0; p < len(f.Actual); p += per {
+		iv := f.Intervals[p]
+		mark := " "
+		if f.Actual[p] < iv.Lo || f.Actual[p] > iv.Hi {
+			mark = "*" // outside the band
+		}
+		fmt.Printf("%6d  %8.0f %8.0f %8.0f %8.0f %s\n", p, iv.Lo, iv.Median, iv.Hi, f.Actual[p], mark)
+	}
+
+	// A planner would provision for the upper band:
+	var peak float64
+	for _, iv := range f.Intervals {
+		if iv.Hi > peak {
+			peak = iv.Hi
+		}
+	}
+	fmt.Printf("provisioning for the 95th-percentile scenario needs %.0f CPUs\n", peak)
+	if f.Coverage < 0.3 {
+		fmt.Fprintln(os.Stderr, "warning: unusually low coverage — consider retraining")
+	}
+}

@@ -1,0 +1,81 @@
+// Model release (§7 "Privacy and Synthetic Data"): instead of shipping a
+// proprietary trace, a provider can train the generative model, alter
+// confidential aspects (arrival volume, flavor popularity) with what-if
+// tilts, serialize it, and release the artifact. A consumer deserializes
+// and generates unlimited synthetic workload with the planted
+// alterations but the real statistical character.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+)
+
+func main() {
+	// --- Provider side ---
+	scale := experiments.SmallScale()
+	cloud := experiments.NewCloud(experiments.Azure, scale)
+	model := cloud.Model()
+
+	// Alter confidential aspects before release: scale total volume down
+	// 2x and damp the most popular flavor ("leaking information about
+	// the types of resources in use" is the concern the paper quotes).
+	released := *model
+	released.RateScale = 0.5
+	factors := make([]float64, cloud.Full.Flavors.K())
+	for i := range factors {
+		factors[i] = 1
+	}
+	factors[mostPopular(cloud)] = 0.5
+	released.Tilt = core.WhatIf{FlavorFactors: factors}
+
+	blob, err := released.MarshalBinary()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("released model artifact: %d bytes (vs %d VMs of raw trace)\n",
+		len(blob), len(cloud.Train.VMs))
+
+	// --- Consumer side ---
+	var restored core.Model
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		fmt.Fprintln(os.Stderr, "unmarshal:", err)
+		os.Exit(1)
+	}
+	// Tilts and scales are runtime knobs, not serialized: the provider
+	// communicates them (or bakes a wrapper); here we reapply.
+	restored.RateScale = released.RateScale
+	restored.Tilt = released.Tilt
+
+	gen := core.WithCatalog(restored.Generate(rng.New(42), cloud.TestW), cloud.Full.Flavors)
+	real := cloud.Full.Slice(cloud.TestW, 0)
+	fmt.Printf("generated %d VMs (real window: %d; released at 0.5x volume)\n",
+		len(gen.VMs), len(real.VMs))
+
+	fmt.Println("\ncharacterization of the released synthetic workload:")
+	analysis.Characterize("released", gen).Render(os.Stdout)
+	fmt.Println("\ncharacterization of the real (confidential) workload:")
+	analysis.Characterize("real", real).Render(os.Stdout)
+	fmt.Println("\nthe released trace preserves correlations and seasonality while")
+	fmt.Println("hiding the true volume and flavor mix — the paper's §7 proposal.")
+}
+
+func mostPopular(c *experiments.Cloud) int {
+	counts := make([]int, c.Full.Flavors.K())
+	for _, vm := range c.Train.VMs {
+		counts[vm.Flavor]++
+	}
+	best := 0
+	for f, n := range counts {
+		if n > counts[best] {
+			best = f
+		}
+	}
+	return best
+}

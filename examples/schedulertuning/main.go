@@ -1,0 +1,88 @@
+// Scheduler tuning (§6.2 of the paper): compare generated traces to
+// real test data on the two properties that drive VM-scheduler design —
+// reuse distance (placement-cache sizing, as in Protean) and
+// first-failure allocation ratio (fragmentation, as used to compare
+// packing algorithms). A scheduler tuned on traces that misrepresent
+// these properties gets the wrong cache size or the wrong packing
+// algorithm.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func main() {
+	scale := experiments.SmallScale()
+	cloud := experiments.NewCloud(experiments.Azure, scale)
+	fmt.Printf("cloud: %s — tuning against %d test VMs\n", cloud.ID, len(cloud.Test.VMs))
+
+	// --- Reuse distance (drives placement-cache sizing) ---
+	actual := sched.ReuseHistogram(sched.ReuseDistances(cloud.Test))
+	fmt.Println("\nreuse-distance distribution (bucket: 0..5, 6+):")
+	fmt.Printf("  %-12s %v\n", "test data", pct(actual))
+	g := rng.New(11)
+	for _, gen := range cloud.Generators() {
+		tr := gen.Generate(g.Split(), cloud.TestW)
+		h := sched.ReuseHistogram(sched.ReuseDistances(tr))
+		fmt.Printf("  %-12s %v\n", gen.Name(), pct(h))
+	}
+	// A cache sized for hit-rate H needs to hold enough distinct flavors
+	// to cover the reuse mass below the cache size.
+	fmt.Println("\ncache size needed for a 90% hit-rate (entries):")
+	fmt.Printf("  %-12s %d\n", "test data", cacheFor(actual, 0.9))
+	for _, gen := range cloud.Generators() {
+		tr := gen.Generate(g.Split(), cloud.TestW)
+		h := sched.ReuseHistogram(sched.ReuseDistances(tr))
+		fmt.Printf("  %-12s %d\n", gen.Name(), cacheFor(h, 0.9))
+	}
+
+	// --- Packing / fragmentation (drives algorithm choice) ---
+	fmt.Println("\nmean limiting-resource FFAR by packing algorithm (test data):")
+	events := sched.Events(cloud.Test, g.Split())
+	tuples := sched.SampleTuples(g.Split(), 40, sched.TupleRanges{
+		MinServers: 5, MaxServers: 20,
+		MinCPU: 16, MaxCPU: 64, MinMem: 64, MaxMem: 512,
+	})
+	for ai, alg := range sched.Algorithms() {
+		var sum float64
+		var n int
+		for _, tp := range tuples {
+			tp.AlgIndex = ai
+			res := sched.RunTuple(cloud.Test, events, tp, g)
+			sum += res.Limiting
+			n++
+		}
+		fmt.Printf("  %-12s %.3f\n", alg.Name(), sum/float64(n))
+	}
+	fmt.Println("\n(a provider would pick the algorithm with the highest FFAR — least")
+	fmt.Println("capacity lost to fragmentation — and validate it on generated traces)")
+}
+
+func pct(h []float64) string {
+	s := "["
+	for i, v := range h {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.0f%%", v*100)
+	}
+	return s + "]"
+}
+
+// cacheFor returns the smallest reuse-distance bucket boundary whose
+// cumulative mass reaches the target hit-rate (6+ means "more than the
+// largest tracked distance").
+func cacheFor(h []float64, target float64) int {
+	cum := 0.0
+	for i, v := range h {
+		cum += v
+		if cum >= target {
+			return i + 1
+		}
+	}
+	return len(h)
+}

@@ -1,0 +1,125 @@
+// Package capacity implements the §6.1 capacity-planning evaluation:
+// total-CPU time series over a window, carried-over load from VMs
+// already running at the window start, and prediction-interval coverage
+// across many sampled future traces.
+package capacity
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TotalCPUSeries returns the number of CPUs in use at each period of the
+// trace's window, counting a VM as active in period p when it has
+// arrived by p and its end time is beyond the period start.
+func TotalCPUSeries(tr *trace.Trace) []float64 {
+	out := make([]float64, tr.Periods)
+	for _, vm := range tr.VMs {
+		cpu := tr.Flavors.Defs[vm.Flavor].CPU
+		addSpan(out, vm.Start, vm.EndSeconds(), cpu)
+	}
+	return out
+}
+
+// addSpan adds cpu to every period in [startPeriod, endSeconds).
+func addSpan(out []float64, startPeriod int, endSeconds, cpu float64) {
+	endPeriod := int(endSeconds / trace.PeriodSeconds)
+	if float64(endPeriod)*trace.PeriodSeconds < endSeconds {
+		endPeriod++
+	}
+	if endPeriod > len(out) {
+		endPeriod = len(out)
+	}
+	for p := startPeriod; p < endPeriod; p++ {
+		if p >= 0 {
+			out[p] += cpu
+		}
+	}
+}
+
+// FullSeries returns the total CPUs in use at every period of the whole
+// history, counting each VM from its start period until its end time —
+// the observed aggregate series a time-series forecaster would train on.
+func FullSeries(history *trace.Trace) []float64 {
+	out := make([]float64, history.Periods)
+	for _, vm := range history.VMs {
+		addSpan(out, vm.Start, vm.EndSeconds(), history.Flavors.Defs[vm.Flavor].CPU)
+	}
+	return out
+}
+
+// CarryOverSeries returns the per-period CPU load, within window w, of
+// VMs in the history that started before w and are still running —
+// the constant added to every model's forecast in §6.1 ("we include in
+// the total workload all VMs already running at the beginning of the
+// test window, using their actual lifetimes").
+func CarryOverSeries(history *trace.Trace, w trace.Window) []float64 {
+	if w.Start < 0 || w.End > history.Periods || w.Start >= w.End {
+		panic(fmt.Sprintf("capacity: bad window %+v", w))
+	}
+	out := make([]float64, w.Periods())
+	winStartSec := float64(w.Start) * trace.PeriodSeconds
+	for _, vm := range history.VMs {
+		if vm.Start >= w.Start {
+			continue
+		}
+		end := vm.EndSeconds()
+		if end <= winStartSec {
+			continue
+		}
+		cpu := history.Flavors.Defs[vm.Flavor].CPU
+		addSpan(out, 0, end-winStartSec, cpu)
+	}
+	return out
+}
+
+// Forecast is the result of a capacity-planning evaluation.
+type Forecast struct {
+	Intervals []metrics.Interval
+	Actual    []float64
+	Coverage  float64
+	// CRPS is the mean continuous ranked probability score of the
+	// sampled forecast distribution — a strictly proper score combining
+	// calibration and sharpness, complementing interval coverage.
+	CRPS float64
+}
+
+// Evaluate builds per-period prediction intervals (at the given level,
+// e.g. 0.9) from sampled total-CPU series, adds the carried-over load to
+// both samples and actual, and computes coverage of the actual series.
+func Evaluate(sampled [][]float64, actual, carryOver []float64, level float64) Forecast {
+	n := len(actual)
+	if carryOver != nil && len(carryOver) != n {
+		panic(fmt.Sprintf("capacity: carryOver len %d, actual %d", len(carryOver), n))
+	}
+	adjusted := make([][]float64, len(sampled))
+	for s, row := range sampled {
+		if len(row) != n {
+			panic(fmt.Sprintf("capacity: sample %d len %d, actual %d", s, len(row), n))
+		}
+		adj := make([]float64, n)
+		for i, v := range row {
+			adj[i] = v
+			if carryOver != nil {
+				adj[i] += carryOver[i]
+			}
+		}
+		adjusted[s] = adj
+	}
+	actAdj := make([]float64, n)
+	for i, v := range actual {
+		actAdj[i] = v
+		if carryOver != nil {
+			actAdj[i] += carryOver[i]
+		}
+	}
+	iv := metrics.PredictionIntervals(adjusted, level)
+	return Forecast{
+		Intervals: iv,
+		Actual:    actAdj,
+		Coverage:  metrics.Coverage(actAdj, iv),
+		CRPS:      metrics.MeanCRPS(adjusted, actAdj),
+	}
+}

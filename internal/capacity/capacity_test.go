@@ -1,0 +1,163 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func fs() *trace.FlavorSet {
+	return &trace.FlavorSet{Defs: []trace.FlavorDef{
+		{Name: "s", CPU: 2, MemGB: 4},
+		{Name: "l", CPU: 8, MemGB: 32},
+	}}
+}
+
+func TestTotalCPUSeries(t *testing.T) {
+	tr := &trace.Trace{
+		Flavors: fs(),
+		Periods: 5,
+		VMs: []trace.VM{
+			// 2 CPUs from period 0, lasting 600s (periods 0,1).
+			{Flavor: 0, Start: 0, Duration: 600},
+			// 8 CPUs from period 1, lasting 450s (periods 1,2 — partial
+			// period 2 still counts).
+			{Flavor: 1, Start: 1, Duration: 450},
+		},
+	}
+	got := TotalCPUSeries(tr)
+	want := []float64{2, 10, 8, 0, 0}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("period %d = %v, want %v (all %v)", i, got[i], w, got)
+		}
+	}
+}
+
+func TestTotalCPUSeriesClampsToWindow(t *testing.T) {
+	tr := &trace.Trace{
+		Flavors: fs(),
+		Periods: 2,
+		VMs:     []trace.VM{{Flavor: 0, Start: 1, Duration: 1e9}},
+	}
+	got := TotalCPUSeries(tr)
+	if got[0] != 0 || got[1] != 2 {
+		t.Fatalf("series %v", got)
+	}
+}
+
+func TestCarryOverSeries(t *testing.T) {
+	hist := &trace.Trace{
+		Flavors: fs(),
+		Periods: 10,
+		VMs: []trace.VM{
+			// Starts before window [4,8), ends at 5*300+0 -> covers window
+			// period 0 only (history periods 4..4).
+			{Flavor: 1, Start: 2, Duration: 3 * 300},
+			// Starts before, runs past the window end: covers all 4.
+			{Flavor: 0, Start: 0, Duration: 1e9},
+			// Starts inside the window: not carried over.
+			{Flavor: 1, Start: 5, Duration: 1e9},
+			// Ends before the window: ignored.
+			{Flavor: 1, Start: 0, Duration: 300},
+		},
+	}
+	got := CarryOverSeries(hist, trace.Window{Start: 4, End: 8})
+	want := []float64{10, 2, 2, 2}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("carry-over %d = %v, want %v (all %v)", i, got[i], w, got)
+		}
+	}
+}
+
+func TestFullSeries(t *testing.T) {
+	hist := &trace.Trace{
+		Flavors: fs(),
+		Periods: 6,
+		VMs: []trace.VM{
+			{Flavor: 0, Start: 0, Duration: 700},  // 2 CPUs, periods 0-2
+			{Flavor: 1, Start: 3, Duration: 9999}, // 8 CPUs, periods 3-5 (clamped)
+		},
+	}
+	got := FullSeries(hist)
+	want := []float64{2, 2, 2, 8, 8, 8}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("FullSeries[%d] = %v, want %v (all %v)", i, got[i], w, got)
+		}
+	}
+	// Consistency: FullSeries over a window = carry-over + window slice.
+	w := trace.Window{Start: 2, End: 6}
+	carry := CarryOverSeries(hist, w)
+	own := TotalCPUSeries(hist.Slice(w, 0))
+	for i := 0; i < w.Periods(); i++ {
+		if carry[i]+own[i] != got[w.Start+i] {
+			t.Fatalf("decomposition mismatch at %d: %v + %v != %v", i, carry[i], own[i], got[w.Start+i])
+		}
+	}
+}
+
+func TestCarryOverBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CarryOverSeries(&trace.Trace{Flavors: fs(), Periods: 4}, trace.Window{Start: 3, End: 2})
+}
+
+func TestEvaluateCoverage(t *testing.T) {
+	// 3 samples of a 2-point series.
+	sampled := [][]float64{
+		{10, 100},
+		{20, 110},
+		{30, 120},
+	}
+	actual := []float64{20, 500}
+	f := Evaluate(sampled, actual, nil, 0.9)
+	if f.Coverage != 0.5 {
+		t.Fatalf("coverage = %v", f.Coverage)
+	}
+	if len(f.Intervals) != 2 {
+		t.Fatalf("intervals = %d", len(f.Intervals))
+	}
+	if f.Intervals[0].Median != 20 {
+		t.Fatalf("median = %v", f.Intervals[0].Median)
+	}
+}
+
+func TestEvaluateCarryOverShiftsBoth(t *testing.T) {
+	sampled := [][]float64{{0}, {10}}
+	actual := []float64{5}
+	carry := []float64{100}
+	f := Evaluate(sampled, actual, carry, 0.9)
+	if f.Actual[0] != 105 {
+		t.Fatalf("actual adjusted = %v", f.Actual[0])
+	}
+	if f.Coverage != 1 {
+		t.Fatalf("coverage = %v", f.Coverage)
+	}
+	if math.Abs(f.Intervals[0].Median-105) > 1e-9 {
+		t.Fatalf("median = %v", f.Intervals[0].Median)
+	}
+}
+
+func TestEvaluatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate([][]float64{{1, 2}}, []float64{1}, nil, 0.9)
+}
+
+func TestEvaluateCRPS(t *testing.T) {
+	sampled := [][]float64{{10}, {20}, {30}}
+	good := Evaluate(sampled, []float64{20}, nil, 0.9)
+	bad := Evaluate(sampled, []float64{100}, nil, 0.9)
+	if good.CRPS <= 0 || bad.CRPS <= good.CRPS {
+		t.Fatalf("CRPS should penalize the miss: good %v bad %v", good.CRPS, bad.CRPS)
+	}
+}

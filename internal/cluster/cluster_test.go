@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// separatedTrace builds a trace with two well-separated job populations:
+// small/short and large/long.
+func separatedTrace() *trace.Trace {
+	fs := &trace.FlavorSet{Defs: []trace.FlavorDef{
+		{Name: "small", CPU: 1, MemGB: 2},
+		{Name: "big", CPU: 32, MemGB: 256},
+	}}
+	tr := &trace.Trace{Flavors: fs, Periods: 10}
+	for i := 0; i < 60; i++ {
+		tr.VMs = append(tr.VMs, trace.VM{
+			ID: i, User: i % 5, Flavor: 0, Start: i % 10, Duration: 300 + float64(i),
+		})
+	}
+	for i := 60; i < 120; i++ {
+		tr.VMs = append(tr.VMs, trace.VM{
+			ID: i, User: i % 5, Flavor: 1, Start: i % 10, Duration: 500000 + float64(i),
+		})
+	}
+	tr.SortVMs()
+	return tr
+}
+
+func TestKMeansSeparatesPopulations(t *testing.T) {
+	tr := separatedTrace()
+	cl, err := KMeans(tr, 2, rng.New(1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K() != 2 {
+		t.Fatalf("K = %d", cl.K())
+	}
+	// All small/short jobs should land in one cluster and big/long in
+	// the other.
+	firstSmall := cl.Assign(tr, tr.VMs[0])
+	for _, vm := range tr.VMs {
+		got := cl.Assign(tr, vm)
+		wantSame := tr.Flavors.Defs[vm.Flavor].CPU == 1
+		if (got == firstSmall) != wantSame {
+			t.Fatalf("VM %d (cpu %v) assigned to cluster %d", vm.ID, tr.Flavors.Defs[vm.Flavor].CPU, got)
+		}
+	}
+	// Members partition the trace.
+	total := 0
+	for _, m := range cl.Members {
+		total += len(m)
+	}
+	if total != len(tr.VMs) {
+		t.Fatalf("members cover %d of %d", total, len(tr.VMs))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	tr := separatedTrace()
+	if _, err := KMeans(tr, 0, rng.New(1), 10); err == nil {
+		t.Fatal("expected k=0 error")
+	}
+	empty := &trace.Trace{Flavors: tr.Flavors, Periods: 1}
+	if _, err := KMeans(empty, 2, rng.New(1), 10); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	tr := separatedTrace()
+	tr.VMs = tr.VMs[:3]
+	cl, err := KMeans(tr, 10, rng.New(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K() > 3 {
+		t.Fatalf("K = %d, want <= 3", cl.K())
+	}
+}
+
+func TestSampleMember(t *testing.T) {
+	tr := separatedTrace()
+	cl, err := KMeans(tr, 2, rng.New(2), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(3)
+	for k := 0; k < cl.K(); k++ {
+		for i := 0; i < 50; i++ {
+			idx := cl.SampleMember(k, g)
+			if cl.Assign(tr, tr.VMs[idx]) != k {
+				t.Fatalf("sampled member %d not in cluster %d", idx, k)
+			}
+		}
+	}
+}
+
+func TestPseudoTrace(t *testing.T) {
+	cfg := synth.AzureLike()
+	cfg.Days = 1
+	cfg.Users = 40
+	cfg.BaseRate = 2
+	tr := cfg.Generate(5)
+	cl, err := KMeans(tr, 6, rng.New(4), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pseudo := cl.PseudoTrace(tr)
+	if pseudo.Flavors.K() != cl.K() {
+		t.Fatalf("pseudo catalog %d flavors", pseudo.Flavors.K())
+	}
+	if err := pseudo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pseudo.VMs) != len(tr.VMs) {
+		t.Fatal("VM count changed")
+	}
+	// Start times and durations are preserved; only flavors relabel.
+	for i := range tr.VMs {
+		if pseudo.VMs[i].Start != tr.VMs[i].Start || pseudo.VMs[i].Duration != tr.VMs[i].Duration {
+			t.Fatal("relabeling changed job timing")
+		}
+	}
+}
+
+// TestInertiaDecreasesWithK is the elbow-curve property: more clusters
+// never increase the k-means objective (with enough restarts; we allow
+// small seeding noise).
+func TestInertiaDecreasesWithK(t *testing.T) {
+	cfg := synth.AzureLike()
+	cfg.Days = 1
+	cfg.Users = 40
+	cfg.BaseRate = 2
+	tr := cfg.Generate(6)
+	prev := -1.0
+	for _, k := range []int{1, 4, 16} {
+		cl, err := KMeans(tr, k, rng.New(7), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := cl.Inertia(tr)
+		if prev >= 0 && in > prev*1.05 {
+			t.Fatalf("inertia rose from %v to %v at k=%d", prev, in, k)
+		}
+		prev = in
+	}
+}

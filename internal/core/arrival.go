@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/glm"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// ArrivalKind selects what the Poisson regression counts: user batches
+// (the paper's stage 1, §2.1) or raw individual VM arrivals (the
+// traditional baseline evaluated in Figure 6).
+type ArrivalKind int
+
+const (
+	// BatchArrivals counts user batches per period.
+	BatchArrivals ArrivalKind = iota
+	// VMArrivals counts individual VM arrivals per period.
+	VMArrivals
+)
+
+// ArrivalOptions configures training of the arrival model.
+type ArrivalOptions struct {
+	Kind   ArrivalKind
+	UseDOH bool    // include the survival-encoded day-of-history block
+	L2     float64 // ridge penalty (default 0.1)
+	L1     float64 // optional lasso penalty (switches to ProxGrad)
+	DOH    features.DOHSampler
+}
+
+// ArrivalModel is the fitted stage-1 model: an inhomogeneous Poisson
+// rate over periods, driven by temporal features.
+type ArrivalModel struct {
+	Reg         *glm.PoissonRegression
+	Kind        ArrivalKind
+	UseDOH      bool
+	HistoryDays int
+	DOH         features.DOHSampler
+}
+
+// TrainArrival fits the arrival model on the training trace. The
+// trace's own periods supply both the counts and the temporal features;
+// the day-of-history block spans the training window's days.
+func TrainArrival(tr *trace.Trace, opt ArrivalOptions) (*ArrivalModel, error) {
+	var counts []int
+	switch opt.Kind {
+	case BatchArrivals:
+		counts = tr.BatchCounts()
+	case VMArrivals:
+		counts = tr.ArrivalCounts()
+	default:
+		return nil, fmt.Errorf("core: unknown arrival kind %d", opt.Kind)
+	}
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &ArrivalModel{
+		Kind:        opt.Kind,
+		UseDOH:      opt.UseDOH,
+		HistoryDays: historyDays,
+		DOH:         opt.DOH,
+	}
+	m.DOH.HistoryDays = historyDays
+	dim := m.featureDim()
+	x := mat.NewDense(len(counts), dim)
+	y := make([]float64, len(counts))
+	for p, c := range counts {
+		m.encode(x.Row(p), p, trace.DayOfHistory(p))
+		y[p] = float64(c)
+	}
+	l2 := opt.L2
+	if l2 == 0 {
+		l2 = 0.1
+	}
+	fitOpt := glm.Options{Solver: glm.IRLS, L2: l2}
+	if opt.L1 > 0 {
+		fitOpt = glm.Options{Solver: glm.ProxGrad, L2: l2, L1: opt.L1, MaxIter: 2000}
+	}
+	reg, err := glm.Fit(x, y, fitOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: arrival fit: %w", err)
+	}
+	m.Reg = reg
+	return m, nil
+}
+
+func (m *ArrivalModel) featureDim() int {
+	d := 24 + 7
+	if m.UseDOH {
+		d += m.HistoryDays
+	}
+	return d
+}
+
+func (m *ArrivalModel) encode(dst []float64, period, dohDay int) {
+	features.OneHot(dst[:24], trace.HourOfDay(period))
+	features.OneHot(dst[24:31], trace.DayOfWeek(period))
+	if m.UseDOH {
+		day := dohDay
+		if day >= m.HistoryDays {
+			day = m.HistoryDays - 1
+		}
+		features.SurvivalEncode(dst[31:], day)
+	}
+}
+
+// Rate returns the Poisson mean for a period using the given DOH day
+// (ignored when the model was trained without DOH features).
+func (m *ArrivalModel) Rate(period, dohDay int) float64 {
+	dst := make([]float64, m.featureDim())
+	m.encode(dst, period, dohDay)
+	return m.Reg.Rate(dst)
+}
+
+// SampleCount draws an arrival count for a period, sampling the DOH day
+// per the model's sampler (§2.1.2).
+func (m *ArrivalModel) SampleCount(g *rng.RNG, period int) int {
+	return g.Poisson(m.Rate(period, m.DOH.Sample(g)))
+}
+
+// ArrivalCoverageOn computes the fraction of a held-out trace's
+// per-period counts covered by the model's 90% prediction interval
+// (sampling the DOH day per draw) — the §5.1 coverage metric, exposed
+// for development-set tuning.
+func ArrivalCoverageOn(m *ArrivalModel, held *trace.Trace, offset, samples int) float64 {
+	g := rng.New(12345)
+	var counts []int
+	if m.Kind == BatchArrivals {
+		counts = held.BatchCounts()
+	} else {
+		counts = held.ArrivalCounts()
+	}
+	sampled := make([][]float64, samples)
+	for s := range sampled {
+		row := make([]float64, len(counts))
+		for p := range counts {
+			row[p] = float64(m.SampleCount(g, offset+p))
+		}
+		sampled[s] = row
+	}
+	actual := make([]float64, len(counts))
+	for p, c := range counts {
+		actual[p] = float64(c)
+	}
+	iv := metrics.PredictionIntervals(sampled, 0.9)
+	return metrics.Coverage(actual, iv)
+}

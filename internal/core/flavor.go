@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TrainConfig holds the LSTM training hyperparameters shared by the
+// flavor and lifetime models (§4.2 of the paper; the defaults here are
+// the scaled-down laptop configuration, with the paper's 2×200 network
+// available by overriding Hidden).
+type TrainConfig struct {
+	Hidden      int // hidden units per layer (paper: 200)
+	Layers      int // LSTM layers (paper: 2)
+	SeqLen      int // training sequence length (paper: 5000)
+	BatchSize   int // sequences per minibatch (paper: 50)
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64
+	Seed        int64
+	// Progress, if non-nil, receives the mean per-step loss after each
+	// epoch.
+	Progress func(epoch int, loss float64)
+	// Dev, if non-nil, enables development-set model selection (§4.2:
+	// hyperparameters and stopping are tuned on the development window):
+	// every DevEvery epochs the teacher-forced dev loss is computed and
+	// the best-scoring weights are restored at the end of training.
+	Dev       *trace.Trace
+	DevOffset int // absolute period of the dev window start
+	DevEvery  int // default 5
+}
+
+// withDefaults fills zero fields with the scaled-down defaults.
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 48
+	}
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 96
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	if c.DevEvery == 0 {
+		c.DevEvery = 5
+	}
+	return c
+}
+
+// stepLR implements the step learning-rate schedule: the base rate for
+// the first 60% of epochs, half for the next 25%, and a quarter for the
+// remainder. The late-phase decay settles the calibration of the
+// high-frequency tokens (EOB in particular) that free-running
+// generation is sensitive to.
+func (c TrainConfig) stepLR(epoch int) float64 {
+	switch {
+	case epoch >= c.Epochs*17/20:
+		return c.LR / 4
+	case epoch >= c.Epochs*3/5:
+		return c.LR / 2
+	default:
+		return c.LR
+	}
+}
+
+// FlavorModel is the stage-2 LSTM over flavor sequences (§2.2). Its
+// vocabulary is the K flavors plus the end-of-batch token.
+type FlavorModel struct {
+	Net         *nn.LSTM
+	K           int // number of flavors (EOB token index = K)
+	Temporal    features.Temporal
+	HistoryDays int
+}
+
+// flavorInputDim returns the input feature dimensionality: previous
+// token one-hot plus temporal features.
+func flavorInputDim(k int, temporal features.Temporal) int {
+	return (k + 1) + temporal.Dim()
+}
+
+// encodeFlavorInput writes the step input: one-hot of the previous token
+// and the temporal features of the current period.
+func (m *FlavorModel) encodeFlavorInput(dst []float64, prevToken, period, dohDay int) {
+	features.OneHot(dst[:m.K+1], prevToken)
+	m.Temporal.Encode(dst[m.K+1:], period, dohDay)
+}
+
+// TrainFlavor trains the flavor LSTM on the training trace by teacher
+// forcing over the serialized token stream, minimizing softmax
+// cross-entropy (§2.2.1).
+func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
+	cfg = cfg.withDefaults()
+	k := tr.Flavors.K()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &FlavorModel{
+		K:           k,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		HistoryDays: historyDays,
+	}
+	toks := FlavorTokens(tr)
+	inDim := flavorInputDim(k, m.Temporal)
+	m.Net = nn.NewLSTM(nn.Config{
+		InputDim:  inDim,
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: k + 1,
+	}, rng.New(cfg.Seed))
+	if len(toks) == 0 {
+		return m
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = cfg.ClipNorm
+	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
+	eob := EOBToken(k)
+	var devToks []FlavorToken
+	if cfg.Dev != nil {
+		devToks = FlavorTokens(cfg.Dev)
+	}
+	bestDev := math.Inf(1)
+	var bestSnap []byte
+	checkDev := func() {
+		if len(devToks) == 0 {
+			return
+		}
+		ev := EvaluateFlavor(NewLSTMFlavorPredictor(m), devToks, cfg.DevOffset)
+		if ev.NLL < bestDev {
+			bestDev = ev.NLL
+			if snap, err := m.Net.MarshalBinary(); err == nil {
+				bestSnap = snap
+			}
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.stepLR(epoch)
+		var totalLoss float64
+		var totalSteps int
+		// Stateful truncated BPTT: each window continues the B parallel
+		// segments from the previous window's final state, so the state
+		// distribution matches long free-running generation.
+		st := m.Net.NewState(plan.batch)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			xs := make([]*mat.Dense, wl)
+			targets := make([][]int, wl)
+			valids := make([][]bool, wl)
+			var batchSteps int
+			for s := 0; s < wl; s++ {
+				x := mat.NewDense(plan.batch, inDim)
+				tg := make([]int, plan.batch)
+				vd := make([]bool, plan.batch)
+				for row := 0; row < plan.batch; row++ {
+					t, ok := plan.step(row, w, s)
+					if !ok {
+						continue
+					}
+					prev := eob
+					if t > 0 {
+						prev = toks[t-1].Token
+					}
+					day := trace.DayOfHistory(toks[t].Period)
+					m.encodeFlavorInput(x.Row(row), prev, toks[t].Period, day)
+					tg[row] = toks[t].Token
+					vd[row] = true
+					batchSteps++
+				}
+				xs[s] = x
+				targets[s] = tg
+				valids[s] = vd
+			}
+			m.Net.ZeroGrads()
+			ys, cache := m.Net.Forward(xs, st)
+			dys := make([]*mat.Dense, wl)
+			for s, y := range ys {
+				l, d, n := nn.SoftmaxCE(y, targets[s], valids[s])
+				totalLoss += l
+				totalSteps += n
+				dys[s] = d
+			}
+			if batchSteps == 0 {
+				continue
+			}
+			// Normalize gradient by the number of contributing steps so
+			// the learning rate is scale-free.
+			norm := 1 / float64(batchSteps)
+			for _, d := range dys {
+				mat.Scale(norm, d.Data)
+			}
+			m.Net.Backward(cache, dys)
+			opt.Step(m.Net.Params())
+		}
+		if cfg.Progress != nil && totalSteps > 0 {
+			cfg.Progress(epoch, totalLoss/float64(totalSteps))
+		}
+		if (epoch+1)%cfg.DevEvery == 0 || epoch == cfg.Epochs-1 {
+			checkDev()
+		}
+	}
+	if bestSnap != nil {
+		if err := m.Net.UnmarshalBinary(bestSnap); err != nil {
+			panic(fmt.Sprintf("core: restore best flavor snapshot: %v", err))
+		}
+	}
+	return m
+}
+
+// flavorState is the streaming decoder state for generation and
+// teacher-forced evaluation.
+type flavorState struct {
+	m     *FlavorModel
+	st    *nn.State
+	prev  int
+	input []float64
+}
+
+// newFlavorState returns a fresh decoding state (previous token = EOB).
+func (m *FlavorModel) newFlavorState() *flavorState {
+	return &flavorState{
+		m:     m,
+		st:    m.Net.NewState(1),
+		prev:  EOBToken(m.K),
+		input: make([]float64, flavorInputDim(m.K, m.Temporal)),
+	}
+}
+
+// probs advances the LSTM one step and returns the distribution over the
+// next token given the current period and DOH day.
+func (s *flavorState) probs(period, dohDay int) []float64 {
+	s.m.encodeFlavorInput(s.input, s.prev, period, dohDay)
+	logits := s.m.Net.StepForward(s.input, s.st)
+	return nn.Softmax(logits)
+}
+
+// observe records the realized token (teacher forcing / sampling).
+func (s *flavorState) observe(token int) { s.prev = token }
+
+// Perplexity is a convenience: exp of mean NLL.
+func Perplexity(nll float64) float64 { return math.Exp(nll) }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// GRUFlavorModel is the stage-2 model with a GRU instead of an LSTM —
+// the third arm of the §7 architecture ablation. Training mirrors
+// TrainFlavor (stateful truncated BPTT, step LR schedule).
+type GRUFlavorModel struct {
+	Net         *nn.GRU
+	K           int
+	Temporal    features.Temporal
+	HistoryDays int
+}
+
+// TrainFlavorGRU trains the GRU flavor model with the same
+// hyperparameter set as the LSTM.
+func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
+	cfg = cfg.withDefaults()
+	k := tr.Flavors.K()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &GRUFlavorModel{
+		K:           k,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		HistoryDays: historyDays,
+	}
+	toks := FlavorTokens(tr)
+	inDim := flavorInputDim(k, m.Temporal)
+	m.Net = nn.NewGRU(nn.Config{
+		InputDim:  inDim,
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: k + 1,
+	}, rng.New(cfg.Seed+40))
+	if len(toks) == 0 {
+		return m
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = cfg.ClipNorm
+	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
+	eob := EOBToken(k)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.stepLR(epoch)
+		st := m.Net.NewState(plan.batch)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			xs := make([]*mat.Dense, wl)
+			targets := make([][]int, wl)
+			valids := make([][]bool, wl)
+			var batchSteps int
+			for s := 0; s < wl; s++ {
+				x := mat.NewDense(plan.batch, inDim)
+				tg := make([]int, plan.batch)
+				vd := make([]bool, plan.batch)
+				for row := 0; row < plan.batch; row++ {
+					t, ok := plan.step(row, w, s)
+					if !ok {
+						continue
+					}
+					prev := eob
+					if t > 0 {
+						prev = toks[t-1].Token
+					}
+					day := trace.DayOfHistory(toks[t].Period)
+					encodeFlavorInputInto(x.Row(row), k, m.Temporal, prev, toks[t].Period, day)
+					tg[row] = toks[t].Token
+					vd[row] = true
+					batchSteps++
+				}
+				xs[s] = x
+				targets[s] = tg
+				valids[s] = vd
+			}
+			m.Net.ZeroGrads()
+			ys, cache := m.Net.Forward(xs, st)
+			dys := make([]*mat.Dense, wl)
+			for s, y := range ys {
+				_, d, _ := nn.SoftmaxCE(y, targets[s], valids[s])
+				dys[s] = d
+			}
+			if batchSteps == 0 {
+				continue
+			}
+			norm := 1 / float64(batchSteps)
+			for _, d := range dys {
+				mat.Scale(norm, d.Data)
+			}
+			m.Net.Backward(cache, dys)
+			opt.Step(m.Net.Params())
+		}
+	}
+	return m
+}
+
+// GRUFlavorPredictor adapts the GRU model to the FlavorPredictor
+// interface.
+type GRUFlavorPredictor struct {
+	m     *GRUFlavorModel
+	st    *nn.GRUState
+	prev  int
+	input []float64
+}
+
+// NewGRUFlavorPredictor wraps m.
+func NewGRUFlavorPredictor(m *GRUFlavorModel) *GRUFlavorPredictor {
+	p := &GRUFlavorPredictor{m: m}
+	p.Reset()
+	return p
+}
+
+// Name implements FlavorPredictor.
+func (p *GRUFlavorPredictor) Name() string { return "GRU" }
+
+// Reset implements FlavorPredictor.
+func (p *GRUFlavorPredictor) Reset() {
+	p.st = p.m.Net.NewState(1)
+	p.prev = EOBToken(p.m.K)
+	p.input = make([]float64, flavorInputDim(p.m.K, p.m.Temporal))
+}
+
+// Probs implements FlavorPredictor.
+func (p *GRUFlavorPredictor) Probs(absPeriod int) []float64 {
+	encodeFlavorInputInto(p.input, p.m.K, p.m.Temporal, p.prev, absPeriod, trace.DayOfHistory(absPeriod))
+	return nn.Softmax(p.m.Net.StepForward(p.input, p.st))
+}
+
+// Predict implements FlavorPredictor (see LSTM wrapper caveat).
+func (p *GRUFlavorPredictor) Predict(absPeriod int) int { return argmax(p.Probs(absPeriod)) }
+
+// Observe implements FlavorPredictor.
+func (p *GRUFlavorPredictor) Observe(token int) { p.prev = token }

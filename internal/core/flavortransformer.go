@@ -1,0 +1,175 @@
+package core
+
+import (
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TransformerTrainConfig sizes and trains the Transformer flavor model
+// (the §7 architecture ablation: "Transformers ... could be used in
+// place of the LSTMs").
+type TransformerTrainConfig struct {
+	ModelDim int // default 32
+	Heads    int // default 2
+	FFDim    int // default 4*ModelDim
+	Layers   int // default 2
+	MaxLen   int // context window, default 64
+	Epochs   int // default 15
+	LR       float64
+	ClipNorm float64
+	Seed     int64
+}
+
+func (c TransformerTrainConfig) withDefaults() TransformerTrainConfig {
+	if c.ModelDim == 0 {
+		c.ModelDim = 32
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.FFDim == 0 {
+		c.FFDim = 4 * c.ModelDim
+	}
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 64
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 15
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// TransformerFlavorModel is the stage-2 model with a causal Transformer
+// instead of an LSTM. Same inputs (previous token one-hot + temporal
+// features) and output vocabulary (K flavors + EOB).
+type TransformerFlavorModel struct {
+	Net         *nn.Transformer
+	K           int
+	Temporal    features.Temporal
+	HistoryDays int
+}
+
+// TrainFlavorTransformer trains the Transformer flavor model by teacher
+// forcing over MaxLen-sized windows of the token stream.
+func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *TransformerFlavorModel {
+	cfg = cfg.withDefaults()
+	k := tr.Flavors.K()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &TransformerFlavorModel{
+		K:           k,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		HistoryDays: historyDays,
+	}
+	inDim := flavorInputDim(k, m.Temporal)
+	m.Net = nn.NewTransformer(nn.TransformerConfig{
+		InputDim:  inDim,
+		ModelDim:  cfg.ModelDim,
+		Heads:     cfg.Heads,
+		FFDim:     cfg.FFDim,
+		Layers:    cfg.Layers,
+		OutputDim: k + 1,
+		MaxLen:    cfg.MaxLen,
+	}, rng.New(cfg.Seed+30))
+	toks := FlavorTokens(tr)
+	if len(toks) == 0 {
+		return m
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.ClipNorm = cfg.ClipNorm
+	eob := EOBToken(k)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for start := 0; start < len(toks); start += cfg.MaxLen {
+			end := start + cfg.MaxLen
+			if end > len(toks) {
+				end = len(toks)
+			}
+			T := end - start
+			x := mat.NewDense(T, inDim)
+			targets := make([]int, T)
+			for s := 0; s < T; s++ {
+				t := start + s
+				prev := eob
+				if t > 0 {
+					prev = toks[t-1].Token
+				}
+				day := trace.DayOfHistory(toks[t].Period)
+				encodeFlavorInputInto(x.Row(s), k, m.Temporal, prev, toks[t].Period, day)
+				targets[s] = toks[t].Token
+			}
+			m.Net.ZeroGrads()
+			out, cache := m.Net.Forward(x)
+			_, d, n := nn.SoftmaxCE(out, targets, nil)
+			if n == 0 {
+				continue
+			}
+			mat.Scale(1/float64(n), d.Data)
+			m.Net.Backward(cache, d)
+			opt.Step(m.Net.Params())
+		}
+	}
+	return m
+}
+
+// encodeFlavorInputInto is the shared flavor-step encoding without a
+// FlavorModel receiver.
+func encodeFlavorInputInto(dst []float64, k int, temporal features.Temporal, prevToken, period, dohDay int) {
+	features.OneHot(dst[:k+1], prevToken)
+	temporal.Encode(dst[k+1:], period, dohDay)
+}
+
+// TransformerFlavorPredictor adapts the model to the FlavorPredictor
+// interface for Table 2-style evaluation. It decodes with a sliding
+// MaxLen context window.
+type TransformerFlavorPredictor struct {
+	m      *TransformerFlavorModel
+	window *nn.TWindow
+	prev   int
+	input  []float64
+}
+
+// NewTransformerFlavorPredictor wraps m.
+func NewTransformerFlavorPredictor(m *TransformerFlavorModel) *TransformerFlavorPredictor {
+	p := &TransformerFlavorPredictor{m: m}
+	p.Reset()
+	return p
+}
+
+// Name implements FlavorPredictor.
+func (p *TransformerFlavorPredictor) Name() string { return "Transformer" }
+
+// Reset implements FlavorPredictor.
+func (p *TransformerFlavorPredictor) Reset() {
+	p.window = p.m.Net.NewWindow()
+	p.prev = EOBToken(p.m.K)
+	p.input = make([]float64, flavorInputDim(p.m.K, p.m.Temporal))
+}
+
+// Probs implements FlavorPredictor.
+func (p *TransformerFlavorPredictor) Probs(absPeriod int) []float64 {
+	encodeFlavorInputInto(p.input, p.m.K, p.m.Temporal, p.prev, absPeriod, trace.DayOfHistory(absPeriod))
+	return nn.Softmax(p.window.Append(p.input))
+}
+
+// Predict implements FlavorPredictor. As with the LSTM wrapper, use
+// Probs via EvaluateFlavor; Predict would advance the window twice.
+func (p *TransformerFlavorPredictor) Predict(absPeriod int) int {
+	return argmax(p.Probs(absPeriod))
+}
+
+// Observe implements FlavorPredictor.
+func (p *TransformerFlavorPredictor) Observe(token int) { p.prev = token }

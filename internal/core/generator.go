@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+// Generator produces synthetic traces for a future window. The window is
+// expressed in absolute periods of the original history so temporal
+// features stay phase-aligned; the returned trace is re-based to period
+// 0 with Periods = w.Periods().
+type Generator interface {
+	Name() string
+	Generate(g *rng.RNG, w trace.Window) *trace.Trace
+}
+
+// Model is the paper's full three-stage generative model (§2.4).
+type Model struct {
+	Arrival  *ArrivalModel
+	Flavor   *FlavorModel
+	Lifetime *LifetimeModel
+	Interp   survival.Interpolation
+	// RateScale multiplies the sampled arrival rate (the single-knob 10×
+	// stress-test of §6.2 and footnote 5). Zero means 1.
+	RateScale float64
+	// Tilt optionally post-processes the flavor LSTM's output
+	// probabilities before sampling (the footnote-5 what-if knobs).
+	Tilt WhatIf
+	// MaxJobsPerPeriod caps runaway flavor sequences; once hit, EOB
+	// tokens are forced. Zero means 2000.
+	MaxJobsPerPeriod int
+}
+
+// ModelOptions bundles the knobs for training the full model.
+type ModelOptions struct {
+	Bins    survival.Bins
+	Train   TrainConfig
+	Arrival ArrivalOptions
+}
+
+// TrainModel trains all three stages on the training trace (§2). The
+// default arrival options follow the paper: batch arrivals with DOH
+// features and geometric DOH sampling (success probability 1/7).
+func TrainModel(tr *trace.Trace, opt ModelOptions) (*Model, error) {
+	if opt.Bins.J() == 0 {
+		opt.Bins = survival.PaperBins()
+	}
+	arrOpt := opt.Arrival
+	arrOpt.Kind = BatchArrivals
+	if arrOpt.DOH.Mode == features.DOHGeometric || arrOpt.DOH.GeomP == 0 {
+		arrOpt.DOH.GeomP = 1.0 / 7.0
+	}
+	arrOpt.DOH.Mode = features.DOHGeometric
+	arrOpt.UseDOH = true
+	arrival, err := TrainArrival(tr, arrOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: train model: %w", err)
+	}
+	flavor := TrainFlavor(tr, opt.Train)
+	lifetime := TrainLifetime(tr, opt.Bins, opt.Train)
+	return &Model{
+		Arrival:  arrival,
+		Flavor:   flavor,
+		Lifetime: lifetime,
+		Interp:   survival.CDI,
+	}, nil
+}
+
+// Name implements Generator.
+func (m *Model) Name() string { return "LSTM" }
+
+func (m *Model) rateScale() float64 {
+	if m.RateScale == 0 {
+		return 1
+	}
+	return m.RateScale
+}
+
+func (m *Model) maxJobs() int {
+	if m.MaxJobsPerPeriod == 0 {
+		return 2000
+	}
+	return m.MaxJobsPerPeriod
+}
+
+// Generate runs the three-stage process (§2.4) for every period of the
+// window: sample the number of batches, decode flavors until that many
+// EOB tokens, then run the lifetime LSTM over the generated jobs,
+// re-encoding each sampled output as the next step's input. LSTM state
+// carries across periods so momentum persists, as in training on long
+// sequences (§4.2). One DOH day is sampled per generated day and shared
+// by all three stages for coherence.
+func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
+	out := &trace.Trace{Flavors: &trace.FlavorSet{Defs: m.flavorDefs()}, Periods: w.Periods()}
+	fs := m.Flavor.newFlavorState()
+	ls := m.Lifetime.newLifetimeState()
+	eob := EOBToken(m.Flavor.K)
+	nextUser := 0
+	id := 0
+	dohDay := m.Arrival.DOH.Sample(g)
+	curDay := -1
+	for p := w.Start; p < w.End; p++ {
+		if d := trace.DayOfHistory(p); d != curDay {
+			curDay = d
+			dohDay = m.Arrival.DOH.Sample(g)
+		}
+		nBatches := g.Poisson(m.Arrival.Rate(p, dohDay) * m.rateScale())
+		if nBatches == 0 {
+			continue
+		}
+		// Stage 2: decode flavors until nBatches EOB tokens.
+		type pendingBatch struct {
+			user    int
+			flavors []int
+		}
+		var batches []pendingBatch
+		cur := pendingBatch{user: nextUser}
+		nextUser++
+		jobs, eobCount := 0, 0
+		for eobCount < nBatches {
+			probs := fs.probs(p, dohDay)
+			if !m.Tilt.isZero() {
+				m.Tilt.apply(probs, m.Flavor.K)
+			}
+			tok := g.Categorical(probs)
+			if jobs >= m.maxJobs() {
+				tok = eob
+			}
+			fs.observe(tok)
+			if tok != eob {
+				cur.flavors = append(cur.flavors, tok)
+				jobs++
+				continue
+			}
+			eobCount++
+			// An EOB with no preceding jobs yields an empty batch, which
+			// is not representable in the trace; it still counts toward
+			// the period's batch total so generation terminates.
+			if len(cur.flavors) > 0 {
+				batches = append(batches, cur)
+			}
+			cur = pendingBatch{user: nextUser}
+			nextUser++
+		}
+		// Stage 3: lifetimes for the period's jobs, in order.
+		for _, b := range batches {
+			for _, fl := range b.flavors {
+				step := LifetimeStep{
+					Period:    p,
+					Flavor:    fl,
+					BatchSize: len(b.flavors),
+				}
+				hz := ls.hazard(step, dohDay)
+				bin := survival.SampleBin(hz, g)
+				ls.observe(bin, false)
+				var dur float64
+				if m.Interp == survival.Stepped {
+					dur = m.Lifetime.Bins.Hi(bin)
+				} else {
+					dur = g.Uniform(m.Lifetime.Bins.Lo(bin), m.Lifetime.Bins.Hi(bin))
+				}
+				out.VMs = append(out.VMs, trace.VM{
+					ID:       id,
+					User:     b.user,
+					Flavor:   fl,
+					Start:    p - w.Start,
+					Duration: dur,
+				})
+				id++
+			}
+		}
+	}
+	return out
+}
+
+func (m *Model) flavorDefs() []trace.FlavorDef {
+	// The model does not carry resource definitions; generators are
+	// always paired with the original catalog by the caller. Return
+	// placeholder defs sized to K so the trace validates.
+	defs := make([]trace.FlavorDef, m.Flavor.K)
+	for i := range defs {
+		defs[i] = trace.FlavorDef{Name: fmt.Sprintf("f%d", i), CPU: 1, MemGB: 1}
+	}
+	return defs
+}
+
+// WithCatalog returns a copy of tr that uses the given flavor catalog
+// (replacing placeholder defs emitted by generators).
+func WithCatalog(tr *trace.Trace, fs *trace.FlavorSet) *trace.Trace {
+	out := *tr
+	out.Flavors = fs
+	return &out
+}
+
+// NaiveGenerator is the traditional baseline (§6): independent VM
+// arrivals from a Poisson regression, i.i.d. flavors from the training
+// multinomial, i.i.d. lifetimes from the per-flavor Kaplan-Meier.
+type NaiveGenerator struct {
+	Arrival   *ArrivalModel // VM-level counts, no DOH by default
+	Flavors   *trace.FlavorSet
+	flavorW   *rng.Alias
+	lifetimes *PerFlavorKMLifetime
+	bins      survival.Bins
+	RateScale float64
+}
+
+// NewNaiveGenerator fits the Naive baseline on the training trace.
+func NewNaiveGenerator(tr *trace.Trace, bins survival.Bins) (*NaiveGenerator, error) {
+	arr, err := TrainArrival(tr, ArrivalOptions{Kind: VMArrivals, UseDOH: false})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, tr.Flavors.K())
+	for i := range counts {
+		counts[i] = 1e-9
+	}
+	for _, vm := range tr.VMs {
+		counts[vm.Flavor]++
+	}
+	return &NaiveGenerator{
+		Arrival:   arr,
+		Flavors:   tr.Flavors,
+		flavorW:   rng.NewAlias(counts),
+		lifetimes: NewPerFlavorKMLifetime(tr, bins),
+		bins:      bins,
+	}, nil
+}
+
+// Name implements Generator.
+func (n *NaiveGenerator) Name() string { return "Naive" }
+
+// Generate implements Generator: every VM is its own single-job batch
+// from a fresh user (full independence).
+func (n *NaiveGenerator) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
+	scale := n.RateScale
+	if scale == 0 {
+		scale = 1
+	}
+	out := &trace.Trace{Flavors: n.Flavors, Periods: w.Periods()}
+	id := 0
+	for p := w.Start; p < w.End; p++ {
+		count := g.Poisson(n.Arrival.Rate(p, 0) * scale)
+		for v := 0; v < count; v++ {
+			fl := n.flavorW.Sample(g)
+			hz := n.lifetimes.Hazard(LifetimeStep{Flavor: fl}, 0)
+			dur := survival.SampleDuration(hz, n.bins, g, survival.CDI)
+			out.VMs = append(out.VMs, trace.VM{
+				ID: id, User: id, Flavor: fl, Start: p - w.Start, Duration: dur,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// SimpleBatchGenerator is the paper's non-RNN batch-aware baseline (§6):
+// batch arrivals from the proposed Poisson regression, batch sizes from
+// the empirical training distribution, one flavor and one lifetime
+// shared by the whole batch.
+type SimpleBatchGenerator struct {
+	Arrival   *ArrivalModel
+	Flavors   *trace.FlavorSet
+	sizes     *rng.Alias
+	sizeVals  []int
+	flavorW   *rng.Alias
+	lifetimes *PerFlavorKMLifetime
+	bins      survival.Bins
+	RateScale float64
+}
+
+// NewSimpleBatchGenerator fits the SimpleBatch baseline on the training
+// trace.
+func NewSimpleBatchGenerator(tr *trace.Trace, bins survival.Bins) (*SimpleBatchGenerator, error) {
+	arr, err := TrainArrival(tr, ArrivalOptions{
+		Kind:   BatchArrivals,
+		UseDOH: true,
+		DOH:    features.DOHSampler{Mode: features.DOHGeometric, GeomP: 1.0 / 7.0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Empirical batch-size distribution (sorted for determinism).
+	sizeCounts := map[int]int{}
+	maxSize := 0
+	for _, batches := range tr.PeriodBatches() {
+		for _, b := range batches {
+			sizeCounts[len(b.Indices)]++
+			if len(b.Indices) > maxSize {
+				maxSize = len(b.Indices)
+			}
+		}
+	}
+	var vals []int
+	var weights []float64
+	for s := 1; s <= maxSize; s++ {
+		if c := sizeCounts[s]; c > 0 {
+			vals = append(vals, s)
+			weights = append(weights, float64(c))
+		}
+	}
+	if len(vals) == 0 {
+		vals, weights = []int{1}, []float64{1}
+	}
+	counts := make([]float64, tr.Flavors.K())
+	for i := range counts {
+		counts[i] = 1e-9
+	}
+	for _, vm := range tr.VMs {
+		counts[vm.Flavor]++
+	}
+	return &SimpleBatchGenerator{
+		Arrival:   arr,
+		Flavors:   tr.Flavors,
+		sizes:     rng.NewAlias(weights),
+		sizeVals:  vals,
+		flavorW:   rng.NewAlias(counts),
+		lifetimes: NewPerFlavorKMLifetime(tr, bins),
+		bins:      bins,
+	}, nil
+}
+
+// Name implements Generator.
+func (s *SimpleBatchGenerator) Name() string { return "SimpleBatch" }
+
+// Generate implements Generator.
+func (s *SimpleBatchGenerator) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
+	scale := s.RateScale
+	if scale == 0 {
+		scale = 1
+	}
+	out := &trace.Trace{Flavors: s.Flavors, Periods: w.Periods()}
+	id, user := 0, 0
+	for p := w.Start; p < w.End; p++ {
+		nBatches := g.Poisson(s.Arrival.Rate(p, s.Arrival.DOH.Sample(g)) * scale)
+		for b := 0; b < nBatches; b++ {
+			size := s.sizeVals[s.sizes.Sample(g)]
+			fl := s.flavorW.Sample(g)
+			hz := s.lifetimes.Hazard(LifetimeStep{Flavor: fl}, 0)
+			dur := survival.SampleDuration(hz, s.bins, g, survival.CDI)
+			for v := 0; v < size; v++ {
+				out.VMs = append(out.VMs, trace.VM{
+					ID: id, User: user, Flavor: fl, Start: p - w.Start, Duration: dur,
+				})
+				id++
+			}
+			user++
+		}
+	}
+	return out
+}

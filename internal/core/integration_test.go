@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// fixture trains the full model once on a small AzureLike history and
+// shares it across integration tests.
+type fixture struct {
+	cfg   synth.Config
+	full  *trace.Trace
+	train *trace.Trace
+	test  *trace.Trace
+	testW trace.Window
+	bins  survival.Bins
+	model *Model
+	tcfg  TrainConfig
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		cfg := synth.AzureLike()
+		cfg.Days = 4
+		cfg.Users = 80
+		cfg.BaseRate = 2
+		full := cfg.Generate(42)
+		trainW, _, testW := synth.StandardSplit(cfg.Days)
+		bins := survival.PaperBins()
+		f := &fixture{
+			cfg:   cfg,
+			full:  full,
+			train: full.Slice(trainW, 0),
+			test:  full.Slice(testW, 0),
+			testW: testW,
+			bins:  bins,
+			tcfg: TrainConfig{
+				Hidden:    24,
+				Layers:    2,
+				SeqLen:    64,
+				BatchSize: 8,
+				Epochs:    60,
+				LR:        8e-3,
+				Seed:      1,
+			},
+		}
+		m, err := TrainModel(f.train, ModelOptions{Bins: bins, Train: f.tcfg})
+		if err != nil {
+			panic(err)
+		}
+		f.model = m
+		fix = f
+	})
+	if fix == nil {
+		t.Fatal("fixture failed to initialize")
+	}
+	return fix
+}
+
+func TestTrainArrivalCapturesDiurnal(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Arrival
+	// Compare predicted rates at the planted afternoon peak vs pre-dawn
+	// trough on a weekday (day 1 of history).
+	day := 1 * trace.PeriodsPerDay
+	peak := m.Rate(day+15*trace.PeriodsPerHour, 1)
+	trough := m.Rate(day+3*trace.PeriodsPerHour, 1)
+	if peak <= trough {
+		t.Fatalf("arrival model missed diurnal pattern: peak %v trough %v", peak, trough)
+	}
+}
+
+func TestArrivalSampleCount(t *testing.T) {
+	f := getFixture(t)
+	g := rng.New(1)
+	var sum float64
+	n := 500
+	for i := 0; i < n; i++ {
+		sum += float64(f.model.Arrival.SampleCount(g, f.testW.Start))
+	}
+	mean := sum / float64(n)
+	if mean <= 0 || mean > 100 {
+		t.Fatalf("implausible mean sampled count %v", mean)
+	}
+}
+
+func TestArrivalVMKindCountsMore(t *testing.T) {
+	f := getFixture(t)
+	vmArr, err := TrainArrival(f.train, ArrivalOptions{Kind: VMArrivals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VM arrivals outnumber batch arrivals (batches contain >1 VM on
+	// average), so the fitted mean rate must be higher.
+	p := 1*trace.PeriodsPerDay + 14*trace.PeriodsPerHour
+	if vmArr.Rate(p, 0) <= f.model.Arrival.Rate(p, f.model.Arrival.HistoryDays-1) {
+		t.Fatalf("VM rate %v should exceed batch rate %v",
+			vmArr.Rate(p, 0), f.model.Arrival.Rate(p, f.model.Arrival.HistoryDays-1))
+	}
+}
+
+// TestFlavorLSTMBeatsBaselines is the Table 2 shape check: on held-out
+// data the LSTM should achieve lower NLL than Multinomial and lower
+// 1-best error than RepeatFlav.
+func TestFlavorLSTMBeatsBaselines(t *testing.T) {
+	f := getFixture(t)
+	toks := FlavorTokens(f.test)
+	if len(toks) < 200 {
+		t.Fatalf("test stream too short: %d", len(toks))
+	}
+	offset := f.testW.Start
+	lstm := EvaluateFlavor(NewLSTMFlavorPredictor(f.model.Flavor), toks, offset)
+	multi := EvaluateFlavor(NewMultinomialFlavor(f.train), toks, offset)
+	uni := EvaluateFlavor(&UniformFlavor{K: f.train.Flavors.K()}, toks, offset)
+	repeat := EvaluateFlavor(NewRepeatFlavor(f.train), toks, offset)
+
+	if math.Abs(uni.NLL-math.Log(17)) > 1e-9 {
+		t.Errorf("uniform NLL = %v, want ln17", uni.NLL)
+	}
+	if !(lstm.NLL < multi.NLL) {
+		t.Errorf("LSTM NLL %v should beat multinomial %v", lstm.NLL, multi.NLL)
+	}
+	if !(multi.NLL < uni.NLL) {
+		t.Errorf("multinomial NLL %v should beat uniform %v", multi.NLL, uni.NLL)
+	}
+	if !(lstm.OneBestErr < multi.OneBestErr) {
+		t.Errorf("LSTM 1-best %v should beat multinomial %v", lstm.OneBestErr, multi.OneBestErr)
+	}
+	if !(repeat.OneBestErr < multi.OneBestErr) {
+		t.Errorf("RepeatFlav 1-best %v should beat multinomial %v", repeat.OneBestErr, multi.OneBestErr)
+	}
+}
+
+// TestLifetimeLSTMBeatsBaselines is the Table 3 shape check.
+func TestLifetimeLSTMBeatsBaselines(t *testing.T) {
+	f := getFixture(t)
+	steps := LifetimeSteps(f.test, f.bins)
+	offset := f.testW.Start
+	lstm := EvaluateLifetime(NewLSTMLifetimePredictor(f.model.Lifetime), steps, f.bins, offset)
+	km := EvaluateLifetime(NewKMLifetime(f.train, f.bins), steps, f.bins, offset)
+	coin := EvaluateLifetime(&CoinFlipLifetime{J: f.bins.J()}, steps, f.bins, offset)
+	repeat := EvaluateLifetime(NewRepeatLifetime(f.train, f.bins), steps, f.bins, offset)
+
+	if math.Abs(coin.BCE-math.Log(2)) > 1e-9 {
+		t.Errorf("coin flip BCE = %v, want ln2", coin.BCE)
+	}
+	if !(km.BCE < coin.BCE) {
+		t.Errorf("KM BCE %v should beat coin flip %v", km.BCE, coin.BCE)
+	}
+	if !(lstm.BCE < km.BCE) {
+		t.Errorf("LSTM BCE %v should beat KM %v", lstm.BCE, km.BCE)
+	}
+	if !(lstm.OneBestErr < km.OneBestErr) {
+		t.Errorf("LSTM 1-best %v should beat KM %v", lstm.OneBestErr, km.OneBestErr)
+	}
+	if !(repeat.OneBestErr < km.OneBestErr) {
+		t.Errorf("RepeatLifetime 1-best %v should beat KM %v", repeat.OneBestErr, km.OneBestErr)
+	}
+}
+
+func TestGenerateValidAndPlausible(t *testing.T) {
+	f := getFixture(t)
+	g := rng.New(7)
+	gen := f.model.Generate(g, f.testW)
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Periods != f.testW.Periods() {
+		t.Fatalf("periods = %d", gen.Periods)
+	}
+	real := len(f.test.VMs)
+	got := len(gen.VMs)
+	if got < real/4 || got > real*4 {
+		t.Fatalf("generated %d VMs, actual window has %d", got, real)
+	}
+	// Generated traces should show intra-batch flavor momentum like the
+	// training data.
+	pb := gen.PeriodBatches()
+	var same, pairs int
+	for _, list := range pb {
+		for _, b := range list {
+			for i := 1; i < len(b.Indices); i++ {
+				pairs++
+				if gen.VMs[b.Indices[i]].Flavor == gen.VMs[b.Indices[i-1]].Flavor {
+					same++
+				}
+			}
+		}
+	}
+	if pairs > 50 && float64(same)/float64(pairs) < 0.5 {
+		t.Errorf("generated flavor momentum too weak: %v", float64(same)/float64(pairs))
+	}
+}
+
+func TestGenerateRateScale(t *testing.T) {
+	f := getFixture(t)
+	base := *f.model
+	base.RateScale = 1
+	scaled := *f.model
+	scaled.RateScale = 5
+	nBase := len(base.Generate(rng.New(3), f.testW).VMs)
+	nScaled := len(scaled.Generate(rng.New(3), f.testW).VMs)
+	ratio := float64(nScaled) / float64(nBase)
+	if ratio < 3 || ratio > 8 {
+		t.Fatalf("5x scale produced ratio %v (%d vs %d)", ratio, nScaled, nBase)
+	}
+}
+
+func TestNaiveGenerator(t *testing.T) {
+	f := getFixture(t)
+	naive, err := NewNaiveGenerator(f.train, f.bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := naive.Generate(rng.New(5), f.testW)
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.VMs) == 0 {
+		t.Fatal("no VMs")
+	}
+	// Naive VMs are singleton batches: every VM its own user.
+	for _, batches := range gen.PeriodBatches() {
+		for _, b := range batches {
+			if len(b.Indices) != 1 {
+				t.Fatal("naive batches must be singletons")
+			}
+		}
+	}
+	if naive.Name() != "Naive" {
+		t.Fatal("name")
+	}
+}
+
+func TestSimpleBatchGenerator(t *testing.T) {
+	f := getFixture(t)
+	sb, err := NewSimpleBatchGenerator(f.train, f.bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sb.Generate(rng.New(5), f.testW)
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.VMs) == 0 {
+		t.Fatal("no VMs")
+	}
+	// Every batch shares one flavor and one lifetime.
+	for _, batches := range gen.PeriodBatches() {
+		for _, b := range batches {
+			for _, idx := range b.Indices[1:] {
+				if gen.VMs[idx].Flavor != gen.VMs[b.Indices[0]].Flavor {
+					t.Fatal("SimpleBatch batch flavors must match")
+				}
+				if gen.VMs[idx].Duration != gen.VMs[b.Indices[0]].Duration {
+					t.Fatal("SimpleBatch batch lifetimes must match")
+				}
+			}
+		}
+	}
+}
+
+func TestTeacherForcedHazards(t *testing.T) {
+	f := getFixture(t)
+	steps := LifetimeSteps(f.test, f.bins)
+	if len(steps) > 50 {
+		steps = steps[:50]
+	}
+	hz := f.model.Lifetime.TeacherForcedHazards(steps, f.testW.Start)
+	if len(hz) != len(steps) {
+		t.Fatalf("got %d hazards", len(hz))
+	}
+	for i, h := range hz {
+		if len(h) != f.bins.J() {
+			t.Fatalf("hazard %d len %d", i, len(h))
+		}
+		for _, v := range h {
+			if v < 0 || v > 1 {
+				t.Fatalf("hazard out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestModelGeneratorDeterministicGivenSeed(t *testing.T) {
+	f := getFixture(t)
+	a := f.model.Generate(rng.New(11), f.testW)
+	b := f.model.Generate(rng.New(11), f.testW)
+	if len(a.VMs) != len(b.VMs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.VMs), len(b.VMs))
+	}
+	for i := range a.VMs {
+		if a.VMs[i] != b.VMs[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestWithCatalog(t *testing.T) {
+	f := getFixture(t)
+	gen := f.model.Generate(rng.New(1), f.testW)
+	re := WithCatalog(gen, f.full.Flavors)
+	if re.Flavors != f.full.Flavors {
+		t.Fatal("catalog not replaced")
+	}
+	if len(re.VMs) != len(gen.VMs) {
+		t.Fatal("VMs changed")
+	}
+}

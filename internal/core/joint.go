@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// JointModel is the §7 "single LSTM" alternative the paper considered
+// and rejected: one network controls the number of batches per period by
+// emitting a special end-of-period (EOP) token, instead of delegating
+// arrival counts to the stage-1 Poisson regression. The paper reports
+// generation was "exquisitely sensitive to the timely sampling of these
+// tokens"; this implementation exists to reproduce that observation
+// (see the JointVsStaged experiment/test) and as a baseline for the
+// ablation benches.
+type JointModel struct {
+	Net         *nn.LSTM
+	K           int // flavors; EOB = K, EOP = K+1
+	Temporal    features.Temporal
+	HistoryDays int
+	// MaxJobsPerPeriod caps runaway generation; zero means 2000.
+	MaxJobsPerPeriod int
+}
+
+// jointEOB and jointEOP return the special token indices.
+func (m *JointModel) jointEOB() int { return m.K }
+func (m *JointModel) jointEOP() int { return m.K + 1 }
+
+// jointTokens serializes a trace including one EOP token per period
+// (also for empty periods, which become a bare EOP).
+func jointTokens(tr *trace.Trace) []FlavorToken {
+	eob := EOBToken(tr.Flavors.K())
+	eop := tr.Flavors.K() + 1
+	pb := tr.PeriodBatches()
+	var out []FlavorToken
+	for p, batches := range pb {
+		for _, b := range batches {
+			for _, idx := range b.Indices {
+				out = append(out, FlavorToken{Period: p, Token: tr.VMs[idx].Flavor})
+			}
+			out = append(out, FlavorToken{Period: p, Token: eob})
+		}
+		out = append(out, FlavorToken{Period: p, Token: eop})
+	}
+	return out
+}
+
+func (m *JointModel) inputDim() int {
+	return (m.K + 2) + m.Temporal.Dim()
+}
+
+func (m *JointModel) encodeInput(dst []float64, prevToken, period, dohDay int) {
+	features.OneHot(dst[:m.K+2], prevToken)
+	m.Temporal.Encode(dst[m.K+2:], period, dohDay)
+}
+
+// TrainJoint trains the single-LSTM alternative with the same stateful
+// truncated-BPTT recipe as the staged flavor model.
+func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
+	cfg = cfg.withDefaults()
+	k := tr.Flavors.K()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &JointModel{
+		K:           k,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		HistoryDays: historyDays,
+	}
+	toks := jointTokens(tr)
+	inDim := m.inputDim()
+	m.Net = nn.NewLSTM(nn.Config{
+		InputDim:  inDim,
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: k + 2,
+	}, rng.New(cfg.Seed+20))
+	if len(toks) == 0 {
+		return m
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = cfg.ClipNorm
+	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
+	eop := m.jointEOP()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.stepLR(epoch)
+		st := m.Net.NewState(plan.batch)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			xs := make([]*mat.Dense, wl)
+			targets := make([][]int, wl)
+			valids := make([][]bool, wl)
+			var batchSteps int
+			for s := 0; s < wl; s++ {
+				x := mat.NewDense(plan.batch, inDim)
+				tg := make([]int, plan.batch)
+				vd := make([]bool, plan.batch)
+				for row := 0; row < plan.batch; row++ {
+					t, ok := plan.step(row, w, s)
+					if !ok {
+						continue
+					}
+					prev := eop
+					if t > 0 {
+						prev = toks[t-1].Token
+					}
+					day := trace.DayOfHistory(toks[t].Period)
+					m.encodeInput(x.Row(row), prev, toks[t].Period, day)
+					tg[row] = toks[t].Token
+					vd[row] = true
+					batchSteps++
+				}
+				xs[s] = x
+				targets[s] = tg
+				valids[s] = vd
+			}
+			m.Net.ZeroGrads()
+			ys, cache := m.Net.Forward(xs, st)
+			dys := make([]*mat.Dense, wl)
+			for s, y := range ys {
+				_, d, _ := nn.SoftmaxCE(y, targets[s], valids[s])
+				dys[s] = d
+			}
+			if batchSteps == 0 {
+				continue
+			}
+			norm := 1 / float64(batchSteps)
+			for _, d := range dys {
+				mat.Scale(norm, d.Data)
+			}
+			m.Net.Backward(cache, dys)
+			opt.Step(m.Net.Params())
+		}
+	}
+	return m
+}
+
+// GenerateCounts free-runs the joint model over a window and returns the
+// number of batches it generates in each period — the quantity whose
+// realism the paper found hard to control via EOP tokens. Flavor output
+// is discarded; this isolates the arrival-process comparison against the
+// staged model's Poisson regression.
+func (m *JointModel) GenerateCounts(g *rng.RNG, w trace.Window, doh features.DOHSampler) []int {
+	maxJobs := m.MaxJobsPerPeriod
+	if maxJobs == 0 {
+		maxJobs = 2000
+	}
+	counts := make([]int, w.Periods())
+	st := m.Net.NewState(1)
+	input := make([]float64, m.inputDim())
+	prev := m.jointEOP()
+	doh.HistoryDays = m.HistoryDays
+	dohDay := doh.Sample(g)
+	curDay := -1
+	for p := w.Start; p < w.End; p++ {
+		if d := trace.DayOfHistory(p); d != curDay {
+			curDay = d
+			dohDay = doh.Sample(g)
+		}
+		jobs, batches := 0, 0
+		for {
+			m.encodeInput(input, prev, p, dohDay)
+			probs := nn.Softmax(m.Net.StepForward(input, st))
+			tok := g.Categorical(probs)
+			if jobs >= maxJobs {
+				tok = m.jointEOP()
+			}
+			prev = tok
+			if tok == m.jointEOP() {
+				break
+			}
+			if tok == m.jointEOB() {
+				batches++
+			} else {
+				jobs++
+			}
+		}
+		counts[p-w.Start] = batches
+	}
+	return counts
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+// LifetimeModel is the stage-3 LSTM (§2.3): at each step (job) it emits
+// J logits that parameterize the discrete hazard over lifetime bins via
+// the logistic function. It is the paper's key contribution — an
+// inter-case recurrent survival model with censoring-aware training.
+type LifetimeModel struct {
+	Net         *nn.LSTM
+	Bins        survival.Bins
+	K           int
+	Temporal    features.Temporal
+	LifeFeat    features.LifetimeFeatures
+	HistoryDays int
+}
+
+// lifetimeInputDim: temporal + current flavor one-hot + batch-size
+// scalar + previous-lifetime features (survival encoding + termination
+// indicators).
+func lifetimeInputDim(k int, temporal features.Temporal, lf features.LifetimeFeatures) int {
+	return temporal.Dim() + k + 1 + lf.Dim()
+}
+
+// encodeLifetimeInput writes the step input for a job. prevBin < 0
+// encodes "no previous job".
+func (m *LifetimeModel) encodeLifetimeInput(dst []float64, step LifetimeStep, dohDay, prevBin int, prevCensored bool) {
+	encodeLifetimeInputInto(dst, m.K, m.Temporal, m.LifeFeat, step, dohDay, prevBin, prevCensored)
+}
+
+// encodeLifetimeInputInto is the receiver-free form shared by the hazard
+// and PMF lifetime heads.
+func encodeLifetimeInputInto(dst []float64, k int, temporal features.Temporal, lf features.LifetimeFeatures, step LifetimeStep, dohDay, prevBin int, prevCensored bool) {
+	td := temporal.Dim()
+	temporal.Encode(dst[:td], step.Period, dohDay)
+	features.OneHot(dst[td:td+k], step.Flavor)
+	dst[td+k] = math.Log1p(float64(step.BatchSize))
+	lf.Encode(dst[td+k+1:], prevBin, prevCensored)
+}
+
+// lifetimeTargets fills the per-bin targets and mask for one observed
+// step (§2.3.2): an uncensored job in bin k is a hazard event at k after
+// surviving bins < k (mask 0..k); a job censored in bin c only certifies
+// survival of bins < c (mask 0..c-1, all-zero targets).
+func lifetimeTargets(target, mask []float64, step LifetimeStep) {
+	for j := range target {
+		target[j], mask[j] = 0, 0
+	}
+	if step.Censored {
+		for j := 0; j < step.Bin; j++ {
+			mask[j] = 1
+		}
+		return
+	}
+	for j := 0; j <= step.Bin; j++ {
+		mask[j] = 1
+	}
+	target[step.Bin] = 1
+}
+
+// TrainLifetime trains the hazard LSTM on the training trace by teacher
+// forcing over the job sequence, minimizing the masked BCE-with-logits
+// loss (§2.3.2, §4.1).
+func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *LifetimeModel {
+	cfg = cfg.withDefaults()
+	k := tr.Flavors.K()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &LifetimeModel{
+		Bins:        bins,
+		K:           k,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		LifeFeat:    features.LifetimeFeatures{Bins: bins.J()},
+		HistoryDays: historyDays,
+	}
+	steps := LifetimeSteps(tr, bins)
+	inDim := lifetimeInputDim(k, m.Temporal, m.LifeFeat)
+	m.Net = nn.NewLSTM(nn.Config{
+		InputDim:  inDim,
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: bins.J(),
+	}, rng.New(cfg.Seed+1))
+	if len(steps) == 0 {
+		return m
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = cfg.ClipNorm
+	plan := newSegmentPlan(len(steps), cfg.SeqLen, cfg.BatchSize)
+	j := bins.J()
+	var devSteps []LifetimeStep
+	if cfg.Dev != nil {
+		devSteps = LifetimeSteps(cfg.Dev, bins)
+	}
+	bestDev := math.Inf(1)
+	var bestSnap []byte
+	checkDev := func() {
+		if len(devSteps) == 0 {
+			return
+		}
+		ev := EvaluateLifetime(NewLSTMLifetimePredictor(m), devSteps, bins, cfg.DevOffset)
+		if ev.BCE < bestDev {
+			bestDev = ev.BCE
+			if snap, err := m.Net.MarshalBinary(); err == nil {
+				bestSnap = snap
+			}
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.stepLR(epoch)
+		var totalLoss float64
+		var totalOutputs int
+		// Stateful truncated BPTT (see TrainFlavor).
+		st := m.Net.NewState(plan.batch)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			xs := make([]*mat.Dense, wl)
+			targets := make([]*mat.Dense, wl)
+			masks := make([]*mat.Dense, wl)
+			for s := 0; s < wl; s++ {
+				x := mat.NewDense(plan.batch, inDim)
+				tg := mat.NewDense(plan.batch, j)
+				mk := mat.NewDense(plan.batch, j)
+				for row := 0; row < plan.batch; row++ {
+					t, ok := plan.step(row, w, s)
+					if !ok {
+						continue // zero mask: no loss
+					}
+					prevBin, prevCens := -1, false
+					if t > 0 {
+						prevBin, prevCens = steps[t-1].Bin, steps[t-1].Censored
+					}
+					day := trace.DayOfHistory(steps[t].Period)
+					m.encodeLifetimeInput(x.Row(row), steps[t], day, prevBin, prevCens)
+					lifetimeTargets(tg.Row(row), mk.Row(row), steps[t])
+				}
+				xs[s] = x
+				targets[s] = tg
+				masks[s] = mk
+			}
+			m.Net.ZeroGrads()
+			ys, cache := m.Net.Forward(xs, st)
+			dys := make([]*mat.Dense, wl)
+			var batchOutputs int
+			for s, y := range ys {
+				l, d, n := nn.MaskedBCEWithLogits(y, targets[s], masks[s])
+				totalLoss += l
+				totalOutputs += n
+				batchOutputs += n
+				dys[s] = d
+			}
+			if batchOutputs == 0 {
+				continue
+			}
+			norm := 1 / float64(batchOutputs)
+			for _, d := range dys {
+				mat.Scale(norm, d.Data)
+			}
+			m.Net.Backward(cache, dys)
+			opt.Step(m.Net.Params())
+		}
+		if cfg.Progress != nil && totalOutputs > 0 {
+			cfg.Progress(epoch, totalLoss/float64(totalOutputs))
+		}
+		if (epoch+1)%cfg.DevEvery == 0 || epoch == cfg.Epochs-1 {
+			checkDev()
+		}
+	}
+	if bestSnap != nil {
+		if err := m.Net.UnmarshalBinary(bestSnap); err != nil {
+			panic(fmt.Sprintf("core: restore best lifetime snapshot: %v", err))
+		}
+	}
+	return m
+}
+
+// lifetimeState is the streaming decoder state for generation and
+// teacher-forced evaluation.
+type lifetimeState struct {
+	m        *LifetimeModel
+	st       *nn.State
+	prevBin  int
+	prevCens bool
+	input    []float64
+}
+
+// newLifetimeState returns a fresh state with no previous job.
+func (m *LifetimeModel) newLifetimeState() *lifetimeState {
+	return &lifetimeState{
+		m:       m,
+		st:      m.Net.NewState(1),
+		prevBin: -1,
+		input:   make([]float64, lifetimeInputDim(m.K, m.Temporal, m.LifeFeat)),
+	}
+}
+
+// hazard advances the LSTM one step and returns the per-bin hazard
+// probabilities for the given job.
+func (s *lifetimeState) hazard(step LifetimeStep, dohDay int) []float64 {
+	s.m.encodeLifetimeInput(s.input, step, dohDay, s.prevBin, s.prevCens)
+	logits := s.m.Net.StepForward(s.input, s.st)
+	return nn.Sigmoid(logits)
+}
+
+// observe records the realized (or sampled) lifetime bin of the job just
+// scored.
+func (s *lifetimeState) observe(bin int, censored bool) {
+	s.prevBin, s.prevCens = bin, censored
+}

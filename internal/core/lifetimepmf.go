@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+// PMFLifetimeModel parameterizes the lifetime PMF with a softmax instead
+// of the per-bin hazard logistic — the alternative §2.3.1 discusses
+// (Kvamme & Borgan found the hazard form "slightly better"; the
+// PMFvsHazard experiment reproduces the comparison). The censored-data
+// likelihood under a PMF head is the tail mass Σ_{j>=c} f(j).
+type PMFLifetimeModel struct {
+	Net         *nn.LSTM
+	Bins        survival.Bins
+	K           int
+	Temporal    features.Temporal
+	LifeFeat    features.LifetimeFeatures
+	HistoryDays int
+}
+
+// pmfLoss computes the negative log-likelihood and dLogits for one
+// step's softmax logits under the discrete-time survival likelihood:
+// -log f(k) for an event in bin k, -log Σ_{j>=c} f(j) for censoring at
+// bin c. Returns the loss (0 and nil gradient contribution if the
+// censored tail is the whole distribution, which carries no
+// information).
+func pmfLoss(logits []float64, step LifetimeStep, dLogits []float64) float64 {
+	probs := nn.Softmax(logits)
+	if !step.Censored {
+		k := step.Bin
+		for j, p := range probs {
+			ind := 0.0
+			if j == k {
+				ind = 1
+			}
+			dLogits[j] = p - ind
+		}
+		return -math.Log(math.Max(probs[k], 1e-300))
+	}
+	if step.Bin == 0 {
+		// Censored before surviving any full bin: no information.
+		for j := range dLogits {
+			dLogits[j] = 0
+		}
+		return 0
+	}
+	var tail float64
+	for j := step.Bin; j < len(probs); j++ {
+		tail += probs[j]
+	}
+	tail = math.Max(tail, 1e-300)
+	// d/dz_j of -log Σ_{i>=c} p_i = p_j - p_j·1[j>=c]/tail.
+	for j, p := range probs {
+		in := 0.0
+		if j >= step.Bin {
+			in = 1
+		}
+		dLogits[j] = p - p*in/tail
+	}
+	return -math.Log(tail)
+}
+
+// TrainLifetimePMF trains the PMF-head lifetime model with the same
+// stateful-BPTT recipe as the hazard model.
+func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMFLifetimeModel {
+	cfg = cfg.withDefaults()
+	k := tr.Flavors.K()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	m := &PMFLifetimeModel{
+		Bins:        bins,
+		K:           k,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		LifeFeat:    features.LifetimeFeatures{Bins: bins.J()},
+		HistoryDays: historyDays,
+	}
+	steps := LifetimeSteps(tr, bins)
+	inDim := lifetimeInputDim(k, m.Temporal, m.LifeFeat)
+	m.Net = nn.NewLSTM(nn.Config{
+		InputDim:  inDim,
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: bins.J(),
+	}, rng.New(cfg.Seed+50))
+	if len(steps) == 0 {
+		return m
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = cfg.ClipNorm
+	plan := newSegmentPlan(len(steps), cfg.SeqLen, cfg.BatchSize)
+	j := bins.J()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.stepLR(epoch)
+		st := m.Net.NewState(plan.batch)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			xs := make([]*mat.Dense, wl)
+			stepAt := make([][]*LifetimeStep, wl)
+			for s := 0; s < wl; s++ {
+				x := mat.NewDense(plan.batch, inDim)
+				rows := make([]*LifetimeStep, plan.batch)
+				for row := 0; row < plan.batch; row++ {
+					t, ok := plan.step(row, w, s)
+					if !ok {
+						continue
+					}
+					prevBin, prevCens := -1, false
+					if t > 0 {
+						prevBin, prevCens = steps[t-1].Bin, steps[t-1].Censored
+					}
+					day := trace.DayOfHistory(steps[t].Period)
+					encodeLifetimeInputInto(x.Row(row), k, m.Temporal, m.LifeFeat, steps[t], day, prevBin, prevCens)
+					rows[row] = &steps[t]
+				}
+				xs[s] = x
+				stepAt[s] = rows
+			}
+			m.Net.ZeroGrads()
+			ys, cache := m.Net.Forward(xs, st)
+			dys := make([]*mat.Dense, wl)
+			var nSteps int
+			for s, y := range ys {
+				d := mat.NewDense(plan.batch, j)
+				for row := 0; row < plan.batch; row++ {
+					if stepAt[s][row] == nil {
+						continue
+					}
+					pmfLoss(y.Row(row), *stepAt[s][row], d.Row(row))
+					nSteps++
+				}
+				dys[s] = d
+			}
+			if nSteps == 0 {
+				continue
+			}
+			norm := 1 / float64(nSteps)
+			for _, d := range dys {
+				mat.Scale(norm, d.Data)
+			}
+			m.Net.Backward(cache, dys)
+			opt.Step(m.Net.Params())
+		}
+	}
+	return m
+}
+
+// PMFLifetimePredictor adapts the PMF model to the LifetimePredictor
+// interface: the softmax PMF is converted to a hazard so both heads are
+// scored with the same BCE machinery.
+type PMFLifetimePredictor struct {
+	m        *PMFLifetimeModel
+	st       *nn.State
+	prevBin  int
+	prevCens bool
+	input    []float64
+}
+
+// NewPMFLifetimePredictor wraps m.
+func NewPMFLifetimePredictor(m *PMFLifetimeModel) *PMFLifetimePredictor {
+	p := &PMFLifetimePredictor{m: m}
+	p.Reset()
+	return p
+}
+
+// Name implements LifetimePredictor.
+func (p *PMFLifetimePredictor) Name() string { return "LSTM (PMF head)" }
+
+// Reset implements LifetimePredictor.
+func (p *PMFLifetimePredictor) Reset() {
+	p.st = p.m.Net.NewState(1)
+	p.prevBin = -1
+	p.prevCens = false
+	p.input = make([]float64, lifetimeInputDim(p.m.K, p.m.Temporal, p.m.LifeFeat))
+}
+
+// Hazard implements LifetimePredictor.
+func (p *PMFLifetimePredictor) Hazard(step LifetimeStep, absPeriod int) []float64 {
+	local := step
+	local.Period = absPeriod
+	encodeLifetimeInputInto(p.input, p.m.K, p.m.Temporal, p.m.LifeFeat,
+		local, trace.DayOfHistory(absPeriod), p.prevBin, p.prevCens)
+	logits := p.m.Net.StepForward(p.input, p.st)
+	return survival.PMFToHazard(nn.Softmax(logits))
+}
+
+// PredictBin implements LifetimePredictor.
+func (p *PMFLifetimePredictor) PredictBin(LifetimeStep) int { return 0 }
+
+// Observe implements LifetimePredictor.
+func (p *PMFLifetimePredictor) Observe(step LifetimeStep) {
+	p.prevBin, p.prevCens = step.Bin, step.Censored
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+// ResourceModel implements the §2.2.3 "Beyond Flavors" extension: rather
+// than a single softmax over an enumerated flavor catalog, resources are
+// generated dimension-by-dimension — a softmax over discretized CPU
+// values, then a separate softmax over memory values conditioned on the
+// generated CPU (the PixelRNN-style factorization the paper describes).
+// This handles workloads (e.g. HPC) where jobs request arbitrary
+// CPU/memory combinations that no fixed catalog covers.
+type ResourceModel struct {
+	CPUNet *nn.LSTM // over C cpu classes + EOB
+	MemNet *nn.LSTM // over M memory classes, conditioned on current CPU
+
+	CPUVals []float64 // sorted distinct CPU values (class i -> value)
+	MemVals []float64 // sorted distinct memory values
+
+	Temporal    features.Temporal
+	HistoryDays int
+}
+
+// resourceClasses extracts the sorted distinct CPU and memory values
+// from a catalog.
+func resourceClasses(fs *trace.FlavorSet) (cpus, mems []float64) {
+	cpuSet := map[float64]bool{}
+	memSet := map[float64]bool{}
+	for _, d := range fs.Defs {
+		cpuSet[d.CPU] = true
+		memSet[d.MemGB] = true
+	}
+	for v := range cpuSet {
+		cpus = append(cpus, v)
+	}
+	for v := range memSet {
+		mems = append(mems, v)
+	}
+	sort.Float64s(cpus)
+	sort.Float64s(mems)
+	return cpus, mems
+}
+
+// classIndex returns the index of v in sorted vals (nearest match, so
+// values outside the training catalog snap to the closest class).
+func classIndex(vals []float64, v float64) int {
+	i := sort.SearchFloat64s(vals, v)
+	if i >= len(vals) {
+		return len(vals) - 1
+	}
+	if i > 0 && v-vals[i-1] < vals[i]-v {
+		return i - 1
+	}
+	return i
+}
+
+// cpuEOB returns the end-of-batch class index for the CPU head.
+func (m *ResourceModel) cpuEOB() int { return len(m.CPUVals) }
+
+// resourceInputDims: CPU head sees previous (cpu,mem) classes (with EOB
+// in the CPU block) plus temporal features; the memory head additionally
+// sees the current CPU class.
+func (m *ResourceModel) cpuInputDim() int {
+	return (len(m.CPUVals) + 1) + len(m.MemVals) + m.Temporal.Dim()
+}
+
+func (m *ResourceModel) memInputDim() int {
+	return len(m.CPUVals) + (len(m.CPUVals) + 1) + len(m.MemVals) + m.Temporal.Dim()
+}
+
+// encodeCPUInput builds the CPU head's step input. prevCPU is a class
+// index or cpuEOB(); prevMem < 0 encodes "previous token was EOB".
+func (m *ResourceModel) encodeCPUInput(dst []float64, prevCPU, prevMem, period, dohDay int) {
+	nc := len(m.CPUVals) + 1
+	features.OneHot(dst[:nc], prevCPU)
+	memBlock := dst[nc : nc+len(m.MemVals)]
+	for i := range memBlock {
+		memBlock[i] = 0
+	}
+	if prevMem >= 0 {
+		features.OneHot(memBlock, prevMem)
+	}
+	m.Temporal.Encode(dst[nc+len(m.MemVals):], period, dohDay)
+}
+
+// encodeMemInput builds the memory head's step input: the current CPU
+// class plus the previous job's classes and temporal features.
+func (m *ResourceModel) encodeMemInput(dst []float64, curCPU, prevCPU, prevMem, period, dohDay int) {
+	features.OneHot(dst[:len(m.CPUVals)], curCPU)
+	m.encodeCPUInput(dst[len(m.CPUVals):], prevCPU, prevMem, period, dohDay)
+}
+
+// resourceToken is one step of the factorized resource sequence.
+type resourceToken struct {
+	period   int
+	eob      bool
+	cpuClass int
+	memClass int
+}
+
+// resourceTokens serializes a trace into the factorized token stream.
+func (m *ResourceModel) resourceTokens(tr *trace.Trace) []resourceToken {
+	var out []resourceToken
+	for p, batches := range tr.PeriodBatches() {
+		for _, b := range batches {
+			for _, idx := range b.Indices {
+				def := tr.Flavors.Defs[tr.VMs[idx].Flavor]
+				out = append(out, resourceToken{
+					period:   p,
+					cpuClass: classIndex(m.CPUVals, def.CPU),
+					memClass: classIndex(m.MemVals, def.MemGB),
+				})
+			}
+			out = append(out, resourceToken{period: p, eob: true})
+		}
+	}
+	return out
+}
+
+// TrainResource trains the factorized resource model on a trace.
+func TrainResource(tr *trace.Trace, cfg TrainConfig) *ResourceModel {
+	cfg = cfg.withDefaults()
+	historyDays := int(tr.Days() + 0.999)
+	if historyDays < 1 {
+		historyDays = 1
+	}
+	cpus, mems := resourceClasses(tr.Flavors)
+	m := &ResourceModel{
+		CPUVals:     cpus,
+		MemVals:     mems,
+		Temporal:    features.Temporal{HistoryDays: historyDays},
+		HistoryDays: historyDays,
+	}
+	m.CPUNet = nn.NewLSTM(nn.Config{
+		InputDim:  m.cpuInputDim(),
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: len(cpus) + 1,
+	}, rng.New(cfg.Seed+10))
+	m.MemNet = nn.NewLSTM(nn.Config{
+		InputDim:  m.memInputDim(),
+		HiddenDim: cfg.Hidden,
+		Layers:    cfg.Layers,
+		OutputDim: len(mems),
+	}, rng.New(cfg.Seed+11))
+	toks := m.resourceTokens(tr)
+	if len(toks) == 0 {
+		return m
+	}
+	m.trainHead(toks, cfg, true)
+	m.trainHead(toks, cfg, false)
+	return m
+}
+
+// trainHead runs stateful truncated BPTT for one of the two heads. The
+// memory head is trained only on non-EOB steps (its step sequence skips
+// EOB tokens, matching generation, where memory is sampled only after a
+// CPU class).
+func (m *ResourceModel) trainHead(toks []resourceToken, cfg TrainConfig, cpuHead bool) {
+	net := m.CPUNet
+	inDim := m.cpuInputDim()
+	steps := toks
+	if !cpuHead {
+		net = m.MemNet
+		inDim = m.memInputDim()
+		steps = make([]resourceToken, 0, len(toks))
+		for _, tk := range toks {
+			if !tk.eob {
+				steps = append(steps, tk)
+			}
+		}
+		if len(steps) == 0 {
+			return
+		}
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = cfg.ClipNorm
+	plan := newSegmentPlan(len(steps), cfg.SeqLen, cfg.BatchSize)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.stepLR(epoch)
+		st := net.NewState(plan.batch)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			xs := make([]*mat.Dense, wl)
+			targets := make([][]int, wl)
+			valids := make([][]bool, wl)
+			var batchSteps int
+			for s := 0; s < wl; s++ {
+				x := mat.NewDense(plan.batch, inDim)
+				tg := make([]int, plan.batch)
+				vd := make([]bool, plan.batch)
+				for row := 0; row < plan.batch; row++ {
+					t, ok := plan.step(row, w, s)
+					if !ok {
+						continue
+					}
+					prevCPU, prevMem := m.cpuEOB(), -1
+					if t > 0 && !steps[t-1].eob {
+						prevCPU, prevMem = steps[t-1].cpuClass, steps[t-1].memClass
+					}
+					day := trace.DayOfHistory(steps[t].period)
+					if cpuHead {
+						m.encodeCPUInput(x.Row(row), prevCPU, prevMem, steps[t].period, day)
+						if steps[t].eob {
+							tg[row] = m.cpuEOB()
+						} else {
+							tg[row] = steps[t].cpuClass
+						}
+					} else {
+						m.encodeMemInput(x.Row(row), steps[t].cpuClass, prevCPU, prevMem, steps[t].period, day)
+						tg[row] = steps[t].memClass
+					}
+					vd[row] = true
+					batchSteps++
+				}
+				xs[s] = x
+				targets[s] = tg
+				valids[s] = vd
+			}
+			net.ZeroGrads()
+			ys, cache := net.Forward(xs, st)
+			dys := make([]*mat.Dense, wl)
+			for s, y := range ys {
+				_, d, _ := nn.SoftmaxCE(y, targets[s], valids[s])
+				dys[s] = d
+			}
+			if batchSteps == 0 {
+				continue
+			}
+			norm := 1 / float64(batchSteps)
+			for _, d := range dys {
+				mat.Scale(norm, d.Data)
+			}
+			net.Backward(cache, dys)
+			opt.Step(net.Params())
+		}
+	}
+}
+
+// GeneratedResource is one sampled (CPU, MemGB) pair or an end-of-batch
+// marker.
+type GeneratedResource struct {
+	EOB   bool
+	CPU   float64
+	MemGB float64
+}
+
+// resourceState is the streaming decoder for generation.
+type resourceState struct {
+	m                *ResourceModel
+	cpuSt, memSt     *nn.State
+	prevCPU, prevMem int
+	cpuIn, memIn     []float64
+}
+
+// NewResourceState returns a fresh generation state.
+func (m *ResourceModel) NewResourceState() *resourceState {
+	return &resourceState{
+		m:       m,
+		cpuSt:   m.CPUNet.NewState(1),
+		memSt:   m.MemNet.NewState(1),
+		prevCPU: m.cpuEOB(),
+		prevMem: -1,
+		cpuIn:   make([]float64, m.cpuInputDim()),
+		memIn:   make([]float64, m.memInputDim()),
+	}
+}
+
+// Next samples the next resource token: first the CPU class (or EOB),
+// then — only for non-EOB — the memory class conditioned on the CPU.
+func (s *resourceState) Next(g *rng.RNG, period, dohDay int) GeneratedResource {
+	m := s.m
+	m.encodeCPUInput(s.cpuIn, s.prevCPU, s.prevMem, period, dohDay)
+	cpuProbs := nn.Softmax(m.CPUNet.StepForward(s.cpuIn, s.cpuSt))
+	cpuClass := g.Categorical(cpuProbs)
+	if cpuClass == m.cpuEOB() {
+		s.prevCPU, s.prevMem = m.cpuEOB(), -1
+		return GeneratedResource{EOB: true}
+	}
+	m.encodeMemInput(s.memIn, cpuClass, s.prevCPU, s.prevMem, period, dohDay)
+	memProbs := nn.Softmax(m.MemNet.StepForward(s.memIn, s.memSt))
+	memClass := g.Categorical(memProbs)
+	s.prevCPU, s.prevMem = cpuClass, memClass
+	return GeneratedResource{CPU: m.CPUVals[cpuClass], MemGB: m.MemVals[memClass]}
+}
+
+// NearestFlavor maps a generated (CPU, MemGB) pair to the closest
+// catalog flavor (Euclidean in normalized resource space), for emitting
+// catalog-typed traces from the factorized model.
+func NearestFlavor(fs *trace.FlavorSet, cpu, mem float64) int {
+	if fs.K() == 0 {
+		panic("core: NearestFlavor on empty catalog")
+	}
+	var maxCPU, maxMem float64
+	for _, d := range fs.Defs {
+		if d.CPU > maxCPU {
+			maxCPU = d.CPU
+		}
+		if d.MemGB > maxMem {
+			maxMem = d.MemGB
+		}
+	}
+	best, bestDist := 0, -1.0
+	for i, d := range fs.Defs {
+		dc := (d.CPU - cpu) / maxCPU
+		dm := (d.MemGB - mem) / maxMem
+		dist := dc*dc + dm*dm
+		if bestDist < 0 || dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+// FactorizedModel is the end-to-end generator variant that uses the
+// factorized CPU→memory resource model in place of the flavor LSTM
+// (§2.2.3 made operational). Generated (CPU, mem) pairs are mapped to
+// the nearest catalog flavor so downstream consumers (scheduler,
+// capacity) see ordinary traces.
+type FactorizedModel struct {
+	Arrival  *ArrivalModel
+	Resource *ResourceModel
+	Lifetime *LifetimeModel
+	Catalog  *trace.FlavorSet
+	Interp   survival.Interpolation
+	// MaxJobsPerPeriod caps runaway sequences; zero means 2000.
+	MaxJobsPerPeriod int
+}
+
+// Name implements Generator.
+func (m *FactorizedModel) Name() string { return "LSTM (factorized resources)" }
+
+// Generate implements Generator with the same three-stage loop as
+// Model.Generate, the resource stage sampling CPU then memory.
+func (m *FactorizedModel) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
+	maxJobs := m.MaxJobsPerPeriod
+	if maxJobs == 0 {
+		maxJobs = 2000
+	}
+	out := &trace.Trace{Flavors: m.Catalog, Periods: w.Periods()}
+	rs := m.Resource.NewResourceState()
+	ls := m.Lifetime.newLifetimeState()
+	nextUser, id := 0, 0
+	dohDay := m.Arrival.DOH.Sample(g)
+	curDay := -1
+	for p := w.Start; p < w.End; p++ {
+		if d := trace.DayOfHistory(p); d != curDay {
+			curDay = d
+			dohDay = m.Arrival.DOH.Sample(g)
+		}
+		nBatches := g.Poisson(m.Arrival.Rate(p, dohDay))
+		if nBatches == 0 {
+			continue
+		}
+		type pendingBatch struct {
+			user    int
+			flavors []int
+		}
+		var batches []pendingBatch
+		cur := pendingBatch{user: nextUser}
+		nextUser++
+		jobs, eobCount := 0, 0
+		for eobCount < nBatches {
+			var res GeneratedResource
+			if jobs >= maxJobs {
+				res = GeneratedResource{EOB: true}
+			} else {
+				res = rs.Next(g, p, dohDay)
+			}
+			if !res.EOB {
+				cur.flavors = append(cur.flavors, NearestFlavor(m.Catalog, res.CPU, res.MemGB))
+				jobs++
+				continue
+			}
+			eobCount++
+			if len(cur.flavors) > 0 {
+				batches = append(batches, cur)
+			}
+			cur = pendingBatch{user: nextUser}
+			nextUser++
+		}
+		for _, b := range batches {
+			for _, fl := range b.flavors {
+				step := LifetimeStep{Period: p, Flavor: fl, BatchSize: len(b.flavors)}
+				hz := ls.hazard(step, dohDay)
+				bin := survival.SampleBin(hz, g)
+				ls.observe(bin, false)
+				var dur float64
+				if m.Interp == survival.Stepped {
+					dur = m.Lifetime.Bins.Hi(bin)
+				} else {
+					dur = g.Uniform(m.Lifetime.Bins.Lo(bin), m.Lifetime.Bins.Hi(bin))
+				}
+				out.VMs = append(out.VMs, trace.VM{
+					ID: id, User: b.user, Flavor: fl, Start: p - w.Start, Duration: dur,
+				})
+				id++
+			}
+		}
+	}
+	return out
+}
+
+// ConditionalMemoryNLL evaluates the memory head's teacher-forced NLL on
+// a test trace — the metric that shows conditioning on CPU beats an
+// unconditional memory marginal when the catalog couples the dimensions.
+func (m *ResourceModel) ConditionalMemoryNLL(tr *trace.Trace, offset int) float64 {
+	toks := m.resourceTokens(tr)
+	st := m.NewResourceState()
+	var nll float64
+	var n int
+	for _, tk := range toks {
+		if tk.eob {
+			st.prevCPU, st.prevMem = m.cpuEOB(), -1
+			continue
+		}
+		abs := offset + tk.period
+		day := trace.DayOfHistory(abs)
+		m.encodeMemInput(st.memIn, tk.cpuClass, st.prevCPU, st.prevMem, abs, day)
+		probs := nn.Softmax(m.MemNet.StepForward(st.memIn, st.memSt))
+		p := probs[tk.memClass]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		nll += -math.Log(p)
+		n++
+		st.prevCPU, st.prevMem = tk.cpuClass, tk.memClass
+	}
+	if n == 0 {
+		return 0
+	}
+	return nll / float64(n)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+func TestResourceClasses(t *testing.T) {
+	f := getFixture(t)
+	cpus, mems := resourceClasses(f.train.Flavors)
+	if len(cpus) != 4 { // AzureLike catalog: 4 CPU sizes
+		t.Fatalf("cpu classes: %v", cpus)
+	}
+	for i := 1; i < len(cpus); i++ {
+		if cpus[i] <= cpus[i-1] {
+			t.Fatal("cpu classes not sorted")
+		}
+	}
+	if len(mems) == 0 {
+		t.Fatal("no mem classes")
+	}
+}
+
+func TestClassIndexNearest(t *testing.T) {
+	vals := []float64{1, 2, 4, 8}
+	cases := map[float64]int{0.5: 0, 1: 0, 1.4: 0, 1.6: 1, 3: 2 /* tie rounds up */, 3.5: 2, 8: 3, 99: 3}
+	for v, want := range cases {
+		if got := classIndex(vals, v); got != want {
+			t.Errorf("classIndex(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestNearestFlavor(t *testing.T) {
+	fs := &trace.FlavorSet{Defs: []trace.FlavorDef{
+		{Name: "a", CPU: 1, MemGB: 2},
+		{Name: "b", CPU: 8, MemGB: 64},
+	}}
+	if NearestFlavor(fs, 1.2, 3) != 0 {
+		t.Fatal("should map to small flavor")
+	}
+	if NearestFlavor(fs, 7, 50) != 1 {
+		t.Fatal("should map to large flavor")
+	}
+}
+
+func TestNearestFlavorEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NearestFlavor(&trace.FlavorSet{}, 1, 1)
+}
+
+// TestFactorizedModelGenerates exercises the factorized generator end to
+// end: valid trace, plausible volume, in-catalog flavors.
+func TestFactorizedModelGenerates(t *testing.T) {
+	f := getFixture(t)
+	cfg := f.tcfg
+	cfg.Epochs = 25
+	rm := TrainResource(f.train, cfg)
+	fm := &FactorizedModel{
+		Arrival:  f.model.Arrival,
+		Resource: rm,
+		Lifetime: f.model.Lifetime,
+		Catalog:  f.train.Flavors,
+		Interp:   survival.CDI,
+	}
+	gen := fm.Generate(rng.New(4), f.testW)
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	real := len(f.test.VMs)
+	if len(gen.VMs) < real/5 || len(gen.VMs) > real*5 {
+		t.Fatalf("generated %d VMs, actual window has %d", len(gen.VMs), real)
+	}
+	if fm.Name() == "" {
+		t.Fatal("name")
+	}
+	// The Generator interface is satisfied.
+	var _ Generator = fm
+}
+
+// TestResourceModelEndToEnd trains the factorized CPU→memory model and
+// checks: (1) generation produces valid in-catalog values and terminates
+// batches, (2) the conditional memory head beats the unconditional
+// memory marginal on held-out data — the point of the §2.2.3
+// factorization, since the catalog couples memory to CPU.
+func TestResourceModelEndToEnd(t *testing.T) {
+	f := getFixture(t)
+	cfg := f.tcfg
+	cfg.Epochs = 30
+	rm := TrainResource(f.train, cfg)
+
+	// (1) Generation sanity.
+	g := rng.New(3)
+	st := rm.NewResourceState()
+	var jobs, eobs int
+	cpuSet := map[float64]bool{}
+	for _, v := range rm.CPUVals {
+		cpuSet[v] = true
+	}
+	for i := 0; i < 500; i++ {
+		res := st.Next(g, f.testW.Start, rm.HistoryDays-1)
+		if res.EOB {
+			eobs++
+			continue
+		}
+		jobs++
+		if !cpuSet[res.CPU] {
+			t.Fatalf("generated CPU %v not a class", res.CPU)
+		}
+		if res.MemGB <= 0 {
+			t.Fatalf("generated mem %v", res.MemGB)
+		}
+	}
+	if eobs == 0 || jobs == 0 {
+		t.Fatalf("degenerate generation: %d jobs, %d EOBs", jobs, eobs)
+	}
+
+	// (2) Conditioning beats the marginal.
+	condNLL := rm.ConditionalMemoryNLL(f.test, f.testW.Start)
+	// Unconditional marginal over memory classes from training data.
+	_, mems := resourceClasses(f.train.Flavors)
+	counts := make([]float64, len(mems))
+	for i := range counts {
+		counts[i] = 1
+	}
+	var total float64
+	for _, vm := range f.train.VMs {
+		counts[classIndex(mems, f.train.Flavors.Defs[vm.Flavor].MemGB)]++
+	}
+	for _, c := range counts {
+		total += c
+	}
+	var margNLL float64
+	var n int
+	for _, vm := range f.test.VMs {
+		p := counts[classIndex(mems, f.test.Flavors.Defs[vm.Flavor].MemGB)] / total
+		margNLL += -math.Log(p)
+		n++
+	}
+	margNLL /= float64(n)
+	if !(condNLL < margNLL) {
+		t.Errorf("conditional memory NLL %v should beat marginal %v", condNLL, margNLL)
+	}
+}

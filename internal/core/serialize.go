@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/glm"
+	"repro/internal/nn"
+	"repro/internal/survival"
+)
+
+// MarshalBinary serializes a trained Model: all three stages plus the
+// metadata needed to rebuild the feature encoders. This is the artifact
+// a provider could release instead of a proprietary trace (§7).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	if m.Arrival == nil || m.Flavor == nil || m.Lifetime == nil {
+		return nil, fmt.Errorf("core: cannot marshal a partially initialized model")
+	}
+	fblob, err := m.Flavor.Net.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal flavor net: %w", err)
+	}
+	lblob, err := m.Lifetime.Net.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal lifetime net: %w", err)
+	}
+	snap := ModelSnapshot{
+		FlavorNet:    fblob,
+		LifetimeNet:  lblob,
+		K:            m.Flavor.K,
+		HistoryDays:  m.Flavor.HistoryDays,
+		BinEdges:     m.Lifetime.Bins.Edges,
+		ArrivalW:     m.Arrival.Reg.W,
+		ArrivalB:     m.Arrival.Reg.Intercept,
+		ArrivalKind:  int(m.Arrival.Kind),
+		ArrivalDOH:   int(m.Arrival.DOH.Mode),
+		ArrivalGeomP: m.Arrival.DOH.GeomP,
+		ArrivalUsed:  m.Arrival.UseDOH,
+		Interp:       int(m.Interp),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: marshal model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a Model serialized with MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var snap ModelSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("core: unmarshal model: %w", err)
+	}
+	var fnet, lnet nn.LSTM
+	if err := fnet.UnmarshalBinary(snap.FlavorNet); err != nil {
+		return fmt.Errorf("core: unmarshal flavor net: %w", err)
+	}
+	if err := lnet.UnmarshalBinary(snap.LifetimeNet); err != nil {
+		return fmt.Errorf("core: unmarshal lifetime net: %w", err)
+	}
+	bins := survival.Bins{Edges: snap.BinEdges}
+	temporal := features.Temporal{HistoryDays: snap.HistoryDays}
+	m.Flavor = &FlavorModel{
+		Net: &fnet, K: snap.K, Temporal: temporal, HistoryDays: snap.HistoryDays,
+	}
+	m.Lifetime = &LifetimeModel{
+		Net: &lnet, Bins: bins, K: snap.K, Temporal: temporal,
+		LifeFeat:    features.LifetimeFeatures{Bins: bins.J()},
+		HistoryDays: snap.HistoryDays,
+	}
+	m.Arrival = &ArrivalModel{
+		Reg:         &glm.PoissonRegression{W: snap.ArrivalW, Intercept: snap.ArrivalB},
+		Kind:        ArrivalKind(snap.ArrivalKind),
+		UseDOH:      snap.ArrivalUsed,
+		HistoryDays: snap.HistoryDays,
+		DOH: features.DOHSampler{
+			Mode:        features.DOHMode(snap.ArrivalDOH),
+			HistoryDays: snap.HistoryDays,
+			GeomP:       snap.ArrivalGeomP,
+		},
+	}
+	m.Interp = survival.Interpolation(snap.Interp)
+	return nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+func tinyTrace() *trace.Trace {
+	fs := &trace.FlavorSet{Defs: []trace.FlavorDef{
+		{Name: "a", CPU: 1, MemGB: 2},
+		{Name: "b", CPU: 2, MemGB: 4},
+	}}
+	return &trace.Trace{
+		Flavors: fs,
+		Periods: 4,
+		VMs: []trace.VM{
+			{ID: 0, User: 1, Flavor: 0, Start: 0, Duration: 100},
+			{ID: 1, User: 1, Flavor: 0, Start: 0, Duration: 120},
+			{ID: 2, User: 2, Flavor: 1, Start: 0, Duration: 90000},
+			{ID: 3, User: 3, Flavor: 1, Start: 2, Duration: 50, Censored: true},
+		},
+	}
+}
+
+func TestFlavorTokens(t *testing.T) {
+	toks := FlavorTokens(tinyTrace())
+	// Period 0: [0 0 EOB] [1 EOB]; period 2: [1 EOB].
+	want := []FlavorToken{
+		{0, 0}, {0, 0}, {0, 2},
+		{0, 1}, {0, 2},
+		{2, 1}, {2, 2},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want {
+		if toks[i] != w {
+			t.Fatalf("token %d = %+v, want %+v", i, toks[i], w)
+		}
+	}
+}
+
+func TestEOBToken(t *testing.T) {
+	if EOBToken(16) != 16 {
+		t.Fatal("EOB token should be K")
+	}
+}
+
+func TestLifetimeSteps(t *testing.T) {
+	bins := survival.PaperBins()
+	steps := LifetimeSteps(tinyTrace(), bins)
+	if len(steps) != 4 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	if !steps[0].FirstInBatch || steps[1].FirstInBatch || !steps[2].FirstInBatch {
+		t.Fatal("FirstInBatch flags wrong")
+	}
+	if steps[0].BatchSize != 2 || steps[2].BatchSize != 1 {
+		t.Fatalf("batch sizes wrong: %+v", steps)
+	}
+	if steps[0].Bin != bins.Index(100) {
+		t.Fatalf("bin wrong: %d", steps[0].Bin)
+	}
+	if !steps[3].Censored {
+		t.Fatal("censor flag lost")
+	}
+	if steps[3].Period != 2 {
+		t.Fatalf("period wrong: %d", steps[3].Period)
+	}
+}
+
+func TestSegmentPlanCoversEveryStepOnce(t *testing.T) {
+	for _, tc := range []struct{ total, seqLen, batch int }{
+		{10, 4, 2}, {100, 7, 3}, {5, 10, 8}, {1, 1, 1}, {64, 64, 1},
+	} {
+		plan := newSegmentPlan(tc.total, tc.seqLen, tc.batch)
+		seen := make([]int, tc.total)
+		for w := 0; w < plan.windows; w++ {
+			wl := plan.windowLen(w)
+			if wl > tc.seqLen {
+				t.Fatalf("window %d too long: %d", w, wl)
+			}
+			for s := 0; s < wl; s++ {
+				for b := 0; b < plan.batch; b++ {
+					if t2, ok := plan.step(b, w, s); ok {
+						seen[t2]++
+					}
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("%+v: step %d covered %d times", tc, i, c)
+			}
+		}
+	}
+}
+
+func TestSegmentPlanContiguity(t *testing.T) {
+	// Within a segment row, successive (window, step) positions must map
+	// to consecutive stream indices so state carry is meaningful.
+	plan := newSegmentPlan(50, 4, 3)
+	for b := 0; b < plan.batch; b++ {
+		prev := -1
+		for w := 0; w < plan.windows; w++ {
+			for s := 0; s < plan.windowLen(w); s++ {
+				t2, ok := plan.step(b, w, s)
+				if !ok {
+					continue
+				}
+				if prev >= 0 && t2 != prev+1 {
+					t.Fatalf("segment %d jumps from %d to %d", b, prev, t2)
+				}
+				prev = t2
+			}
+		}
+	}
+}
+
+func TestSegmentPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newSegmentPlan(10, 0, 2)
+}
+
+func TestLifetimeTargets(t *testing.T) {
+	target := make([]float64, 5)
+	mask := make([]float64, 5)
+	// Uncensored event in bin 2.
+	lifetimeTargets(target, mask, LifetimeStep{Bin: 2})
+	wantT := []float64{0, 0, 1, 0, 0}
+	wantM := []float64{1, 1, 1, 0, 0}
+	for i := range wantT {
+		if target[i] != wantT[i] || mask[i] != wantM[i] {
+			t.Fatalf("uncensored: target %v mask %v", target, mask)
+		}
+	}
+	// Censored in bin 2: only survival of bins < 2 is certified.
+	lifetimeTargets(target, mask, LifetimeStep{Bin: 2, Censored: true})
+	wantM = []float64{1, 1, 0, 0, 0}
+	for i := range wantM {
+		if target[i] != 0 || mask[i] != wantM[i] {
+			t.Fatalf("censored: target %v mask %v", target, mask)
+		}
+	}
+	// Censored in bin 0: nothing certified.
+	lifetimeTargets(target, mask, LifetimeStep{Bin: 0, Censored: true})
+	for i := range mask {
+		if mask[i] != 0 {
+			t.Fatalf("censored bin 0 mask %v", mask)
+		}
+	}
+}

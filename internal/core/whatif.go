@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+)
+
+// WhatIf holds the footnote-5 post-processing knobs: multiplicative
+// tilts applied to the flavor LSTM's output probabilities before
+// sampling, enabling what-if experiments (larger/smaller batches, or
+// shifted flavor popularity) without retraining. Tilted probabilities
+// are renormalized. The paper cautions that such tilts may degrade
+// generated-trace properties; TestWhatIf* and the ablation benches
+// quantify the effect at this scale.
+type WhatIf struct {
+	// EOBFactor multiplies the end-of-batch token's probability.
+	// Values < 1 lengthen batches, > 1 shorten them. Zero means 1.
+	EOBFactor float64
+	// FlavorFactors optionally multiplies each flavor's probability
+	// (length K); nil means no tilt.
+	FlavorFactors []float64
+}
+
+// apply tilts a probability vector over K flavors + EOB in place and
+// renormalizes. probs must have length K+1.
+func (w WhatIf) apply(probs []float64, k int) {
+	if len(probs) != k+1 {
+		panic(fmt.Sprintf("core: WhatIf.apply probs len %d, want %d", len(probs), k+1))
+	}
+	if w.FlavorFactors != nil {
+		if len(w.FlavorFactors) != k {
+			panic(fmt.Sprintf("core: WhatIf flavor factors len %d, want %d", len(w.FlavorFactors), k))
+		}
+		for f, factor := range w.FlavorFactors {
+			probs[f] *= factor
+		}
+	}
+	if w.EOBFactor > 0 {
+		probs[k] *= w.EOBFactor
+	}
+	var total float64
+	for _, p := range probs {
+		total += p
+	}
+	if total <= 0 {
+		// Degenerate tilt: fall back to forcing EOB so generation
+		// terminates rather than dividing by zero.
+		for i := range probs {
+			probs[i] = 0
+		}
+		probs[k] = 1
+		return
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+}
+
+// isZero reports whether no tilt is configured.
+func (w WhatIf) isZero() bool {
+	return (w.EOBFactor == 0 || w.EOBFactor == 1) && w.FlavorFactors == nil
+}
+
+// ModelSnapshot is the serializable form of a trained Model (the
+// "pre-trained model release" discussed in §7's privacy paragraph: a
+// provider can ship this instead of a proprietary trace).
+type ModelSnapshot struct {
+	FlavorNet    []byte
+	LifetimeNet  []byte
+	K            int
+	HistoryDays  int
+	BinEdges     []float64
+	ArrivalW     []float64
+	ArrivalB     float64
+	ArrivalKind  int
+	ArrivalDOH   int // DOHMode
+	ArrivalGeomP float64
+	ArrivalUsed  bool // UseDOH
+	Interp       int  // survival.Interpolation
+}

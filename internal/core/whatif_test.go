@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWhatIfApplyNormalizes(t *testing.T) {
+	w := WhatIf{EOBFactor: 2, FlavorFactors: []float64{1, 0.5}}
+	probs := []float64{0.4, 0.4, 0.2} // 2 flavors + EOB
+	w.apply(probs, 2)
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probs sum %v", sum)
+	}
+	// flavor1 halved, EOB doubled: 0.4, 0.2, 0.4 -> normalized.
+	if math.Abs(probs[0]-0.4) > 1e-12 || math.Abs(probs[1]-0.2) > 1e-12 || math.Abs(probs[2]-0.4) > 1e-12 {
+		t.Fatalf("tilted probs %v", probs)
+	}
+}
+
+func TestWhatIfDegenerateFallsBackToEOB(t *testing.T) {
+	w := WhatIf{FlavorFactors: []float64{0, 0}, EOBFactor: 1}
+	probs := []float64{0.5, 0.5, 0}
+	w.apply(probs, 2)
+	if probs[2] != 1 {
+		t.Fatalf("degenerate tilt should force EOB: %v", probs)
+	}
+}
+
+func TestWhatIfIsZero(t *testing.T) {
+	if !(WhatIf{}).isZero() {
+		t.Fatal("zero value should be zero tilt")
+	}
+	if !(WhatIf{EOBFactor: 1}).isZero() {
+		t.Fatal("factor 1 should be zero tilt")
+	}
+	if (WhatIf{EOBFactor: 2}).isZero() {
+		t.Fatal("factor 2 is a tilt")
+	}
+	if (WhatIf{FlavorFactors: []float64{1}}).isZero() {
+		t.Fatal("flavor factors are a tilt")
+	}
+}
+
+func TestWhatIfApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(WhatIf{}).apply([]float64{1, 2}, 2)
+}
+
+// TestWhatIfEOBTiltChangesBatchSize verifies the footnote-5 mechanism
+// end-to-end: halving the EOB probability roughly doubles generated
+// batch sizes.
+func TestWhatIfEOBTiltChangesBatchSize(t *testing.T) {
+	f := getFixture(t)
+	meanBatch := func(m Model) float64 {
+		tr := m.Generate(rng.New(9), f.testW)
+		var jobs, batches int
+		for _, list := range tr.PeriodBatches() {
+			for _, b := range list {
+				batches++
+				jobs += len(b.Indices)
+			}
+		}
+		if batches == 0 {
+			return 0
+		}
+		return float64(jobs) / float64(batches)
+	}
+	base := *f.model
+	small := *f.model
+	small.Tilt = WhatIf{EOBFactor: 3} // more EOBs -> smaller batches
+	big := *f.model
+	big.Tilt = WhatIf{EOBFactor: 0.33}
+	mb, ms, mbig := meanBatch(base), meanBatch(small), meanBatch(big)
+	if !(ms < mb && mb < mbig) {
+		t.Fatalf("EOB tilt ordering violated: small %v base %v big %v", ms, mb, mbig)
+	}
+}
+
+// TestWhatIfFlavorTiltShiftsMix verifies flavor tilts shift the
+// generated flavor distribution.
+func TestWhatIfFlavorTiltShiftsMix(t *testing.T) {
+	f := getFixture(t)
+	k := f.train.Flavors.K()
+	boost := make([]float64, k)
+	for i := range boost {
+		boost[i] = 1
+	}
+	boost[0] = 10
+	tilted := *f.model
+	tilted.Tilt = WhatIf{FlavorFactors: boost}
+	countFrac := func(m Model) float64 {
+		tr := m.Generate(rng.New(10), f.testW)
+		if len(tr.VMs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, vm := range tr.VMs {
+			if vm.Flavor == 0 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(tr.VMs))
+	}
+	baseFrac := countFrac(*f.model)
+	tiltFrac := countFrac(tilted)
+	if tiltFrac <= baseFrac {
+		t.Fatalf("flavor tilt did not boost flavor 0: %v vs %v", tiltFrac, baseFrac)
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	blob, err := f.model.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// The restored model must generate the identical trace for the same
+	// seed.
+	a := f.model.Generate(rng.New(21), f.testW)
+	b := restored.Generate(rng.New(21), f.testW)
+	if len(a.VMs) != len(b.VMs) {
+		t.Fatalf("restored model generates %d VMs, original %d", len(b.VMs), len(a.VMs))
+	}
+	for i := range a.VMs {
+		if a.VMs[i] != b.VMs[i] {
+			t.Fatalf("VM %d differs after round trip", i)
+		}
+	}
+}
+
+func TestModelUnmarshalCorrupt(t *testing.T) {
+	var m Model
+	if err := m.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestModelMarshalPartial(t *testing.T) {
+	var m Model
+	if _, err := m.MarshalBinary(); err == nil {
+		t.Fatal("expected error for partial model")
+	}
+}

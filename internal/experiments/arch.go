@@ -1,0 +1,63 @@
+package experiments
+
+import "repro/internal/core"
+
+// HeadRow is one parameterization's row in the §2.3.1 hazard-vs-PMF
+// lifetime-head comparison.
+type HeadRow struct {
+	Head       string
+	BCE        float64
+	OneBestErr float64
+}
+
+// PMFvsHazard reproduces the §2.3.1 design comparison: parameterizing
+// the discrete hazard (the paper's choice, following Kvamme & Borgan's
+// "slightly better") versus a softmax PMF head trained with the
+// censored-tail likelihood.
+func PMFvsHazard(c *Cloud) []HeadRow {
+	steps := core.LifetimeSteps(c.Test, c.Bins)
+	offset := c.TestW.Start
+	hz := core.EvaluateLifetime(core.NewLSTMLifetimePredictor(c.Model().Lifetime), steps, c.Bins, offset)
+	tc := c.Scale.Train
+	pmfModel := core.TrainLifetimePMF(c.Train, c.Bins, tc)
+	pmf := core.EvaluateLifetime(core.NewPMFLifetimePredictor(pmfModel), steps, c.Bins, offset)
+	km := core.EvaluateLifetime(core.NewKMLifetime(c.Train, c.Bins), steps, c.Bins, offset)
+	return []HeadRow{
+		{Head: "Overall KM", BCE: km.BCE, OneBestErr: km.OneBestErr},
+		{Head: "LSTM (hazard head)", BCE: hz.BCE, OneBestErr: hz.OneBestErr},
+		{Head: "LSTM (PMF head)", BCE: pmf.BCE, OneBestErr: pmf.OneBestErr},
+	}
+}
+
+// ArchRow is one architecture's row in the §7 sequence-architecture
+// ablation.
+type ArchRow struct {
+	Arch       string
+	NLL        float64
+	OneBestErr float64
+}
+
+// ArchitectureAblation compares the LSTM flavor model against a causal
+// Transformer trained on the same token stream (§7: "Transformers ...
+// could be used in place of the LSTMs"), with the training multinomial
+// as the floor.
+func ArchitectureAblation(c *Cloud) []ArchRow {
+	toks := core.FlavorTokens(c.Test)
+	offset := c.TestW.Start
+	var rows []ArchRow
+
+	multi := core.EvaluateFlavor(core.NewMultinomialFlavor(c.Train), toks, offset)
+	rows = append(rows, ArchRow{Arch: "Multinomial", NLL: multi.NLL, OneBestErr: multi.OneBestErr})
+
+	lstm := core.EvaluateFlavor(core.NewLSTMFlavorPredictor(c.Model().Flavor), toks, offset)
+	rows = append(rows, ArchRow{Arch: "LSTM", NLL: lstm.NLL, OneBestErr: lstm.OneBestErr})
+
+	gru := core.TrainFlavorGRU(c.Train, c.Scale.Train)
+	grue := core.EvaluateFlavor(core.NewGRUFlavorPredictor(gru), toks, offset)
+	rows = append(rows, ArchRow{Arch: "GRU", NLL: grue.NLL, OneBestErr: grue.OneBestErr})
+
+	tf := core.TrainFlavorTransformer(c.Train, core.TransformerTrainConfig{Seed: c.Scale.Seed})
+	tfe := core.EvaluateFlavor(core.NewTransformerFlavorPredictor(tf), toks, offset)
+	rows = append(rows, ArchRow{Arch: "Transformer", NLL: tfe.NLL, OneBestErr: tfe.OneBestErr})
+	return rows
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestArchitectureAblation checks the §7 architecture swap: a causal
+// Transformer trained on the same flavor stream is a working drop-in —
+// clearly better than the order-free multinomial — with the (dev-tuned)
+// LSTM remaining the reference.
+func TestArchitectureAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains LSTM and Transformer flavor models")
+	}
+	rows := ArchitectureAblation(azure(t))
+	byName := map[string]ArchRow{}
+	for _, r := range rows {
+		byName[r.Arch] = r
+	}
+	multi, lstm, gru, tf := byName["Multinomial"], byName["LSTM"], byName["GRU"], byName["Transformer"]
+	if !(tf.NLL < multi.NLL) {
+		t.Errorf("transformer NLL %v should beat multinomial %v", tf.NLL, multi.NLL)
+	}
+	if !(tf.OneBestErr < multi.OneBestErr) {
+		t.Errorf("transformer 1-best %v should beat multinomial %v", tf.OneBestErr, multi.OneBestErr)
+	}
+	if !(gru.NLL < multi.NLL) {
+		t.Errorf("GRU NLL %v should beat multinomial %v", gru.NLL, multi.NLL)
+	}
+	if lstm.NLL > tf.NLL+0.1 {
+		t.Errorf("tuned LSTM NLL %v should not trail the untuned transformer %v badly", lstm.NLL, tf.NLL)
+	}
+	if lstm.NLL > gru.NLL+0.25 {
+		t.Errorf("LSTM NLL %v should be in the GRU's ballpark %v", lstm.NLL, gru.NLL)
+	}
+}
+
+// TestPMFvsHazard checks the §2.3.1 head comparison: both neural heads
+// beat KM, and the hazard head (the paper's choice) does not trail the
+// PMF head meaningfully.
+func TestPMFvsHazard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains two lifetime LSTMs")
+	}
+	rows := PMFvsHazard(azure(t))
+	byName := map[string]HeadRow{}
+	for _, r := range rows {
+		byName[r.Head] = r
+	}
+	km := byName["Overall KM"]
+	hz := byName["LSTM (hazard head)"]
+	pmf := byName["LSTM (PMF head)"]
+	if !(hz.BCE < km.BCE) || !(pmf.BCE < km.BCE) {
+		t.Errorf("both heads should beat KM: hazard %v pmf %v km %v", hz.BCE, pmf.BCE, km.BCE)
+	}
+	if hz.BCE > pmf.BCE*1.15 {
+		t.Errorf("hazard head %v should not trail PMF head %v (paper: slightly better)", hz.BCE, pmf.BCE)
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5 prediction results, §6 use cases) on the synthetic
+// Azure-like and Huawei-like workloads. Each exported function
+// regenerates one table or figure and returns a structured result that
+// cmd/experiments renders in the paper's format and bench_test.go runs
+// as a benchmark.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Scale selects the experiment size: the scaled-down configuration used
+// by tests and benches, or the larger one behind cmd/experiments -full.
+type Scale struct {
+	AzureDays, AzureUsers   int
+	AzureRate               float64
+	HuaweiDays, HuaweiUsers int
+	HuaweiRate              float64
+	// HuaweiExtraDays extends the Huawei test-window censoring horizon
+	// (§3.2's two extra months of monitoring, scaled).
+	HuaweiExtraDays int
+	Samples         int // sampled traces / Poisson draws per figure (paper: 500)
+	Tuples          int // packing tuples for Table 5 / Figure 10 (paper: 500)
+	Train           core.TrainConfig
+	Seed            int64
+}
+
+// SmallScale is the fast configuration used by tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		// 9 days so the training window covers every day-of-week (a
+		// shorter history leaves weekend DOW features untrained and
+		// biases weekend test periods).
+		AzureDays: 9, AzureUsers: 400, AzureRate: 3,
+		HuaweiDays: 12, HuaweiUsers: 80, HuaweiRate: 1.6,
+		HuaweiExtraDays: 4,
+		Samples:         40,
+		Tuples:          100,
+		Train: core.TrainConfig{
+			Hidden: 24, Layers: 2, SeqLen: 64, BatchSize: 8,
+			Epochs: 40, LR: 8e-3,
+		},
+		Seed: 1,
+	}
+}
+
+// FullScale is the larger configuration for cmd/experiments -full. It
+// remains far below the paper's GPU-month scale but sharpens every
+// estimate.
+func FullScale() Scale {
+	return Scale{
+		AzureDays: 14, AzureUsers: 300, AzureRate: 4,
+		HuaweiDays: 40, HuaweiUsers: 200, HuaweiRate: 1.6,
+		HuaweiExtraDays: 10,
+		Samples:         500,
+		Tuples:          500,
+		Train: core.TrainConfig{
+			Hidden: 64, Layers: 2, SeqLen: 128, BatchSize: 8,
+			Epochs: 20, LR: 5e-3,
+		},
+		Seed: 1,
+	}
+}
+
+// CloudID selects the dataset.
+type CloudID int
+
+const (
+	// Azure is the AzureLike synthetic cloud.
+	Azure CloudID = iota
+	// Huawei is the HuaweiLike synthetic cloud.
+	Huawei
+)
+
+func (c CloudID) String() string {
+	if c == Azure {
+		return "Azure"
+	}
+	return "HuaweiCloud"
+}
+
+// Cloud is a prepared dataset: the ground-truth history, its windows and
+// slices, and (once Model/Baselines are called) the trained generators.
+type Cloud struct {
+	ID         CloudID
+	Scale      Scale
+	Cfg        synth.Config
+	Full       *trace.Trace
+	TrainW     trace.Window
+	DevW       trace.Window
+	TestW      trace.Window
+	Train      *trace.Trace
+	Dev        *trace.Trace
+	Test       *trace.Trace
+	Bins       survival.Bins
+	model      *core.Model
+	modelNoDOH *core.Model
+	naive      *core.NaiveGenerator
+	simple     *core.SimpleBatchGenerator
+}
+
+// NewCloud generates the ground-truth history and carves the windows.
+func NewCloud(id CloudID, s Scale) *Cloud {
+	var cfg synth.Config
+	var extra float64
+	switch id {
+	case Azure:
+		cfg = synth.AzureLike()
+		cfg.Days, cfg.Users, cfg.BaseRate = s.AzureDays, s.AzureUsers, s.AzureRate
+	case Huawei:
+		cfg = synth.HuaweiLike()
+		cfg.Days, cfg.Users, cfg.BaseRate = s.HuaweiDays, s.HuaweiUsers, s.HuaweiRate
+		extra = float64(s.HuaweiExtraDays) * 86400
+	default:
+		panic(fmt.Sprintf("experiments: unknown cloud %d", id))
+	}
+	full := cfg.Generate(s.Seed*1000 + int64(id))
+	trainW, devW, testW := synth.StandardSplit(cfg.Days)
+	return &Cloud{
+		ID:     id,
+		Scale:  s,
+		Cfg:    cfg,
+		Full:   full,
+		TrainW: trainW,
+		DevW:   devW,
+		TestW:  testW,
+		Train:  full.Slice(trainW, 0),
+		Dev:    full.Slice(devW, 0),
+		Test:   full.Slice(testW, extra),
+		Bins:   survival.PaperBins(),
+	}
+}
+
+// Model returns the trained three-stage LSTM model, training it on first
+// use.
+func (c *Cloud) Model() *core.Model {
+	if c.model == nil {
+		tc := c.Scale.Train
+		tc.Dev = c.Dev
+		tc.DevOffset = c.DevW.Start
+		m, err := core.TrainModel(c.Train, core.ModelOptions{Bins: c.Bins, Train: tc})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: train %s: %v", c.ID, err))
+		}
+		c.model = m
+	}
+	return c.model
+}
+
+// ModelNoDOH returns a model variant whose generator always encodes the
+// last history day instead of sampling DOH days — the Figure 8 ablation.
+func (c *Cloud) ModelNoDOH() *core.Model {
+	if c.modelNoDOH == nil {
+		base := *c.Model()
+		arr := *base.Arrival
+		arr.DOH.Mode = features.DOHLastDay
+		base.Arrival = &arr
+		c.modelNoDOH = &base
+	}
+	return c.modelNoDOH
+}
+
+// Naive returns the fitted Naive baseline generator.
+func (c *Cloud) Naive() *core.NaiveGenerator {
+	if c.naive == nil {
+		n, err := core.NewNaiveGenerator(c.Train, c.Bins)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: naive %s: %v", c.ID, err))
+		}
+		c.naive = n
+	}
+	return c.naive
+}
+
+// SimpleBatch returns the fitted SimpleBatch baseline generator.
+func (c *Cloud) SimpleBatch() *core.SimpleBatchGenerator {
+	if c.simple == nil {
+		s, err := core.NewSimpleBatchGenerator(c.Train, c.Bins)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: simplebatch %s: %v", c.ID, err))
+		}
+		c.simple = s
+	}
+	return c.simple
+}
+
+// Generators returns the three end-to-end generators of §6 in paper
+// order: Naive, SimpleBatch, LSTM.
+func (c *Cloud) Generators() []core.Generator {
+	return []core.Generator{c.Naive(), c.SimpleBatch(), c.Model()}
+}
+
+// Table1Row is one dataset row of Table 1.
+type Table1Row struct {
+	Cloud                        string
+	TrainDays, DevDays, TestDays float64
+	TrainVMs, DevVMs, TestVMs    int
+}
+
+// Table1 reports the experimental dataset statistics (paper Table 1).
+func Table1(clouds ...*Cloud) []Table1Row {
+	rows := make([]Table1Row, 0, len(clouds))
+	for _, c := range clouds {
+		rows = append(rows, Table1Row{
+			Cloud:     c.ID.String(),
+			TrainDays: c.TrainW.Days(),
+			DevDays:   c.DevW.Days(),
+			TestDays:  c.TestW.Days(),
+			TrainVMs:  len(c.Train.VMs),
+			DevVMs:    len(c.Dev.VMs),
+			TestVMs:   len(c.Test.VMs),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ExportSeries writes a TSV file with one row per period: time (days),
+// interval lo/median/hi, and the actual value — the plot data behind the
+// arrival and capacity figures (4-8). Columns are gnuplot- and
+// pandas-friendly.
+func ExportSeries(path string, intervals []metrics.Interval, actual []float64) error {
+	if len(intervals) != len(actual) {
+		return fmt.Errorf("experiments: export length mismatch %d vs %d", len(intervals), len(actual))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "days\tlo\tmedian\thi\tactual"); err != nil {
+		return err
+	}
+	for p := range actual {
+		days := float64(p) / float64(trace.PeriodsPerDay)
+		if _, err := fmt.Fprintf(f, "%.4f\t%g\t%g\t%g\t%g\n",
+			days, intervals[p].Lo, intervals[p].Median, intervals[p].Hi, actual[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportReuse writes the Figure 9 reuse-distance distributions as TSV:
+// one row per bucket, one column per source.
+func ExportReuse(path string, actual []float64, results []ReuseResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header := "bucket\tactual"
+	for _, r := range results {
+		header += "\t" + r.Generator
+	}
+	if _, err := fmt.Fprintln(f, header); err != nil {
+		return err
+	}
+	labels := []string{"0", "1", "2", "3", "4", "5", "6+"}
+	for i, lab := range labels {
+		row := fmt.Sprintf("%s\t%g", lab, actual[i])
+		for _, r := range results {
+			row += fmt.Sprintf("\t%g", r.Mean[i])
+		}
+		if _, err := fmt.Fprintln(f, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportFFAR writes the Figure 10 scatter data as TSV: one row per
+// packing with its source, CPU FFAR, and memory FFAR.
+func ExportFFAR(path string, results []PackingResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "source\tcpu_ffar\tmem_ffar\tlimiting"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.FFARs {
+			if _, err := fmt.Fprintf(f, "%s\t%g\t%g\t%g\n", r.Source, p.CPUFFAR, p.MemFFAR, p.Limiting); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ExportAll regenerates the plot-data files for every figure into dir
+// (created if needed): fig4/fig5 (batch arrivals), fig6 (VM arrivals),
+// fig7/fig8 (capacity), fig9 (reuse), fig10 (packing scatter).
+func ExportAll(dir string, clouds ...*Cloud) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range clouds {
+		tag := "azure"
+		figA, figC := "fig4", "fig7"
+		if c.ID == Huawei {
+			tag = "huawei"
+			figA, figC = "fig5", "fig8"
+		}
+		sampled, _ := Figure4(c)
+		if err := ExportSeries(filepath.Join(dir, figA+"_"+tag+"_batch_arrivals.tsv"),
+			sampled.Intervals, sampled.Actual); err != nil {
+			return err
+		}
+		noDOH, _ := Figure6(c)
+		if err := ExportSeries(filepath.Join(dir, "fig6_"+tag+"_vm_arrivals.tsv"),
+			noDOH.Intervals, noDOH.Actual); err != nil {
+			return err
+		}
+		var caps []CapacityResult
+		if c.ID == Huawei {
+			caps = Figure8(c)
+		} else {
+			caps = Figure7(c)
+		}
+		for _, r := range caps {
+			name := fmt.Sprintf("%s_%s_capacity_%s.tsv", figC, tag, sanitize(r.Generator))
+			if err := ExportSeries(filepath.Join(dir, name), r.Forecast.Intervals, r.Forecast.Actual); err != nil {
+				return err
+			}
+		}
+		actual, reuse := Figure9(c)
+		if err := ExportReuse(filepath.Join(dir, "fig9_"+tag+"_reuse.tsv"), actual, reuse); err != nil {
+			return err
+		}
+		if err := ExportFFAR(filepath.Join(dir, "fig10_"+tag+"_ffar.tsv"), Table5(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize converts a display name into a filename fragment.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func TestExportSeries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.tsv")
+	iv := []metrics.Interval{{Lo: 1, Median: 2, Hi: 3}, {Lo: 4, Median: 5, Hi: 6}}
+	if err := ExportSeries(path, iv, []float64{2.5, 5.5}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if lines[0] != "days\tlo\tmedian\thi\tactual" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "\t1\t2\t3\t2.5") {
+		t.Fatalf("row: %q", lines[1])
+	}
+}
+
+func TestExportSeriesMismatch(t *testing.T) {
+	if err := ExportSeries(filepath.Join(t.TempDir(), "x"), nil, []float64{1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestExportReuse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.tsv")
+	actual := make([]float64, sched.ReuseBuckets)
+	actual[0] = 0.5
+	res := []ReuseResult{{Generator: "LSTM", Mean: make([]float64, sched.ReuseBuckets)}}
+	if err := ExportReuse(path, actual, res); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	s := string(data)
+	if !strings.Contains(s, "bucket\tactual\tLSTM") || !strings.Contains(s, "6+") {
+		t.Fatalf("content: %q", s)
+	}
+}
+
+func TestExportFFAR(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.tsv")
+	res := []PackingResult{{
+		Source: "Test data",
+		FFARs:  []sched.PackResult{{CPUFFAR: 0.9, MemFFAR: 0.5, Limiting: 0.9}},
+	}}
+	if err := ExportFFAR(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "Test data\t0.9\t0.5\t0.9") {
+		t.Fatalf("content: %q", string(data))
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("LSTM (no DOH sampling)"); got != "LSTM__no_DOH_sampling_" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+// TestExportAll writes every figure's plot data for the (already
+// trained) Azure cloud.
+func TestExportAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: runs every figure experiment")
+	}
+	dir := t.TempDir()
+	if err := ExportAll(dir, azure(t)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{
+		"fig4_azure_batch_arrivals.tsv",
+		"fig6_azure_vm_arrivals.tsv",
+		"fig9_azure_reuse.tsv",
+		"fig10_azure_ffar.tsv",
+	} {
+		if !names[want] {
+			t.Errorf("missing export %q (have %v)", want, names)
+		}
+	}
+	// At least one capacity series per generator.
+	foundCapacity := false
+	for n := range names {
+		if strings.HasPrefix(n, "fig7_azure_capacity_") {
+			foundCapacity = true
+		}
+	}
+	if !foundCapacity {
+		t.Error("missing capacity exports")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"repro/internal/capacity"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+)
+
+// ForecastRow is one method's row in the forecasting-vs-generative
+// comparison (§7 "Workload Forecasting" contrast).
+type ForecastRow struct {
+	Method   string
+	Coverage float64
+	MAPE     float64
+}
+
+// ForecastVsGenerative compares classical time-series forecasters of the
+// aggregate total-CPU series against the generative LSTM's
+// trace-sampled prediction intervals on the same test window and
+// coverage metric. The forecasters see the observed aggregate series up
+// to the test window; the generative model sees individual jobs.
+func ForecastVsGenerative(c *Cloud) []ForecastRow {
+	full := capacity.FullSeries(c.Full)
+	trainSeries := full[:c.TestW.Start]
+	actual := full[c.TestW.Start:c.TestW.End]
+	horizon := c.TestW.Periods()
+
+	var rows []ForecastRow
+	period := 288 // one day of 5-minute periods
+	for _, base := range []forecast.Forecaster{
+		&forecast.SeasonalNaive{Period: period},
+		&forecast.HoltWinters{Period: period},
+	} {
+		p := &forecast.Probabilistic{Base: base, Level: 0.9}
+		if err := p.Fit(trainSeries, horizon); err != nil {
+			rows = append(rows, ForecastRow{Method: base.Name(), Coverage: -1})
+			continue
+		}
+		iv := p.Intervals(horizon)
+		point := make([]float64, horizon)
+		for i, v := range iv {
+			point[i] = v.Median
+		}
+		rows = append(rows, ForecastRow{
+			Method:   base.Name(),
+			Coverage: metrics.Coverage(actual, iv),
+			MAPE:     forecast.MAPE(point, actual),
+		})
+	}
+
+	// Generative model on the same footing: sampled traces plus the
+	// carried-over load.
+	gen := CapacityPlanning(c, c.Generators()[2:3]) // LSTM only
+	lstm := gen[0]
+	med := make([]float64, horizon)
+	for i, iv := range lstm.Forecast.Intervals {
+		med[i] = iv.Median
+	}
+	rows = append(rows, ForecastRow{
+		Method:   "Generative LSTM",
+		Coverage: lstm.Coverage,
+		MAPE:     forecast.MAPE(med, lstm.Forecast.Actual),
+	})
+	return rows
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestForecastVsGenerative checks the §7 contrast: the generative model
+// produces more accurate point forecasts of total CPUs (lower MAPE) than
+// the classical aggregate-series forecasters, because it models the
+// job-level process rather than a single aggregate.
+func TestForecastVsGenerative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains the LSTM and samples traces")
+	}
+	rows := ForecastVsGenerative(azure(t))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ForecastRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+		if r.Coverage < 0 || r.Coverage > 1 {
+			t.Errorf("%s coverage %v out of range", r.Method, r.Coverage)
+		}
+	}
+	lstm := byName["Generative LSTM"]
+	for _, classical := range []string{"SeasonalNaive", "HoltWinters"} {
+		if lstm.MAPE >= byName[classical].MAPE {
+			t.Errorf("generative MAPE %v should beat %s %v",
+				lstm.MAPE, classical, byName[classical].MAPE)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// JointResult compares the staged arrival process (stage-1 Poisson
+// regression) against the §7 single-LSTM alternative with end-of-period
+// tokens on per-period batch-count realism over the test window.
+type JointResult struct {
+	ActualMean float64
+	// StagedMean / JointMean are the mean per-period batch counts each
+	// model generates (averaged over samples).
+	StagedMean float64
+	JointMean  float64
+	// StagedErr / JointErr are the absolute relative errors of the
+	// generated means vs the actual mean.
+	StagedErr float64
+	JointErr  float64
+	// StagedDispersion / JointDispersion / ActualDispersion are the
+	// variance/mean ratios of the per-period counts.
+	ActualDispersion float64
+	StagedDispersion float64
+	JointDispersion  float64
+}
+
+// JointVsStaged reproduces the paper's §7 observation that delegating
+// arrival counts to EOP tokens is fragile compared to an explicit
+// arrival-rate stage. Both models train on the same window; each
+// generates Samples/4 count series over the test window.
+func JointVsStaged(c *Cloud) JointResult {
+	tc := c.Scale.Train
+	joint := core.TrainJoint(c.Train, tc)
+	staged := c.Model()
+
+	n := c.Scale.Samples/4 + 1
+	doh := features.DOHSampler{Mode: features.DOHGeometric, GeomP: 1.0 / 7.0}
+
+	actualCounts := c.Test.BatchCounts()
+	actual := make([]float64, len(actualCounts))
+	for i, v := range actualCounts {
+		actual[i] = float64(v)
+	}
+
+	gj := rng.New(c.Scale.Seed + 61)
+	gs := rng.New(c.Scale.Seed + 62)
+	var jointAll, stagedAll []float64
+	for s := 0; s < n; s++ {
+		jc := joint.GenerateCounts(gj.Split(), c.TestW, doh)
+		for _, v := range jc {
+			jointAll = append(jointAll, float64(v))
+		}
+		g := gs.Split()
+		for p := c.TestW.Start; p < c.TestW.End; p++ {
+			stagedAll = append(stagedAll, float64(staged.Arrival.SampleCount(g, p)))
+		}
+	}
+
+	res := JointResult{
+		ActualMean:       metrics.Mean(actual),
+		StagedMean:       metrics.Mean(stagedAll),
+		JointMean:        metrics.Mean(jointAll),
+		ActualDispersion: dispersion(actual),
+		StagedDispersion: dispersion(stagedAll),
+		JointDispersion:  dispersion(jointAll),
+	}
+	if res.ActualMean > 0 {
+		res.StagedErr = math.Abs(res.StagedMean-res.ActualMean) / res.ActualMean
+		res.JointErr = math.Abs(res.JointMean-res.ActualMean) / res.ActualMean
+	}
+	return res
+}
+
+func dispersion(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := metrics.Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v / float64(len(xs)) / m
+}

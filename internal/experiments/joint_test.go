@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestJointVsStaged reproduces the paper's §7 design rationale: the
+// explicit arrival-rate stage tracks the true batch-count process at
+// least as faithfully as the single-LSTM-with-EOP-tokens alternative,
+// whose count distribution drifts (the paper found it "exquisitely
+// sensitive to the timely sampling of these tokens").
+func TestJointVsStaged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains the joint LSTM")
+	}
+	res := JointVsStaged(azure(t))
+	if res.ActualMean <= 0 {
+		t.Fatalf("degenerate actual mean: %+v", res)
+	}
+	if res.StagedErr > res.JointErr+0.05 {
+		t.Errorf("staged mean error %v should not exceed joint %v", res.StagedErr, res.JointErr)
+	}
+	stagedGap := abs(res.StagedDispersion - res.ActualDispersion)
+	jointGap := abs(res.JointDispersion - res.ActualDispersion)
+	if stagedGap > jointGap+0.25 {
+		t.Errorf("staged dispersion gap %v should not exceed joint %v", stagedGap, jointGap)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

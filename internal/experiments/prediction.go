@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/survival"
+)
+
+// ArrivalCoverage is the result of an arrival-forecast experiment
+// (Figures 4, 5 and 6): per-period prediction intervals over the test
+// window and their coverage of the true counts.
+type ArrivalCoverage struct {
+	Cloud     string
+	Kind      string // "batch" or "VM"
+	DOH       string // "sampled" or "last-day" or "none"
+	Intervals []metrics.Interval
+	Actual    []float64
+	Coverage  float64
+}
+
+// arrivalCoverage samples counts per test period and computes 90%
+// interval coverage (§5.1: 500 samples per period).
+func arrivalCoverage(c *Cloud, kind core.ArrivalKind, useDOH bool, mode features.DOHMode) ArrivalCoverage {
+	opt := core.ArrivalOptions{Kind: kind, UseDOH: useDOH,
+		DOH: features.DOHSampler{Mode: mode, GeomP: 1.0 / 7.0}}
+	m, err := core.TrainArrival(c.Train, opt)
+	if err != nil {
+		panic(err)
+	}
+	g := rng.New(c.Scale.Seed + 77)
+	periods := c.TestW.Periods()
+	samples := make([][]float64, c.Scale.Samples)
+	for s := range samples {
+		row := make([]float64, periods)
+		for p := 0; p < periods; p++ {
+			row[p] = float64(m.SampleCount(g, c.TestW.Start+p))
+		}
+		samples[s] = row
+	}
+	var counts []int
+	if kind == core.BatchArrivals {
+		counts = c.Test.BatchCounts()
+	} else {
+		counts = c.Test.ArrivalCounts()
+	}
+	actual := make([]float64, periods)
+	for p, v := range counts {
+		actual[p] = float64(v)
+	}
+	iv := metrics.PredictionIntervals(samples, 0.9)
+	res := ArrivalCoverage{
+		Cloud:     c.ID.String(),
+		Intervals: iv,
+		Actual:    actual,
+		Coverage:  metrics.Coverage(actual, iv),
+	}
+	if kind == core.BatchArrivals {
+		res.Kind = "batch"
+	} else {
+		res.Kind = "VM"
+	}
+	switch {
+	case !useDOH:
+		res.DOH = "none"
+	case mode == features.DOHGeometric:
+		res.DOH = "sampled"
+	default:
+		res.DOH = "last-day"
+	}
+	return res
+}
+
+// Figure4 reproduces the Azure batch-arrival coverage figure, including
+// the last-day-DOH ablation discussed in §5.1 (82.5% vs 56.5% in the
+// paper).
+func Figure4(c *Cloud) (sampled, lastDay ArrivalCoverage) {
+	return arrivalCoverage(c, core.BatchArrivals, true, features.DOHGeometric),
+		arrivalCoverage(c, core.BatchArrivals, true, features.DOHLastDay)
+}
+
+// Figure5 is the Huawei variant of Figure 4 (94.5% vs 95.0%).
+func Figure5(c *Cloud) (sampled, lastDay ArrivalCoverage) {
+	return Figure4(c)
+}
+
+// Figure6 reproduces the individual-VM-arrival Poisson experiment: raw
+// VM counts without DOH features (the traditional model) and with
+// sampled DOH days (18% → 51.4% on Azure; 52.9% → 68.2% on Huawei).
+func Figure6(c *Cloud) (noDOH, withDOH ArrivalCoverage) {
+	return arrivalCoverage(c, core.VMArrivals, false, features.DOHLastDay),
+		arrivalCoverage(c, core.VMArrivals, true, features.DOHGeometric)
+}
+
+// Table2Row is one system row of Table 2.
+type Table2Row struct {
+	System     string
+	NLL        float64
+	HasNLL     bool
+	OneBestErr float64
+}
+
+// Table2 evaluates the four flavor predictors on the test sequence.
+func Table2(c *Cloud) []Table2Row {
+	toks := core.FlavorTokens(c.Test)
+	preds := []core.FlavorPredictor{
+		&core.UniformFlavor{K: c.Train.Flavors.K()},
+		core.NewMultinomialFlavor(c.Train),
+		core.NewRepeatFlavor(c.Train),
+		core.NewLSTMFlavorPredictor(c.Model().Flavor),
+	}
+	rows := make([]Table2Row, 0, len(preds))
+	for _, p := range preds {
+		ev := core.EvaluateFlavor(p, toks, c.TestW.Start)
+		rows = append(rows, Table2Row{
+			System: p.Name(), NLL: ev.NLL, HasNLL: ev.HasNLL, OneBestErr: ev.OneBestErr,
+		})
+	}
+	return rows
+}
+
+// Table3Row is one system row of Table 3.
+type Table3Row struct {
+	System     string
+	BCE        float64
+	HasBCE     bool
+	OneBestErr float64
+}
+
+// Table3 evaluates the five lifetime predictors on the test sequence.
+func Table3(c *Cloud) []Table3Row {
+	steps := core.LifetimeSteps(c.Test, c.Bins)
+	preds := []core.LifetimePredictor{
+		&core.CoinFlipLifetime{J: c.Bins.J()},
+		core.NewKMLifetime(c.Train, c.Bins),
+		core.NewPerFlavorKMLifetime(c.Train, c.Bins),
+		core.NewRepeatLifetime(c.Train, c.Bins),
+		core.NewLSTMLifetimePredictor(c.Model().Lifetime),
+	}
+	rows := make([]Table3Row, 0, len(preds))
+	for _, p := range preds {
+		ev := core.EvaluateLifetime(p, steps, c.Bins, c.TestW.Start)
+		rows = append(rows, Table3Row{
+			System: p.Name(), BCE: ev.BCE, HasBCE: ev.HasBCE, OneBestErr: ev.OneBestErr,
+		})
+	}
+	return rows
+}
+
+// Table4Row is one row of the continuous-domain Survival-MSE table.
+type Table4Row struct {
+	System         string
+	Discretization string
+	Interpolation  string
+	SurvivalMSE    float64
+}
+
+// Table4 reproduces the Survival-MSE evaluation: KM with 47 and 495
+// bins under stepped and CDI interpolation, continuous-time KM, and the
+// LSTM with 47 bins under both interpolations. Curves are evaluated on
+// an hourly grid out to 20 days.
+func Table4(c *Cloud) []Table4Row {
+	const (
+		gridStep = 3600.0
+		horizon  = 20 * 86400.0
+	)
+	// The "true survival function for each job" needs the true lifetime;
+	// since the ground truth simulator is ours, extend the observation
+	// horizon far past the test window so virtually no test job is
+	// censored (the paper's Azure test window, at 5.7 days with 3.2%
+	// censoring, has the same property at its native scale).
+	extended := c.Full.Slice(c.TestW, 30*86400)
+	obs := make([]survival.Observation, len(extended.VMs))
+	for i, vm := range extended.VMs {
+		obs[i] = survival.Observation{Duration: vm.Duration, Censored: vm.Censored}
+	}
+	trainObs := make([]survival.Observation, len(c.Train.VMs))
+	for i, vm := range c.Train.VMs {
+		trainObs[i] = survival.Observation{Duration: vm.Duration, Censored: vm.Censored}
+	}
+	var rows []Table4Row
+	addKM := func(bins survival.Bins, disc string, interp survival.Interpolation, iname string) {
+		h := survival.KaplanMeier(trainObs, bins)
+		mse := survival.SurvivalMSE(func(_ int, t float64) float64 {
+			return survival.SurvivalAt(t, h, bins, interp)
+		}, obs, gridStep, horizon)
+		rows = append(rows, Table4Row{System: "KM", Discretization: disc, Interpolation: iname, SurvivalMSE: mse})
+	}
+	coarse := c.Bins
+	fine := survival.FineBins()
+	addKM(coarse, "47 bins", survival.Stepped, "Stepped")
+	addKM(fine, "495 bins", survival.Stepped, "Stepped")
+	addKM(coarse, "47 bins", survival.CDI, "CDI")
+	addKM(fine, "495 bins", survival.CDI, "CDI")
+
+	ckm := survival.NewContinuousKM(trainObs)
+	mse := survival.SurvivalMSE(func(_ int, t float64) float64 { return ckm.At(t) }, obs, gridStep, horizon)
+	rows = append(rows, Table4Row{System: "KM", Discretization: "Continuous", Interpolation: "N/A", SurvivalMSE: mse})
+
+	// Teacher-forced inputs also come from the extended view: with the
+	// paper's ~3% censoring the model sees essentially true previous
+	// lifetimes, which the 1-day scaled window would otherwise hide.
+	steps := core.LifetimeSteps(extended, c.Bins)
+	hazards := c.Model().Lifetime.TeacherForcedHazards(steps, c.TestW.Start)
+	for _, spec := range []struct {
+		interp survival.Interpolation
+		name   string
+	}{{survival.Stepped, "Stepped"}, {survival.CDI, "CDI"}} {
+		interp := spec.interp
+		mse := survival.SurvivalMSE(func(i int, t float64) float64 {
+			return survival.SurvivalAt(t, hazards[i], c.Bins, interp)
+		}, obs, gridStep, horizon)
+		rows = append(rows, Table4Row{System: "LSTM", Discretization: "47 bins", Interpolation: spec.name, SurvivalMSE: mse})
+	}
+	return rows
+}
+
+// CensoringRow is one row of the §5.3 censoring-handling ablation.
+type CensoringRow struct {
+	Variant string
+	BCE     float64
+}
+
+// CensoringAblation compares the three KM censoring treatments discussed
+// in §5.3: proper censoring-aware KM, discarding censored VMs, and
+// treating censoring times as terminations.
+func CensoringAblation(c *Cloud) []CensoringRow {
+	trainObs := make([]survival.Observation, len(c.Train.VMs))
+	for i, vm := range c.Train.VMs {
+		trainObs[i] = survival.Observation{Duration: vm.Duration, Censored: vm.Censored}
+	}
+	steps := core.LifetimeSteps(c.Test, c.Bins)
+	variants := []struct {
+		name string
+		h    []float64
+	}{
+		{"censoring-aware", survival.KaplanMeier(trainObs, c.Bins)},
+		{"ignore-censored", survival.KaplanMeierIgnoreCensored(trainObs, c.Bins)},
+		{"censored-as-events", survival.KaplanMeierCensoredAsEvents(trainObs, c.Bins)},
+	}
+	rows := make([]CensoringRow, 0, len(variants))
+	for _, v := range variants {
+		pred := &fixedHazard{name: v.name, h: v.h}
+		ev := core.EvaluateLifetime(pred, steps, c.Bins, c.TestW.Start)
+		rows = append(rows, CensoringRow{Variant: v.name, BCE: ev.BCE})
+	}
+	return rows
+}
+
+// fixedHazard is a LifetimePredictor with a constant hazard.
+type fixedHazard struct {
+	name string
+	h    []float64
+}
+
+func (f *fixedHazard) Name() string                            { return f.name }
+func (f *fixedHazard) Reset()                                  {}
+func (f *fixedHazard) Hazard(core.LifetimeStep, int) []float64 { return f.h }
+func (f *fixedHazard) PredictBin(core.LifetimeStep) int        { return 0 }
+func (f *fixedHazard) Observe(core.LifetimeStep)               {}

@@ -1,0 +1,148 @@
+// Package features builds the model input encodings of §2.1.2, §2.2.2
+// and §2.3.3: one-hot hour-of-day and day-of-week, survival-encoded
+// day-of-history (DOH), flavor one-hots with the end-of-batch token,
+// survival-encoded previous lifetimes with termination indicators, and
+// the geometric DOH sampler used when generating beyond the training
+// window.
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// OneHot writes a one-hot encoding of idx into dst (which is zeroed
+// first).
+func OneHot(dst []float64, idx int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if idx < 0 || idx >= len(dst) {
+		panic(fmt.Sprintf("features: one-hot index %d out of [0,%d)", idx, len(dst)))
+	}
+	dst[idx] = 1
+}
+
+// SurvivalEncode writes a survival encoding of idx into dst: elements
+// 0..idx are 1, the rest 0 (§2.1.2). idx is clamped to the valid range;
+// idx < 0 yields all zeros.
+func SurvivalEncode(dst []float64, idx int) {
+	if idx >= len(dst) {
+		idx = len(dst) - 1
+	}
+	for i := range dst {
+		if i <= idx {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Temporal encodes the coarse-granularity period features shared by all
+// three model stages: hour-of-day (one-hot, 24), day-of-week (one-hot,
+// 7), and day-of-history (survival-encoded over HistoryDays).
+type Temporal struct {
+	HistoryDays int
+}
+
+// Dim returns the encoded feature dimensionality.
+func (t Temporal) Dim() int { return 24 + 7 + t.HistoryDays }
+
+// Encode writes the temporal features of the given absolute period into
+// dst. dohDay is the day to encode in the DOH block — the period's own
+// day during training, or a sampled day during generation (§2.1.2).
+func (t Temporal) Encode(dst []float64, period, dohDay int) {
+	if len(dst) != t.Dim() {
+		panic(fmt.Sprintf("features: temporal dst len %d, want %d", len(dst), t.Dim()))
+	}
+	OneHot(dst[:24], trace.HourOfDay(period))
+	OneHot(dst[24:31], trace.DayOfWeek(period))
+	SurvivalEncode(dst[31:], clamp(dohDay, 0, t.HistoryDays-1))
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DOHMode selects how the day-of-history feature is set when generating
+// periods beyond the training window (§2.1.2).
+type DOHMode int
+
+const (
+	// DOHLastDay always encodes the final training day N.
+	DOHLastDay DOHMode = iota
+	// DOHGeometric samples a day k-days-before-N with k ~ Geometric(p).
+	DOHGeometric
+)
+
+// DOHSampler draws the day used for the DOH feature at generation time.
+type DOHSampler struct {
+	Mode        DOHMode
+	HistoryDays int     // N
+	GeomP       float64 // success probability (paper: 1/7)
+}
+
+// Sample returns the day index to encode.
+func (s DOHSampler) Sample(g *rng.RNG) int {
+	last := s.HistoryDays - 1
+	if s.Mode == DOHLastDay {
+		return last
+	}
+	p := s.GeomP
+	if p <= 0 || p > 1 {
+		p = 1.0 / 7.0
+	}
+	return clamp(last-g.Geometric(p), 0, last)
+}
+
+// LifetimeFeatures encodes the previous job's lifetime for the hazard
+// LSTM (§2.3.3): a survival encoding of the previous job's (possibly
+// censored) lifetime bin, plus per-bin termination indicators that are 1
+// for every bin at or beyond the termination bin when the previous job
+// is known to have terminated, and all zero when it was censored (or
+// when there is no previous job).
+type LifetimeFeatures struct {
+	Bins int // number of lifetime bins J
+}
+
+// Dim returns the encoded dimensionality (2J).
+func (l LifetimeFeatures) Dim() int { return 2 * l.Bins }
+
+// Encode writes the previous-lifetime features. prevBin < 0 means no
+// previous job (both blocks zero).
+func (l LifetimeFeatures) Encode(dst []float64, prevBin int, prevCensored bool) {
+	if len(dst) != l.Dim() {
+		panic(fmt.Sprintf("features: lifetime dst len %d, want %d", len(dst), l.Dim()))
+	}
+	surv := dst[:l.Bins]
+	term := dst[l.Bins:]
+	if prevBin < 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	SurvivalEncode(surv, prevBin)
+	if prevCensored {
+		for i := range term {
+			term[i] = 0
+		}
+		return
+	}
+	for i := range term {
+		if i >= prevBin {
+			term[i] = 1
+		} else {
+			term[i] = 0
+		}
+	}
+}

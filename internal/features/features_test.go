@@ -1,0 +1,186 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestOneHot(t *testing.T) {
+	dst := make([]float64, 4)
+	OneHot(dst, 2)
+	want := []float64{0, 0, 1, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("one-hot = %v", dst)
+		}
+	}
+	// Re-encoding zeroes old positions.
+	OneHot(dst, 0)
+	if dst[2] != 0 || dst[0] != 1 {
+		t.Fatalf("re-encode = %v", dst)
+	}
+}
+
+func TestOneHotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHot(make([]float64, 3), 3)
+}
+
+func TestSurvivalEncode(t *testing.T) {
+	dst := make([]float64, 5)
+	SurvivalEncode(dst, 2)
+	want := []float64{1, 1, 1, 0, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("survival = %v", dst)
+		}
+	}
+	SurvivalEncode(dst, -1)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("negative idx should be all zero: %v", dst)
+		}
+	}
+	SurvivalEncode(dst, 99) // clamps
+	for _, v := range dst {
+		if v != 1 {
+			t.Fatalf("clamped idx should be all ones: %v", dst)
+		}
+	}
+}
+
+func TestTemporalEncode(t *testing.T) {
+	tm := Temporal{HistoryDays: 10}
+	if tm.Dim() != 41 {
+		t.Fatalf("dim = %d", tm.Dim())
+	}
+	dst := make([]float64, tm.Dim())
+	// Period at hour 3 of day 8 (day-of-week 1).
+	p := 8*trace.PeriodsPerDay + 3*trace.PeriodsPerHour
+	tm.Encode(dst, p, 8)
+	if dst[3] != 1 {
+		t.Fatalf("HOD wrong: %v", dst[:24])
+	}
+	if dst[24+1] != 1 {
+		t.Fatalf("DOW wrong: %v", dst[24:31])
+	}
+	// DOH survival encode of day 8: first 9 elements 1.
+	for i := 0; i < 9; i++ {
+		if dst[31+i] != 1 {
+			t.Fatalf("DOH wrong at %d: %v", i, dst[31:])
+		}
+	}
+	if dst[31+9] != 0 {
+		t.Fatalf("DOH should stop at day 8: %v", dst[31:])
+	}
+}
+
+func TestTemporalEncodeClamps(t *testing.T) {
+	tm := Temporal{HistoryDays: 5}
+	dst := make([]float64, tm.Dim())
+	tm.Encode(dst, 0, 99) // beyond history: clamps to last day
+	for i := 0; i < 5; i++ {
+		if dst[31+i] != 1 {
+			t.Fatal("clamp to last day failed")
+		}
+	}
+}
+
+func TestDOHSamplerLastDay(t *testing.T) {
+	s := DOHSampler{Mode: DOHLastDay, HistoryDays: 20}
+	g := rng.New(1)
+	for i := 0; i < 10; i++ {
+		if d := s.Sample(g); d != 19 {
+			t.Fatalf("last-day sample = %d", d)
+		}
+	}
+}
+
+func TestDOHSamplerGeometric(t *testing.T) {
+	s := DOHSampler{Mode: DOHGeometric, HistoryDays: 50, GeomP: 1.0 / 7.0}
+	g := rng.New(2)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		d := s.Sample(g)
+		if d < 0 || d > 49 {
+			t.Fatalf("sample %d out of range", d)
+		}
+		sum += float64(d)
+	}
+	mean := sum / float64(n)
+	// Expected roughly 49 - 6 = 43 (slightly higher due to clamping).
+	if mean < 41 || mean > 45 {
+		t.Fatalf("geometric DOH mean %v, want ~43", mean)
+	}
+}
+
+func TestDOHSamplerDefaultP(t *testing.T) {
+	s := DOHSampler{Mode: DOHGeometric, HistoryDays: 30}
+	g := rng.New(3)
+	for i := 0; i < 100; i++ {
+		d := s.Sample(g)
+		if d < 0 || d > 29 {
+			t.Fatalf("sample %d out of range", d)
+		}
+	}
+}
+
+func TestLifetimeFeatures(t *testing.T) {
+	lf := LifetimeFeatures{Bins: 4}
+	if lf.Dim() != 8 {
+		t.Fatalf("dim = %d", lf.Dim())
+	}
+	dst := make([]float64, 8)
+	// Uncensored previous job in bin 1.
+	lf.Encode(dst, 1, false)
+	wantSurv := []float64{1, 1, 0, 0}
+	wantTerm := []float64{0, 1, 1, 1}
+	for i := 0; i < 4; i++ {
+		if dst[i] != wantSurv[i] || dst[4+i] != wantTerm[i] {
+			t.Fatalf("uncensored encode = %v", dst)
+		}
+	}
+	// Censored previous job at bin 2: survival encode, no termination.
+	lf.Encode(dst, 2, true)
+	for i := 0; i < 4; i++ {
+		wantS := 0.0
+		if i <= 2 {
+			wantS = 1
+		}
+		if dst[i] != wantS || dst[4+i] != 0 {
+			t.Fatalf("censored encode = %v", dst)
+		}
+	}
+	// No previous job.
+	lf.Encode(dst, -1, false)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("no-prev encode = %v", dst)
+		}
+	}
+}
+
+func TestTemporalEncodeWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Temporal{HistoryDays: 3}.Encode(make([]float64, 5), 0, 0)
+}
+
+func TestLifetimeFeaturesWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LifetimeFeatures{Bins: 4}.Encode(make([]float64, 3), 1, false)
+}

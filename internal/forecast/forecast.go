@@ -1,0 +1,213 @@
+// Package forecast implements classical time-series forecasting of
+// aggregate workload — the alternative capacity-planning methodology the
+// paper contrasts with its generative approach (§7 "Workload
+// Forecasting"). It provides a seasonal-naive forecaster and
+// Holt-Winters triple exponential smoothing with additive seasonality,
+// both producing probabilistic forecasts via empirical residual
+// quantiles, so they can be compared against the generative model's
+// prediction intervals on the same coverage metric.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Forecaster produces h-step-ahead point forecasts from a history.
+type Forecaster interface {
+	Name() string
+	// Fit ingests the training series.
+	Fit(series []float64) error
+	// Forecast returns point predictions for the next h steps.
+	Forecast(h int) []float64
+}
+
+// SeasonalNaive predicts the value from one season ago.
+type SeasonalNaive struct {
+	Period  int // season length in steps
+	history []float64
+}
+
+// Name implements Forecaster.
+func (s *SeasonalNaive) Name() string { return "SeasonalNaive" }
+
+// Fit implements Forecaster.
+func (s *SeasonalNaive) Fit(series []float64) error {
+	if s.Period <= 0 {
+		return fmt.Errorf("forecast: seasonal-naive needs Period > 0")
+	}
+	if len(series) < s.Period {
+		return fmt.Errorf("forecast: series length %d shorter than period %d", len(series), s.Period)
+	}
+	s.history = append([]float64(nil), series...)
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (s *SeasonalNaive) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	n := len(s.history)
+	for i := 0; i < h; i++ {
+		out[i] = s.history[n-s.Period+(i%s.Period)]
+	}
+	return out
+}
+
+// HoltWinters is additive triple exponential smoothing.
+type HoltWinters struct {
+	Period             int
+	Alpha, Beta, Gamma float64 // smoothing factors; zero means defaults
+	level, trend       float64
+	seasonal           []float64
+	fitted             bool
+}
+
+// Name implements Forecaster.
+func (hw *HoltWinters) Name() string { return "HoltWinters" }
+
+// Fit implements Forecaster.
+func (hw *HoltWinters) Fit(series []float64) error {
+	m := hw.Period
+	if m <= 0 {
+		return fmt.Errorf("forecast: Holt-Winters needs Period > 0")
+	}
+	if len(series) < 2*m {
+		return fmt.Errorf("forecast: need at least two seasons (%d), got %d", 2*m, len(series))
+	}
+	if hw.Alpha == 0 {
+		hw.Alpha = 0.3
+	}
+	if hw.Beta == 0 {
+		hw.Beta = 0.05
+	}
+	if hw.Gamma == 0 {
+		hw.Gamma = 0.2
+	}
+	// Initialize from the first two seasons.
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += series[i]
+		s2 += series[m+i]
+	}
+	s1 /= float64(m)
+	s2 /= float64(m)
+	hw.level = s1
+	hw.trend = (s2 - s1) / float64(m)
+	hw.seasonal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		hw.seasonal[i] = series[i] - s1
+	}
+	// Smooth through the series.
+	for t, y := range series {
+		si := t % m
+		prevLevel := hw.level
+		hw.level = hw.Alpha*(y-hw.seasonal[si]) + (1-hw.Alpha)*(hw.level+hw.trend)
+		hw.trend = hw.Beta*(hw.level-prevLevel) + (1-hw.Beta)*hw.trend
+		hw.seasonal[si] = hw.Gamma*(y-hw.level) + (1-hw.Gamma)*hw.seasonal[si]
+	}
+	hw.fitted = true
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (hw *HoltWinters) Forecast(h int) []float64 {
+	if !hw.fitted {
+		panic("forecast: Forecast before Fit")
+	}
+	m := len(hw.seasonal)
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		out[i] = hw.level + float64(i+1)*hw.trend + hw.seasonal[(i+1)%m]
+	}
+	return out
+}
+
+// Probabilistic wraps a point forecaster with empirical residual
+// quantiles estimated by a backtest over the training series, yielding
+// prediction intervals comparable to the generative model's.
+type Probabilistic struct {
+	Base Forecaster
+	// Level is the central interval mass (e.g. 0.9).
+	Level float64
+	// Backtests is the number of held-out backtest folds (default 4).
+	Backtests int
+
+	loQ, hiQ float64 // residual quantiles
+	fitted   bool
+}
+
+// Fit fits the base forecaster on the full series and estimates residual
+// quantiles from rolling-origin backtests.
+func (p *Probabilistic) Fit(series []float64, horizon int) error {
+	if p.Level <= 0 || p.Level >= 1 {
+		return fmt.Errorf("forecast: level %v outside (0,1)", p.Level)
+	}
+	folds := p.Backtests
+	if folds <= 0 {
+		folds = 4
+	}
+	var residuals []float64
+	for f := 1; f <= folds; f++ {
+		cut := len(series) - f*horizon
+		if cut < horizon {
+			break
+		}
+		if err := p.Base.Fit(series[:cut]); err != nil {
+			return fmt.Errorf("forecast: backtest fold %d: %w", f, err)
+		}
+		pred := p.Base.Forecast(horizon)
+		for i := 0; i < horizon && cut+i < len(series); i++ {
+			residuals = append(residuals, series[cut+i]-pred[i])
+		}
+	}
+	if len(residuals) == 0 {
+		return fmt.Errorf("forecast: series too short for backtesting")
+	}
+	alpha := (1 - p.Level) / 2
+	p.loQ = metrics.Quantile(residuals, alpha)
+	p.hiQ = metrics.Quantile(residuals, 1-alpha)
+	if err := p.Base.Fit(series); err != nil {
+		return err
+	}
+	p.fitted = true
+	return nil
+}
+
+// Intervals returns the h-step-ahead prediction intervals.
+func (p *Probabilistic) Intervals(h int) []metrics.Interval {
+	if !p.fitted {
+		panic("forecast: Intervals before Fit")
+	}
+	pred := p.Base.Forecast(h)
+	out := make([]metrics.Interval, h)
+	for i, v := range pred {
+		out[i] = metrics.Interval{Lo: v + p.loQ, Median: v, Hi: v + p.hiQ}
+		if out[i].Lo < 0 {
+			out[i].Lo = 0 // workload cannot be negative
+		}
+	}
+	return out
+}
+
+// MAPE returns the mean absolute percentage error of pred vs actual,
+// skipping zero actuals.
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("forecast: MAPE length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	var sum float64
+	var n int
+	for i, a := range actual {
+		if a == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-a) / math.Abs(a)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

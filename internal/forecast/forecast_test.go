@@ -1,0 +1,158 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// seasonalSeries builds level + trend + sinusoidal season + noise.
+func seasonalSeries(n, period int, level, trend, amp, noise float64, g *rng.RNG) []float64 {
+	out := make([]float64, n)
+	for t := range out {
+		season := amp * math.Sin(2*math.Pi*float64(t%period)/float64(period))
+		out[t] = level + trend*float64(t) + season + noise*g.NormFloat64()
+	}
+	return out
+}
+
+func TestSeasonalNaiveExactOnPureSeason(t *testing.T) {
+	s := &SeasonalNaive{Period: 4}
+	series := []float64{1, 2, 3, 4, 1, 2, 3, 4}
+	if err := s.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	pred := s.Forecast(6)
+	want := []float64{1, 2, 3, 4, 1, 2}
+	for i, w := range want {
+		if pred[i] != w {
+			t.Fatalf("pred[%d] = %v, want %v", i, pred[i], w)
+		}
+	}
+}
+
+func TestSeasonalNaiveErrors(t *testing.T) {
+	if err := (&SeasonalNaive{}).Fit([]float64{1}); err == nil {
+		t.Fatal("expected period error")
+	}
+	if err := (&SeasonalNaive{Period: 4}).Fit([]float64{1, 2}); err == nil {
+		t.Fatal("expected short-series error")
+	}
+}
+
+func TestHoltWintersTracksTrendAndSeason(t *testing.T) {
+	g := rng.New(1)
+	period := 24
+	series := seasonalSeries(period*10, period, 100, 0.5, 20, 1, g)
+	hw := &HoltWinters{Period: period}
+	if err := hw.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	pred := hw.Forecast(period)
+	truth := seasonalSeries(period*11, period, 100, 0.5, 20, 0, rng.New(2))[period*10:]
+	if m := MAPE(pred, truth); m > 0.05 {
+		t.Fatalf("Holt-Winters MAPE %v too high", m)
+	}
+}
+
+func TestHoltWintersBeatsSeasonalNaiveUnderTrend(t *testing.T) {
+	g := rng.New(3)
+	period := 24
+	series := seasonalSeries(period*8, period, 50, 1.0, 10, 0.5, g)
+	truth := seasonalSeries(period*9, period, 50, 1.0, 10, 0, rng.New(4))[period*8:]
+
+	hw := &HoltWinters{Period: period}
+	if err := hw.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	sn := &SeasonalNaive{Period: period}
+	if err := sn.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	if MAPE(hw.Forecast(period), truth) >= MAPE(sn.Forecast(period), truth) {
+		t.Fatal("Holt-Winters should beat seasonal-naive on a trending series")
+	}
+}
+
+func TestHoltWintersErrors(t *testing.T) {
+	if err := (&HoltWinters{}).Fit([]float64{1}); err == nil {
+		t.Fatal("expected period error")
+	}
+	if err := (&HoltWinters{Period: 4}).Fit([]float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("expected two-season error")
+	}
+}
+
+func TestForecastBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&HoltWinters{Period: 2}).Forecast(2)
+}
+
+func TestProbabilisticCoverage(t *testing.T) {
+	g := rng.New(5)
+	period := 24
+	series := seasonalSeries(period*12, period, 100, 0, 15, 3, g)
+	horizon := period
+	p := &Probabilistic{Base: &HoltWinters{Period: period}, Level: 0.9}
+	if err := p.Fit(series, horizon); err != nil {
+		t.Fatal(err)
+	}
+	iv := p.Intervals(horizon)
+	if len(iv) != horizon {
+		t.Fatalf("intervals %d", len(iv))
+	}
+	truth := seasonalSeries(period*13, period, 100, 0, 15, 3, rng.New(6))[period*12:]
+	cov := metrics.Coverage(truth, iv)
+	if cov < 0.6 {
+		t.Fatalf("coverage %v too low for a stationary series", cov)
+	}
+	for _, i := range iv {
+		if i.Lo > i.Median || i.Median > i.Hi {
+			t.Fatalf("interval not ordered: %+v", i)
+		}
+		if i.Lo < 0 {
+			t.Fatal("negative workload bound")
+		}
+	}
+}
+
+func TestProbabilisticErrors(t *testing.T) {
+	p := &Probabilistic{Base: &SeasonalNaive{Period: 4}, Level: 1.5}
+	if err := p.Fit(make([]float64, 40), 4); err == nil {
+		t.Fatal("expected level error")
+	}
+	p2 := &Probabilistic{Base: &SeasonalNaive{Period: 4}, Level: 0.9}
+	if err := p2.Fit([]float64{1, 2, 3, 4}, 4); err == nil {
+		t.Fatal("expected too-short error")
+	}
+}
+
+func TestIntervalsBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Probabilistic{Base: &SeasonalNaive{Period: 2}, Level: 0.9}).Intervals(2)
+}
+
+func TestMAPE(t *testing.T) {
+	if m := MAPE([]float64{110, 90}, []float64{100, 100}); math.Abs(m-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v", m)
+	}
+	if MAPE([]float64{5}, []float64{0}) != 0 {
+		t.Fatal("zero actuals should be skipped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}

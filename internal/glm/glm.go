@@ -1,0 +1,296 @@
+// Package glm implements Poisson regression — the paper's batch-arrival
+// model (§2.1) — standing in for the statsmodels GLM package. Two
+// solvers are provided: iteratively re-weighted least squares (the
+// paper's choice, supporting an L2/ridge penalty) and proximal gradient
+// descent (supporting the full elastic-net penalty from §2.1.1).
+package glm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Solver selects the fitting algorithm.
+type Solver int
+
+const (
+	// IRLS is iteratively re-weighted least squares (Newton's method on
+	// the Poisson log-likelihood). The L1 penalty must be zero.
+	IRLS Solver = iota
+	// ProxGrad is proximal gradient descent with backtracking line
+	// search; it supports the full elastic-net penalty.
+	ProxGrad
+)
+
+// Options controls fitting.
+type Options struct {
+	Solver  Solver
+	L1      float64 // elastic-net L1 penalty weight
+	L2      float64 // elastic-net L2 penalty weight
+	MaxIter int     // default 100 (IRLS) / 500 (ProxGrad)
+	Tol     float64 // relative NLL improvement stopping threshold, default 1e-8
+}
+
+// PoissonRegression is a fitted inhomogeneous Poisson rate model:
+// mu(x) = exp(w·x + b).
+type PoissonRegression struct {
+	W         []float64
+	Intercept float64
+}
+
+// Rate returns the predicted Poisson mean for feature vector x.
+func (m *PoissonRegression) Rate(x []float64) float64 {
+	return math.Exp(m.linear(x))
+}
+
+func (m *PoissonRegression) linear(x []float64) float64 {
+	if len(x) != len(m.W) {
+		panic(fmt.Sprintf("glm: feature len %d, model has %d", len(x), len(m.W)))
+	}
+	return mat.Dot(m.W, x) + m.Intercept
+}
+
+// NLL returns the mean Poisson negative log-likelihood of counts y given
+// features X (ignoring the y! term, as in the paper's loss).
+func (m *PoissonRegression) NLL(x *mat.Dense, y []float64) float64 {
+	if x.Rows != len(y) {
+		panic("glm: NLL rows mismatch")
+	}
+	var total float64
+	for i := 0; i < x.Rows; i++ {
+		eta := m.linear(x.Row(i))
+		total += math.Exp(eta) - y[i]*eta
+	}
+	return total / float64(x.Rows)
+}
+
+// Fit fits a Poisson regression of counts y on features X.
+func Fit(x *mat.Dense, y []float64, opt Options) (*PoissonRegression, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("glm: %d rows but %d targets", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return nil, errors.New("glm: empty training set")
+	}
+	for _, v := range y {
+		if v < 0 {
+			return nil, errors.New("glm: negative count")
+		}
+	}
+	switch opt.Solver {
+	case IRLS:
+		if opt.L1 != 0 {
+			return nil, errors.New("glm: IRLS does not support an L1 penalty; use ProxGrad")
+		}
+		return fitIRLS(x, y, opt)
+	case ProxGrad:
+		return fitProx(x, y, opt)
+	default:
+		return nil, fmt.Errorf("glm: unknown solver %d", opt.Solver)
+	}
+}
+
+// fitIRLS runs Newton iterations: at each step solve
+// (Xᵀ diag(mu) X + l2 I) d = Xᵀ(y - mu) - l2 w.
+func fitIRLS(x *mat.Dense, y []float64, opt Options) (*PoissonRegression, error) {
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	n, d := x.Rows, x.Cols
+	// Augment with intercept column (unpenalized).
+	da := d + 1
+	w := make([]float64, da)
+	// Start the intercept at log(mean(y)) for fast convergence.
+	var ybar float64
+	for _, v := range y {
+		ybar += v
+	}
+	ybar /= float64(n)
+	w[d] = math.Log(math.Max(ybar, 1e-8))
+	mu := make([]float64, n)
+	prev := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		var nll float64
+		for i := 0; i < n; i++ {
+			eta := mat.Dot(x.Row(i), w[:d]) + w[d]
+			eta = math.Min(eta, 30) // guard against overflow mid-iteration
+			mu[i] = math.Exp(eta)
+			nll += mu[i] - y[i]*eta
+		}
+		for j := 0; j < d; j++ {
+			nll += 0.5 * opt.L2 * w[j] * w[j]
+		}
+		if !math.IsInf(prev, 1) && math.Abs(prev-nll) <= tol*math.Max(1, math.Abs(prev)) {
+			break
+		}
+		prev = nll
+		// Hessian H = Xaᵀ diag(mu) Xa + l2 I (intercept unpenalized).
+		h := mat.NewDense(da, da)
+		grad := make([]float64, da)
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			r := y[i] - mu[i]
+			for j := 0; j < d; j++ {
+				grad[j] += r * row[j]
+			}
+			grad[d] += r
+			for j := 0; j < d; j++ {
+				wj := mu[i] * row[j]
+				if wj == 0 {
+					continue
+				}
+				hrow := h.Row(j)
+				for k := j; k < d; k++ {
+					hrow[k] += wj * row[k]
+				}
+				hrow[d] += wj
+			}
+			h.Set(d, d, h.At(d, d)+mu[i])
+		}
+		for j := 0; j < d; j++ {
+			grad[j] -= opt.L2 * w[j]
+			h.Set(j, j, h.At(j, j)+opt.L2+1e-10)
+		}
+		h.Set(d, d, h.At(d, d)+1e-10)
+		// Mirror upper triangle to lower.
+		for j := 0; j < da; j++ {
+			for k := 0; k < j; k++ {
+				h.Set(j, k, h.At(k, j))
+			}
+		}
+		step, ok := mat.SolveCholesky(h, grad)
+		if !ok {
+			return nil, errors.New("glm: IRLS Hessian not positive definite")
+		}
+		// Damped Newton: halve until NLL does not explode.
+		scale := 1.0
+		for tries := 0; tries < 20; tries++ {
+			cand := make([]float64, da)
+			for j := range cand {
+				cand[j] = w[j] + scale*step[j]
+			}
+			if nllOf(x, y, cand, opt.L2) < prev+1e-12 {
+				w = cand
+				break
+			}
+			scale /= 2
+			if tries == 19 {
+				w = cand
+			}
+		}
+	}
+	return &PoissonRegression{W: w[:d], Intercept: w[d]}, nil
+}
+
+func nllOf(x *mat.Dense, y []float64, w []float64, l2 float64) float64 {
+	d := x.Cols
+	var nll float64
+	for i := 0; i < x.Rows; i++ {
+		eta := mat.Dot(x.Row(i), w[:d]) + w[d]
+		eta = math.Min(eta, 30)
+		nll += math.Exp(eta) - y[i]*eta
+	}
+	for j := 0; j < d; j++ {
+		nll += 0.5 * l2 * w[j] * w[j]
+	}
+	return nll
+}
+
+// fitProx runs ISTA with backtracking: gradient step on the smooth part
+// (NLL + L2) followed by soft-thresholding for the L1 part.
+func fitProx(x *mat.Dense, y []float64, opt Options) (*PoissonRegression, error) {
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 500
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	n, d := x.Rows, x.Cols
+	w := make([]float64, d+1)
+	var ybar float64
+	for _, v := range y {
+		ybar += v
+	}
+	ybar /= float64(n)
+	w[d] = math.Log(math.Max(ybar, 1e-8))
+	step := 1.0
+	prev := smoothNLL(x, y, w, opt.L2)
+	for iter := 0; iter < maxIter; iter++ {
+		grad := smoothGrad(x, y, w, opt.L2)
+		// Backtracking line search on the smooth objective.
+		var cand []float64
+		for tries := 0; ; tries++ {
+			cand = make([]float64, d+1)
+			for j := 0; j < d; j++ {
+				cand[j] = softThreshold(w[j]-step*grad[j], step*opt.L1)
+			}
+			cand[d] = w[d] - step*grad[d]
+			f := smoothNLL(x, y, cand, opt.L2)
+			// Sufficient-decrease test against the quadratic model.
+			var quad float64
+			for j := range cand {
+				diff := cand[j] - w[j]
+				quad += grad[j]*diff + diff*diff/(2*step)
+			}
+			if f <= prev+quad+1e-12 || tries >= 30 {
+				prev = f
+				break
+			}
+			step /= 2
+		}
+		var moved float64
+		for j := range w {
+			moved += math.Abs(cand[j] - w[j])
+		}
+		w = cand
+		if moved <= tol*(1+mat.Norm1(w)) {
+			break
+		}
+		step *= 1.2 // allow the step to grow back
+	}
+	return &PoissonRegression{W: w[:d], Intercept: w[d]}, nil
+}
+
+func smoothNLL(x *mat.Dense, y []float64, w []float64, l2 float64) float64 {
+	return nllOf(x, y, w, l2)
+}
+
+func smoothGrad(x *mat.Dense, y []float64, w []float64, l2 float64) []float64 {
+	d := x.Cols
+	grad := make([]float64, d+1)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		eta := mat.Dot(row, w[:d]) + w[d]
+		eta = math.Min(eta, 30)
+		r := math.Exp(eta) - y[i]
+		for j := 0; j < d; j++ {
+			grad[j] += r * row[j]
+		}
+		grad[d] += r
+	}
+	for j := 0; j < d; j++ {
+		grad[j] += l2 * w[j]
+	}
+	return grad
+}
+
+func softThreshold(v, lambda float64) float64 {
+	switch {
+	case v > lambda:
+		return v - lambda
+	case v < -lambda:
+		return v + lambda
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,213 @@
+package glm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// synthPoisson builds a dataset with known weights.
+func synthPoisson(g *rng.RNG, n int, w []float64, intercept float64) (*mat.Dense, []float64) {
+	d := len(w)
+	x := mat.NewDense(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = g.Uniform(-1, 1)
+		}
+		mu := math.Exp(mat.Dot(row, w) + intercept)
+		y[i] = float64(g.Poisson(mu))
+	}
+	return x, y
+}
+
+func TestIRLSRecoversWeights(t *testing.T) {
+	g := rng.New(1)
+	trueW := []float64{0.8, -0.5, 0.3}
+	x, y := synthPoisson(g, 4000, trueW, 1.2)
+	m, err := Fit(x, y, Options{Solver: IRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range trueW {
+		if math.Abs(m.W[j]-w) > 0.1 {
+			t.Errorf("w[%d] = %v, want ~%v", j, m.W[j], w)
+		}
+	}
+	if math.Abs(m.Intercept-1.2) > 0.1 {
+		t.Errorf("intercept = %v, want ~1.2", m.Intercept)
+	}
+}
+
+func TestProxGradRecoversWeights(t *testing.T) {
+	g := rng.New(2)
+	trueW := []float64{0.6, -0.7}
+	x, y := synthPoisson(g, 4000, trueW, 0.8)
+	m, err := Fit(x, y, Options{Solver: ProxGrad, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range trueW {
+		if math.Abs(m.W[j]-w) > 0.12 {
+			t.Errorf("w[%d] = %v, want ~%v", j, m.W[j], w)
+		}
+	}
+}
+
+func TestIRLSAndProxAgree(t *testing.T) {
+	g := rng.New(3)
+	x, y := synthPoisson(g, 2000, []float64{0.4, 0.2, -0.3}, 0.5)
+	a, err := Fit(x, y, Options{Solver: IRLS, L2: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, y, Options{Solver: ProxGrad, L2: 0.1, MaxIter: 5000, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.W {
+		if math.Abs(a.W[j]-b.W[j]) > 0.02 {
+			t.Errorf("solver disagreement w[%d]: IRLS %v Prox %v", j, a.W[j], b.W[j])
+		}
+	}
+}
+
+func TestL1DrivesIrrelevantWeightsToZero(t *testing.T) {
+	g := rng.New(4)
+	// Two informative features followed by six pure-noise features.
+	trueW := []float64{1.0, -1.0, 0, 0, 0, 0, 0, 0}
+	x, y := synthPoisson(g, 3000, trueW, 1.0)
+	m, err := Fit(x, y, Options{Solver: ProxGrad, L1: 300, MaxIter: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed := 0
+	for j := 2; j < len(trueW); j++ {
+		if m.W[j] == 0 {
+			zeroed++
+		}
+	}
+	if zeroed < 4 {
+		t.Errorf("L1 zeroed only %d/6 noise weights: %v", zeroed, m.W)
+	}
+	if math.Abs(m.W[0]) < 0.3 || math.Abs(m.W[1]) < 0.3 {
+		t.Errorf("informative weights over-shrunk: %v", m.W[:2])
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	g := rng.New(5)
+	x, y := synthPoisson(g, 1000, []float64{1.5}, 0)
+	loose, err := Fit(x, y, Options{Solver: IRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Fit(x, y, Options{Solver: IRLS, L2: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight.W[0]) >= math.Abs(loose.W[0]) {
+		t.Errorf("L2 did not shrink: loose %v tight %v", loose.W[0], tight.W[0])
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	// With no informative features, the model should learn mu = mean(y).
+	g := rng.New(6)
+	n := 2000
+	x := mat.NewDense(n, 1) // all-zero feature
+	y := make([]float64, n)
+	var sum float64
+	for i := range y {
+		y[i] = float64(g.Poisson(7))
+		sum += y[i]
+	}
+	m, err := Fit(x, y, Options{Solver: IRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sum / float64(n)
+	if got := m.Rate(make([]float64, 1)); math.Abs(got-want) > 0.05 {
+		t.Errorf("rate %v, want %v", got, want)
+	}
+}
+
+func TestNLLDecreasesWithBetterModel(t *testing.T) {
+	g := rng.New(7)
+	x, y := synthPoisson(g, 2000, []float64{1.0, -0.5}, 1.0)
+	fitted, err := Fit(x, y, Options{Solver: IRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := &PoissonRegression{W: []float64{0, 0}, Intercept: 0}
+	if fitted.NLL(x, y) >= junk.NLL(x, y) {
+		t.Error("fitted model should have lower NLL than null model")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	x := mat.NewDense(2, 1)
+	if _, err := Fit(x, []float64{1}, Options{}); err == nil {
+		t.Error("expected rows mismatch error")
+	}
+	if _, err := Fit(mat.NewDense(0, 1), nil, Options{}); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, err := Fit(x, []float64{1, -2}, Options{}); err == nil {
+		t.Error("expected negative count error")
+	}
+	if _, err := Fit(x, []float64{1, 2}, Options{Solver: IRLS, L1: 1}); err == nil {
+		t.Error("expected IRLS+L1 error")
+	}
+	if _, err := Fit(x, []float64{1, 2}, Options{Solver: Solver(99)}); err == nil {
+		t.Error("expected unknown solver error")
+	}
+}
+
+func TestRatePanicsOnWrongLen(t *testing.T) {
+	m := &PoissonRegression{W: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Rate([]float64{1})
+}
+
+func TestIRLSCollinearFeatures(t *testing.T) {
+	// A constant column is perfectly collinear with the intercept; the
+	// ridge jitter must keep the Hessian factorizable.
+	g := rng.New(8)
+	n := 500
+	x := mat.NewDense(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1) // constant column
+		x.Set(i, 1, g.Uniform(-1, 1))
+		y[i] = float64(g.Poisson(math.Exp(0.5*x.At(i, 1) + 1)))
+	}
+	m, err := Fit(x, y, Options{Solver: IRLS, L2: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.W[1]-0.5) > 0.15 {
+		t.Fatalf("informative weight %v", m.W[1])
+	}
+}
+
+func TestIRLSAllZeroCounts(t *testing.T) {
+	// All-zero counts: the MLE pushes the intercept to -inf; the fit
+	// must still terminate and predict a tiny rate.
+	x := mat.NewDense(50, 1)
+	y := make([]float64, 50)
+	m, err := Fit(x, y, Options{Solver: IRLS, L2: 0.1, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := m.Rate([]float64{0}); rate > 0.05 {
+		t.Fatalf("rate %v should be near zero", rate)
+	}
+}

@@ -1,0 +1,289 @@
+// Package mat provides small dense linear-algebra primitives used by the
+// neural-network and regression packages. Matrices are row-major float64
+// and sized once; all operations check dimensions and panic on mismatch,
+// since a shape error is always a programming bug in this codebase.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major matrix of float64.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed r-by-c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (not copied) as an r-by-c matrix.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice %dx%d needs %d elements, got %d", r, c, r*c, len(data)))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets all elements of m to zero.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all elements of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Dense) SameShape(n *Dense) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+func (m *Dense) String() string {
+	return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+}
+
+// Mul computes dst = a * b. dst must be a.Rows x b.Cols and must not
+// alias a or b. The k-inner loop is ordered for sequential access.
+func Mul(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %v * %v -> %v", a, b, dst))
+	}
+	dst.Zero()
+	MulAdd(dst, a, b)
+}
+
+// MulAdd computes dst += a * b.
+func MulAdd(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulAdd shape mismatch %v * %v -> %v", a, b, dst))
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulATB computes dst += aᵀ * b (a is kxm, b is kxn, dst is mxn).
+func MulATB(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulATB shape mismatch %vᵀ * %v -> %v", a, b, dst))
+	}
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : k*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulABT computes dst += a * bᵀ (a is mxk, b is nxk, dst is mxn).
+func MulABT(dst, a, b *Dense) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulABT shape mismatch %v * %vᵀ -> %v", a, b, dst))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] += Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// AddBiasRows adds bias vector b to every row of m in place.
+func AddBiasRows(m *Dense, b []float64) {
+	if len(b) != m.Cols {
+		panic(fmt.Sprintf("mat: AddBiasRows bias len %d != cols %d", len(b), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range b {
+			row[j] += v
+		}
+	}
+}
+
+// SumRows accumulates the column-wise sum of m into dst (len m.Cols).
+func SumRows(dst []float64, m *Dense) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: SumRows dst len %d != cols %d", len(dst), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// Dot returns the inner product of equal-length vectors a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x element-wise.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in x (0 for empty input).
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AddTo computes dst = a + b element-wise over equal-shape matrices.
+func AddTo(dst, a, b *Dense) {
+	if !dst.SameShape(a) || !dst.SameShape(b) {
+		panic("mat: AddTo shape mismatch")
+	}
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+}
+
+// HadamardAdd computes dst += a ⊙ b element-wise.
+func HadamardAdd(dst, a, b *Dense) {
+	if !dst.SameShape(a) || !dst.SameShape(b) {
+		panic("mat: HadamardAdd shape mismatch")
+	}
+	for i, v := range a.Data {
+		dst.Data[i] += v * b.Data[i]
+	}
+}
+
+// SolveCholesky solves the symmetric positive-definite system A x = b in
+// place, returning x. A is modified (its lower triangle holds the
+// Cholesky factor on return). Returns false if A is not positive
+// definite to working precision.
+func SolveCholesky(a *Dense, b []float64) ([]float64, bool) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mat: SolveCholesky shape mismatch")
+	}
+	// Cholesky factorization A = L Lᵀ, stored in lower triangle.
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := a.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 {
+			return nil, false
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= a.At(i, k) * x[k]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	// Back solve Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= a.At(k, i) * x[k]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, true
+}

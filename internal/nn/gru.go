@@ -1,0 +1,268 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// GRU is a stacked gated-recurrent-unit network with a linear output
+// head — a lighter-weight alternative recurrent architecture (§7 of the
+// paper discusses architecture choice; the GRU ablation bench compares
+// it against the LSTM). The API mirrors LSTM: Forward/Backward over
+// step-major minibatches, StepForward for generation.
+type GRU struct {
+	Cfg    Config
+	layers []*gruLayer
+	wy     *Param
+	by     *Param
+	params []*Param
+}
+
+// gruLayer holds one layer's parameters. Gate order within the 3H
+// dimension is reset (r), update (z), candidate (n).
+type gruLayer struct {
+	in, hidden int
+	wx         *Param // [in x 3H]
+	wh         *Param // [H x 3H]
+	b          *Param // [1 x 3H]
+}
+
+// NewGRU constructs a GRU network with Xavier-uniform weights.
+func NewGRU(cfg Config, g *rng.RNG) *GRU {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := &GRU{Cfg: cfg}
+	in := cfg.InputDim
+	for l := 0; l < cfg.Layers; l++ {
+		layer := &gruLayer{
+			in:     in,
+			hidden: cfg.HiddenDim,
+			wx:     newParam(fmt.Sprintf("g%d.wx", l), in, 3*cfg.HiddenDim),
+			wh:     newParam(fmt.Sprintf("g%d.wh", l), cfg.HiddenDim, 3*cfg.HiddenDim),
+			b:      newParam(fmt.Sprintf("g%d.b", l), 1, 3*cfg.HiddenDim),
+		}
+		xavierInit(layer.wx.Value, in, cfg.HiddenDim, g)
+		xavierInit(layer.wh.Value, cfg.HiddenDim, cfg.HiddenDim, g)
+		n.layers = append(n.layers, layer)
+		n.params = append(n.params, layer.wx, layer.wh, layer.b)
+		in = cfg.HiddenDim
+	}
+	n.wy = newParam("ghead.wy", cfg.HiddenDim, cfg.OutputDim)
+	n.by = newParam("ghead.by", 1, cfg.OutputDim)
+	xavierInit(n.wy.Value, cfg.HiddenDim, cfg.OutputDim, g)
+	n.params = append(n.params, n.wy, n.by)
+	return n
+}
+
+// Params returns all learnable parameters.
+func (n *GRU) Params() []*Param { return n.params }
+
+// NumParams returns the scalar parameter count.
+func (n *GRU) NumParams() int {
+	total := 0
+	for _, p := range n.params {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// ZeroGrads clears gradients.
+func (n *GRU) ZeroGrads() {
+	for _, p := range n.params {
+		p.ZeroGrad()
+	}
+}
+
+// GRUState holds per-layer hidden activations.
+type GRUState struct {
+	H []*mat.Dense
+}
+
+// NewState returns a zero state for batch size b.
+func (n *GRU) NewState(b int) *GRUState {
+	s := &GRUState{}
+	for range n.layers {
+		s.H = append(s.H, mat.NewDense(b, n.Cfg.HiddenDim))
+	}
+	return s
+}
+
+// gruStepCache stores one step's activations for backward.
+type gruStepCache struct {
+	x       *mat.Dense
+	hPrev   *mat.Dense
+	r, z, c *mat.Dense // gate activations; c is the candidate (tanh)
+	h       *mat.Dense // output hidden state
+	// rh = r ⊙ hPrev, the input to the candidate's recurrent term.
+	rh *mat.Dense
+}
+
+// GRUCache is the forward cache.
+type GRUCache struct {
+	steps  [][]*gruStepCache
+	hidden []*mat.Dense
+	batch  int
+}
+
+// T returns the cached step count.
+func (c *GRUCache) T() int { return len(c.steps) }
+
+// Forward runs the network over xs, mirroring LSTM.Forward.
+func (n *GRU) Forward(xs []*mat.Dense, st *GRUState) ([]*mat.Dense, *GRUCache) {
+	if len(xs) == 0 {
+		return nil, &GRUCache{}
+	}
+	b := xs[0].Rows
+	if st == nil {
+		st = n.NewState(b)
+	}
+	cache := &GRUCache{batch: b}
+	ys := make([]*mat.Dense, len(xs))
+	for t, x := range xs {
+		layerIn := x
+		stepCaches := make([]*gruStepCache, len(n.layers))
+		for l, layer := range n.layers {
+			sc := layer.forward(layerIn, st.H[l])
+			stepCaches[l] = sc
+			st.H[l] = sc.h
+			layerIn = sc.h
+		}
+		cache.steps = append(cache.steps, stepCaches)
+		cache.hidden = append(cache.hidden, layerIn)
+		y := mat.NewDense(b, n.Cfg.OutputDim)
+		mat.MulAdd(y, layerIn, n.wy.Value)
+		mat.AddBiasRows(y, n.by.Value.Row(0))
+		ys[t] = y
+	}
+	return ys, cache
+}
+
+func (l *gruLayer) forward(x, hPrev *mat.Dense) *gruStepCache {
+	b := x.Rows
+	h := l.hidden
+	// zx = x Wx + bias; zh = hPrev Wh (candidate recurrent term needs
+	// r applied before Wh's n-block, so compute blocks separately).
+	zx := mat.NewDense(b, 3*h)
+	mat.MulAdd(zx, x, l.wx.Value)
+	mat.AddBiasRows(zx, l.b.Value.Row(0))
+	zh := mat.NewDense(b, 3*h)
+	mat.MulAdd(zh, hPrev, l.wh.Value)
+	sc := &gruStepCache{
+		x: x, hPrev: hPrev,
+		r: mat.NewDense(b, h), z: mat.NewDense(b, h), c: mat.NewDense(b, h),
+		h: mat.NewDense(b, h), rh: mat.NewDense(b, h),
+	}
+	for row := 0; row < b; row++ {
+		zxr, zhr := zx.Row(row), zh.Row(row)
+		rr, zr, cr := sc.r.Row(row), sc.z.Row(row), sc.c.Row(row)
+		hp, hr, rhr := hPrev.Row(row), sc.h.Row(row), sc.rh.Row(row)
+		for j := 0; j < h; j++ {
+			rr[j] = sigmoid(zxr[j] + zhr[j])
+			zr[j] = sigmoid(zxr[h+j] + zhr[h+j])
+		}
+		// Candidate: n = tanh(zx_n + r ⊙ zh_n). Note rh caches r⊙hPrev
+		// only for the gradient of Wh's n-block, which sees r⊙hPrev...
+		// in this formulation the recurrent term is r ⊙ (hPrev Wh_n),
+		// i.e. the gate applies after the matmul (the "v3" GRU variant,
+		// also used by cuDNN), so cache r and zh_n instead.
+		for j := 0; j < h; j++ {
+			rhr[j] = zhr[2*h+j] // stash zh_n for backward
+			cr[j] = math.Tanh(zxr[2*h+j] + rr[j]*zhr[2*h+j])
+			hr[j] = (1-zr[j])*cr[j] + zr[j]*hp[j]
+		}
+	}
+	return sc
+}
+
+// Backward runs truncated backpropagation through time.
+func (n *GRU) Backward(cache *GRUCache, dys []*mat.Dense) {
+	if len(dys) != cache.T() {
+		panic(fmt.Sprintf("nn: GRU Backward got %d grads for %d steps", len(dys), cache.T()))
+	}
+	if cache.T() == 0 {
+		return
+	}
+	b := cache.batch
+	h := n.Cfg.HiddenDim
+	nl := len(n.layers)
+	dh := make([]*mat.Dense, nl)
+	for l := range dh {
+		dh[l] = mat.NewDense(b, h)
+	}
+	dzx := mat.NewDense(b, 3*h)
+	dzh := mat.NewDense(b, 3*h)
+	for t := cache.T() - 1; t >= 0; t-- {
+		dy := dys[t]
+		hTop := cache.hidden[t]
+		mat.MulATB(n.wy.Grad, hTop, dy)
+		mat.SumRows(n.by.Grad.Row(0), dy)
+		mat.MulABT(dh[nl-1], dy, n.wy.Value)
+		for l := nl - 1; l >= 0; l-- {
+			sc := cache.steps[t][l]
+			layer := n.layers[l]
+			dhl := dh[l]
+			dzx.Zero()
+			dzh.Zero()
+			dhPrevGate := mat.NewDense(b, h)
+			for row := 0; row < b; row++ {
+				dhr := dhl.Row(row)
+				rr, zr, cr := sc.r.Row(row), sc.z.Row(row), sc.c.Row(row)
+				hp, zhn := sc.hPrev.Row(row), sc.rh.Row(row)
+				dzxr, dzhr := dzx.Row(row), dzh.Row(row)
+				dhp := dhPrevGate.Row(row)
+				for j := 0; j < h; j++ {
+					dH := dhr[j]
+					// h = (1-z)*c + z*hPrev
+					dz := dH * (hp[j] - cr[j])
+					dc := dH * (1 - zr[j])
+					dhp[j] += dH * zr[j]
+					// c = tanh(zx_n + r*zh_n)
+					dPre := dc * (1 - cr[j]*cr[j])
+					dzxr[2*h+j] = dPre
+					dr := dPre * zhn[j]
+					dzhr[2*h+j] = dPre * rr[j]
+					// gates
+					dzr := dz * zr[j] * (1 - zr[j])
+					dzxr[h+j] = dzr
+					dzhr[h+j] = dzr
+					drr := dr * rr[j] * (1 - rr[j])
+					dzxr[j] = drr
+					dzhr[j] = drr
+				}
+			}
+			mat.MulATB(layer.wx.Grad, sc.x, dzx)
+			mat.SumRows(layer.b.Grad.Row(0), dzx)
+			mat.MulATB(layer.wh.Grad, sc.hPrev, dzh)
+			// dhPrev = gate term + dzh Whᵀ.
+			dhl.Zero()
+			mat.MulABT(dhl, dzh, layer.wh.Value)
+			for i := range dhl.Data {
+				dhl.Data[i] += dhPrevGate.Data[i]
+			}
+			if l > 0 {
+				mat.MulABT(dh[l-1], dzx, layer.wx.Value)
+			}
+		}
+	}
+}
+
+// StepForward runs one batch-1 inference step.
+func (n *GRU) StepForward(x []float64, st *GRUState) []float64 {
+	if len(x) != n.Cfg.InputDim {
+		panic(fmt.Sprintf("nn: GRU StepForward input len %d, want %d", len(x), n.Cfg.InputDim))
+	}
+	in := mat.FromSlice(1, len(x), x)
+	for l, layer := range n.layers {
+		sc := layer.forward(in, st.H[l])
+		st.H[l] = sc.h
+		in = sc.h
+	}
+	y := mat.NewDense(1, n.Cfg.OutputDim)
+	mat.MulAdd(y, in, n.wy.Value)
+	mat.AddBiasRows(y, n.by.Value.Row(0))
+	return y.Row(0)
+}

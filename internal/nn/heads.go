@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// SoftmaxCE computes the mean softmax cross-entropy over the valid steps
+// of a batch of logits and returns (loss, dLogits, count). logits is
+// [B x K]; targets[r] is the class index for row r; valid[r] false marks
+// padding rows that contribute neither loss nor gradient (pass nil for
+// all-valid). The gradient is of the summed loss (not mean), matching
+// how the trainer normalizes across a whole minibatch.
+func SoftmaxCE(logits *mat.Dense, targets []int, valid []bool) (loss float64, dLogits *mat.Dense, count int) {
+	b, k := logits.Rows, logits.Cols
+	if len(targets) != b {
+		panic(fmt.Sprintf("nn: SoftmaxCE %d targets for %d rows", len(targets), b))
+	}
+	if valid != nil && len(valid) != b {
+		panic("nn: SoftmaxCE valid length mismatch")
+	}
+	dLogits = mat.NewDense(b, k)
+	for r := 0; r < b; r++ {
+		if valid != nil && !valid[r] {
+			continue
+		}
+		tgt := targets[r]
+		if tgt < 0 || tgt >= k {
+			panic(fmt.Sprintf("nn: SoftmaxCE target %d out of range [0,%d)", tgt, k))
+		}
+		row := logits.Row(r)
+		probs := dLogits.Row(r) // reuse as scratch: will hold p - onehot
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			probs[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range probs {
+			probs[j] *= inv
+		}
+		loss += -math.Log(math.Max(probs[tgt], 1e-300))
+		probs[tgt] -= 1
+		count++
+	}
+	return loss, dLogits, count
+}
+
+// LogSoftmax returns the log-probabilities for one logit vector.
+func LogSoftmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(v - maxv)
+	}
+	lse := maxv + math.Log(sum)
+	for i, v := range logits {
+		out[i] = v - lse
+	}
+	return out
+}
+
+// Softmax returns the probabilities for one logit vector.
+func Softmax(logits []float64) []float64 {
+	out := LogSoftmax(logits)
+	for i, v := range out {
+		out[i] = math.Exp(v)
+	}
+	return out
+}
+
+// MaskedBCEWithLogits computes the summed binary cross-entropy with
+// logits over masked outputs, the numerically stable equivalent of
+// PyTorch's BCEWithLogitsLoss with a weight mask (§4.1 of the paper).
+// logits, targets and mask are all [B x K]; entries with mask 0
+// contribute neither loss nor gradient. Returns (loss, dLogits, count)
+// where count is the number of unmasked outputs.
+func MaskedBCEWithLogits(logits, targets, mask *mat.Dense) (loss float64, dLogits *mat.Dense, count int) {
+	if !logits.SameShape(targets) || !logits.SameShape(mask) {
+		panic("nn: MaskedBCEWithLogits shape mismatch")
+	}
+	dLogits = mat.NewDense(logits.Rows, logits.Cols)
+	for i, z := range logits.Data {
+		m := mask.Data[i]
+		if m == 0 {
+			continue
+		}
+		t := targets.Data[i]
+		// Stable: max(z,0) - z*t + log(1+exp(-|z|)).
+		l := math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))
+		loss += m * l
+		dLogits.Data[i] = m * (sigmoid(z) - t)
+		count++
+	}
+	return loss, dLogits, count
+}
+
+// Sigmoid applies the logistic function element-wise to a copy of x.
+func Sigmoid(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = sigmoid(v)
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+// Package nn is a from-scratch neural-network substrate standing in for
+// the PyTorch stack the paper trained with. It provides multi-layer LSTM
+// networks with full backpropagation-through-time, a linear output head,
+// softmax cross-entropy and masked binary-cross-entropy-with-logits
+// losses (the two heads the paper's flavor and lifetime models use), and
+// an Adam optimizer with decoupled weight decay. All math is float64 on
+// the stdlib only; gradients are verified against numerical
+// differentiation in the package tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Param is one learnable tensor together with its gradient accumulator
+// and Adam moment estimates.
+type Param struct {
+	Name  string
+	Value *mat.Dense
+	Grad  *mat.Dense
+	m, v  *mat.Dense // Adam first/second moment estimates
+}
+
+func newParam(name string, r, c int) *Param {
+	return &Param{
+		Name:  name,
+		Value: mat.NewDense(r, c),
+		Grad:  mat.NewDense(r, c),
+		m:     mat.NewDense(r, c),
+		v:     mat.NewDense(r, c),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Config describes an LSTM network: stacked LSTM layers followed by a
+// linear head producing OutputDim scores per step.
+type Config struct {
+	InputDim  int
+	HiddenDim int
+	Layers    int
+	OutputDim int
+}
+
+func (c Config) validate() error {
+	if c.InputDim <= 0 || c.HiddenDim <= 0 || c.Layers <= 0 || c.OutputDim <= 0 {
+		return fmt.Errorf("nn: invalid config %+v", c)
+	}
+	return nil
+}
+
+// lstmLayer holds the parameters of one LSTM layer. Gate order within
+// the 4H dimension is input, forget, cell (g), output.
+type lstmLayer struct {
+	in, hidden int
+	wx         *Param // [in x 4H]
+	wh         *Param // [H x 4H]
+	b          *Param // [1 x 4H]
+}
+
+// LSTM is a stacked LSTM network with a linear output head.
+type LSTM struct {
+	Cfg    Config
+	layers []*lstmLayer
+	wy     *Param // [H x OutputDim]
+	by     *Param // [1 x OutputDim]
+	params []*Param
+}
+
+// NewLSTM constructs a network with Xavier-uniform weights (forget-gate
+// biases initialized to +1, the standard trick for gradient flow).
+func NewLSTM(cfg Config, g *rng.RNG) *LSTM {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := &LSTM{Cfg: cfg}
+	in := cfg.InputDim
+	for l := 0; l < cfg.Layers; l++ {
+		layer := &lstmLayer{
+			in:     in,
+			hidden: cfg.HiddenDim,
+			wx:     newParam(fmt.Sprintf("l%d.wx", l), in, 4*cfg.HiddenDim),
+			wh:     newParam(fmt.Sprintf("l%d.wh", l), cfg.HiddenDim, 4*cfg.HiddenDim),
+			b:      newParam(fmt.Sprintf("l%d.b", l), 1, 4*cfg.HiddenDim),
+		}
+		xavierInit(layer.wx.Value, in, cfg.HiddenDim, g)
+		xavierInit(layer.wh.Value, cfg.HiddenDim, cfg.HiddenDim, g)
+		for j := cfg.HiddenDim; j < 2*cfg.HiddenDim; j++ {
+			layer.b.Value.Set(0, j, 1) // forget gate bias
+		}
+		n.layers = append(n.layers, layer)
+		n.params = append(n.params, layer.wx, layer.wh, layer.b)
+		in = cfg.HiddenDim
+	}
+	n.wy = newParam("head.wy", cfg.HiddenDim, cfg.OutputDim)
+	n.by = newParam("head.by", 1, cfg.OutputDim)
+	xavierInit(n.wy.Value, cfg.HiddenDim, cfg.OutputDim, g)
+	n.params = append(n.params, n.wy, n.by)
+	return n
+}
+
+func xavierInit(w *mat.Dense, fanIn, fanOut int, g *rng.RNG) {
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = g.Uniform(-bound, bound)
+	}
+}
+
+// Params returns all learnable parameters (for the optimizer and tests).
+func (n *LSTM) Params() []*Param { return n.params }
+
+// NumParams returns the total number of scalar parameters.
+func (n *LSTM) NumParams() int {
+	total := 0
+	for _, p := range n.params {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// ZeroGrads clears all parameter gradients.
+func (n *LSTM) ZeroGrads() {
+	for _, p := range n.params {
+		p.ZeroGrad()
+	}
+}
+
+// State holds per-layer hidden and cell activations for a batch, used
+// both to carry state across Forward calls and for stepwise generation.
+type State struct {
+	H []*mat.Dense // per layer, [B x H]
+	C []*mat.Dense // per layer, [B x H]
+}
+
+// NewState returns a zero state for batch size b.
+func (n *LSTM) NewState(b int) *State {
+	s := &State{}
+	for range n.layers {
+		s.H = append(s.H, mat.NewDense(b, n.Cfg.HiddenDim))
+		s.C = append(s.C, mat.NewDense(b, n.Cfg.HiddenDim))
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{}
+	for i := range s.H {
+		out.H = append(out.H, s.H[i].Clone())
+		out.C = append(out.C, s.C[i].Clone())
+	}
+	return out
+}
+
+// Zero clears the state in place.
+func (s *State) Zero() {
+	for i := range s.H {
+		s.H[i].Zero()
+		s.C[i].Zero()
+	}
+}
+
+// stepCache stores activations from one time step of one layer that the
+// backward pass needs.
+type stepCache struct {
+	x          *mat.Dense // layer input [B x in]
+	hPrev      *mat.Dense // [B x H]
+	cPrev      *mat.Dense // [B x H]
+	i, f, g, o *mat.Dense // gate activations [B x H]
+	c          *mat.Dense // new cell [B x H]
+	tanhC      *mat.Dense // tanh(c) [B x H]
+}
+
+// Cache stores everything Forward computed that Backward consumes.
+type Cache struct {
+	steps  [][]*stepCache // [T][layer]
+	hidden []*mat.Dense   // top-layer h per step [B x H]
+	batch  int
+}
+
+// T returns the number of time steps in the cached forward pass.
+func (c *Cache) T() int { return len(c.steps) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs the network over xs (a sequence of [B x InputDim] step
+// inputs), starting from state st (zero state if nil; st is updated in
+// place to the final state). It returns per-step output logits
+// [B x OutputDim] and a cache for Backward.
+func (n *LSTM) Forward(xs []*mat.Dense, st *State) ([]*mat.Dense, *Cache) {
+	if len(xs) == 0 {
+		return nil, &Cache{}
+	}
+	b := xs[0].Rows
+	if st == nil {
+		st = n.NewState(b)
+	}
+	h := n.Cfg.HiddenDim
+	cache := &Cache{batch: b}
+	ys := make([]*mat.Dense, len(xs))
+	for t, x := range xs {
+		if x.Rows != b || x.Cols != n.Cfg.InputDim {
+			panic(fmt.Sprintf("nn: step %d input %v, want %dx%d", t, x, b, n.Cfg.InputDim))
+		}
+		layerIn := x
+		stepCaches := make([]*stepCache, len(n.layers))
+		for l, layer := range n.layers {
+			sc := layer.forward(layerIn, st.H[l], st.C[l])
+			stepCaches[l] = sc
+			st.H[l] = sc.hOut(h)
+			st.C[l] = sc.c
+			layerIn = st.H[l]
+		}
+		cache.steps = append(cache.steps, stepCaches)
+		cache.hidden = append(cache.hidden, layerIn)
+		// Output head: y = h*Wy + by.
+		y := mat.NewDense(b, n.Cfg.OutputDim)
+		mat.MulAdd(y, layerIn, n.wy.Value)
+		mat.AddBiasRows(y, n.by.Value.Row(0))
+		ys[t] = y
+	}
+	return ys, cache
+}
+
+// hOut recomputes h = o ⊙ tanh(c) from the cached gates; stored as a
+// method so forward only materializes it once.
+func (sc *stepCache) hOut(h int) *mat.Dense {
+	out := mat.NewDense(sc.c.Rows, h)
+	for i := range out.Data {
+		out.Data[i] = sc.o.Data[i] * sc.tanhC.Data[i]
+	}
+	return out
+}
+
+func (l *lstmLayer) forward(x, hPrev, cPrev *mat.Dense) *stepCache {
+	b := x.Rows
+	h := l.hidden
+	z := mat.NewDense(b, 4*h)
+	mat.MulAdd(z, x, l.wx.Value)
+	mat.MulAdd(z, hPrev, l.wh.Value)
+	mat.AddBiasRows(z, l.b.Value.Row(0))
+	sc := &stepCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: mat.NewDense(b, h), f: mat.NewDense(b, h),
+		g: mat.NewDense(b, h), o: mat.NewDense(b, h),
+		c: mat.NewDense(b, h), tanhC: mat.NewDense(b, h),
+	}
+	for r := 0; r < b; r++ {
+		zrow := z.Row(r)
+		irow, frow, grow, orow := sc.i.Row(r), sc.f.Row(r), sc.g.Row(r), sc.o.Row(r)
+		crow, cprow, tcrow := sc.c.Row(r), cPrev.Row(r), sc.tanhC.Row(r)
+		for j := 0; j < h; j++ {
+			irow[j] = sigmoid(zrow[j])
+			frow[j] = sigmoid(zrow[h+j])
+			grow[j] = math.Tanh(zrow[2*h+j])
+			orow[j] = sigmoid(zrow[3*h+j])
+			crow[j] = frow[j]*cprow[j] + irow[j]*grow[j]
+			tcrow[j] = math.Tanh(crow[j])
+		}
+	}
+	return sc
+}
+
+// Backward runs backpropagation-through-time. dys holds the gradient of
+// the loss with respect to each step's output logits (same shapes as the
+// Forward outputs). Gradients are accumulated into the parameters; call
+// ZeroGrads first for a fresh minibatch.
+func (n *LSTM) Backward(cache *Cache, dys []*mat.Dense) {
+	if len(dys) != cache.T() {
+		panic(fmt.Sprintf("nn: Backward got %d grads for %d steps", len(dys), cache.T()))
+	}
+	if cache.T() == 0 {
+		return
+	}
+	b := cache.batch
+	h := n.Cfg.HiddenDim
+	nl := len(n.layers)
+	// Running gradients flowing backward in time, per layer.
+	dh := make([]*mat.Dense, nl)
+	dc := make([]*mat.Dense, nl)
+	for l := 0; l < nl; l++ {
+		dh[l] = mat.NewDense(b, h)
+		dc[l] = mat.NewDense(b, h)
+	}
+	dz := mat.NewDense(b, 4*h)
+	for t := cache.T() - 1; t >= 0; t-- {
+		// Head gradient: y = h_top*Wy + by.
+		dy := dys[t]
+		if dy.Rows != b || dy.Cols != n.Cfg.OutputDim {
+			panic(fmt.Sprintf("nn: Backward step %d grad %v", t, dy))
+		}
+		hTop := cache.hidden[t]
+		mat.MulATB(n.wy.Grad, hTop, dy)
+		mat.SumRows(n.by.Grad.Row(0), dy)
+		// dh_top += dy * Wyᵀ
+		mat.MulABT(dh[nl-1], dy, n.wy.Value)
+		// Backward through layers, top to bottom.
+		for l := nl - 1; l >= 0; l-- {
+			sc := cache.steps[t][l]
+			layer := n.layers[l]
+			dhl, dcl := dh[l], dc[l]
+			// Through h = o*tanh(c) and cell update.
+			dz.Zero()
+			for r := 0; r < b; r++ {
+				dhRow, dcRow := dhl.Row(r), dcl.Row(r)
+				iRow, fRow, gRow, oRow := sc.i.Row(r), sc.f.Row(r), sc.g.Row(r), sc.o.Row(r)
+				tcRow, cpRow := sc.tanhC.Row(r), sc.cPrev.Row(r)
+				dzRow := dz.Row(r)
+				for j := 0; j < h; j++ {
+					doj := dhRow[j] * tcRow[j]
+					dcj := dcRow[j] + dhRow[j]*oRow[j]*(1-tcRow[j]*tcRow[j])
+					dij := dcj * gRow[j]
+					dfj := dcj * cpRow[j]
+					dgj := dcj * iRow[j]
+					// Pre-activation gradients.
+					dzRow[j] = dij * iRow[j] * (1 - iRow[j])
+					dzRow[h+j] = dfj * fRow[j] * (1 - fRow[j])
+					dzRow[2*h+j] = dgj * (1 - gRow[j]*gRow[j])
+					dzRow[3*h+j] = doj * oRow[j] * (1 - oRow[j])
+					// Gradient to previous cell.
+					dcRow[j] = dcj * fRow[j]
+				}
+			}
+			// Parameter gradients.
+			mat.MulATB(layer.wx.Grad, sc.x, dz)
+			mat.MulATB(layer.wh.Grad, sc.hPrev, dz)
+			mat.SumRows(layer.b.Grad.Row(0), dz)
+			// Gradient to previous h (same layer, previous step).
+			dhl.Zero()
+			mat.MulABT(dhl, dz, layer.wh.Value)
+			// Gradient to layer input: flows into dh of layer below at
+			// this same time step.
+			if l > 0 {
+				mat.MulABT(dh[l-1], dz, n.layers[l].wx.Value)
+			}
+		}
+	}
+}
+
+// StepForward runs a single step for batch size 1 during generation:
+// x is one input vector, st is updated in place, and the output logits
+// are returned. No cache is kept (inference only).
+func (n *LSTM) StepForward(x []float64, st *State) []float64 {
+	if len(x) != n.Cfg.InputDim {
+		panic(fmt.Sprintf("nn: StepForward input len %d, want %d", len(x), n.Cfg.InputDim))
+	}
+	in := mat.FromSlice(1, len(x), x)
+	for l, layer := range n.layers {
+		sc := layer.forward(in, st.H[l], st.C[l])
+		st.H[l] = sc.hOut(n.Cfg.HiddenDim)
+		st.C[l] = sc.c
+		in = st.H[l]
+	}
+	y := mat.NewDense(1, n.Cfg.OutputDim)
+	mat.MulAdd(y, in, n.wy.Value)
+	mat.AddBiasRows(y, n.by.Value.Row(0))
+	return y.Row(0)
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// marshalParams encodes a parameter list (with any gob-encodable config)
+// into the shared snapshot wire format.
+func marshalParams[C any](cfg C, params []*Param) ([]byte, error) {
+	values := make(map[string][]float64, len(params))
+	for _, p := range params {
+		vals := make([]float64, len(p.Value.Data))
+		copy(vals, p.Value.Data)
+		values[p.Name] = vals
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(cfg); err != nil {
+		return nil, fmt.Errorf("nn: marshal config: %w", err)
+	}
+	if err := enc.Encode(values); err != nil {
+		return nil, fmt.Errorf("nn: marshal values: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalParams decodes the wire format into cfg and copies the values
+// into the freshly constructed params (matched by name).
+func unmarshalParams[C any](data []byte, cfg *C, fresh func(C) []*Param) error {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(cfg); err != nil {
+		return fmt.Errorf("nn: unmarshal config: %w", err)
+	}
+	var values map[string][]float64
+	if err := dec.Decode(&values); err != nil {
+		return fmt.Errorf("nn: unmarshal values: %w", err)
+	}
+	for _, p := range fresh(*cfg) {
+		vals, ok := values[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: unmarshal: missing param %q", p.Name)
+		}
+		if len(vals) != len(p.Value.Data) {
+			return fmt.Errorf("nn: unmarshal: param %q has %d values, want %d", p.Name, len(vals), len(p.Value.Data))
+		}
+		copy(p.Value.Data, vals)
+	}
+	return nil
+}
+
+// MarshalBinary serializes the network configuration and weights.
+func (n *LSTM) MarshalBinary() ([]byte, error) {
+	return marshalParams(n.Cfg, n.params)
+}
+
+// UnmarshalBinary restores a network previously serialized with
+// MarshalBinary. The receiver's architecture is replaced.
+func (n *LSTM) UnmarshalBinary(data []byte) error {
+	var cfg Config
+	var fresh *LSTM
+	err := unmarshalParams(data, &cfg, func(c Config) []*Param {
+		fresh = NewLSTM(c, rng.New(0)) // init values are overwritten
+		return fresh.params
+	})
+	if err != nil {
+		return err
+	}
+	*n = *fresh
+	return nil
+}
+
+// MarshalBinary serializes the GRU's configuration and weights.
+func (n *GRU) MarshalBinary() ([]byte, error) {
+	return marshalParams(n.Cfg, n.params)
+}
+
+// UnmarshalBinary restores a GRU serialized with MarshalBinary.
+func (n *GRU) UnmarshalBinary(data []byte) error {
+	var cfg Config
+	var fresh *GRU
+	err := unmarshalParams(data, &cfg, func(c Config) []*Param {
+		fresh = NewGRU(c, rng.New(0))
+		return fresh.params
+	})
+	if err != nil {
+		return err
+	}
+	*n = *fresh
+	return nil
+}
+
+// MarshalBinary serializes the Transformer's configuration and weights.
+func (t *Transformer) MarshalBinary() ([]byte, error) {
+	return marshalParams(t.Cfg, t.params)
+}
+
+// UnmarshalBinary restores a Transformer serialized with MarshalBinary.
+func (t *Transformer) UnmarshalBinary(data []byte) error {
+	var cfg TransformerConfig
+	var fresh *Transformer
+	err := unmarshalParams(data, &cfg, func(c TransformerConfig) []*Param {
+		fresh = NewTransformer(c, rng.New(0))
+		return fresh.params
+	})
+	if err != nil {
+		return err
+	}
+	*t = *fresh
+	return nil
+}

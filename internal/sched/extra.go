@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// FirstFit places the request on the lowest-indexed feasible server —
+// the classical bin-packing heuristic, useful as a floor for the
+// smarter policies.
+type FirstFit struct{}
+
+// Name implements Algorithm.
+func (FirstFit) Name() string { return "FirstFit" }
+
+// Choose implements Algorithm.
+func (FirstFit) Choose(servers []Server, r Request, _ *rng.RNG) int {
+	for i := range servers {
+		if servers[i].Fits(r) {
+			return i
+		}
+	}
+	return -1
+}
+
+// WorstFit places the request on the feasible server with the most free
+// capacity (spreading load), the anti-packing policy schedulers use for
+// latency isolation at the cost of fragmentation.
+type WorstFit struct{}
+
+// Name implements Algorithm.
+func (WorstFit) Name() string { return "WorstFit" }
+
+// Choose implements Algorithm.
+func (WorstFit) Choose(servers []Server, r Request, _ *rng.RNG) int {
+	best, bestScore := -1, math.Inf(-1)
+	for i := range servers {
+		s := &servers[i]
+		if !s.Fits(r) {
+			continue
+		}
+		score := (s.CPUCap-s.CPUUsed)/s.CPUCap + (s.MemCap-s.MemUsed)/s.MemCap
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// AllAlgorithms returns the paper's four policies plus the classical
+// extras, for broader policy studies.
+func AllAlgorithms() []Algorithm {
+	return append(Algorithms(), FirstFit{}, WorstFit{})
+}
+
+// UtilizationPoint is one sample of cluster utilization over a replay.
+type UtilizationPoint struct {
+	Time    float64
+	CPUFrac float64
+	MemFrac float64
+	Active  int // VMs currently placed
+}
+
+// ReplayUtilization replays the full event stream (no failure stop;
+// requests that do not fit are dropped and counted) and samples cluster
+// utilization every sampleEvery seconds. It returns the samples and the
+// number of dropped requests — the measurement loop behind
+// fragmentation studies.
+func ReplayUtilization(tr *trace.Trace, events []Event, opt PackOptions, sampleEvery float64, g *rng.RNG) ([]UtilizationPoint, int) {
+	if opt.Servers <= 0 || opt.CPUCap <= 0 || opt.MemCap <= 0 || sampleEvery <= 0 {
+		panic("sched: bad ReplayUtilization options")
+	}
+	servers := make([]Server, opt.Servers)
+	for i := range servers {
+		servers[i] = Server{CPUCap: opt.CPUCap, MemCap: opt.MemCap}
+	}
+	placed := make(map[int]int)
+	var out []UtilizationPoint
+	dropped := 0
+	nextSample := 0.0
+	totalCPU := float64(opt.Servers) * opt.CPUCap
+	totalMem := float64(opt.Servers) * opt.MemCap
+	snapshot := func(at float64) {
+		var cpu, mem float64
+		for i := range servers {
+			cpu += servers[i].CPUUsed
+			mem += servers[i].MemUsed
+		}
+		out = append(out, UtilizationPoint{
+			Time: at, CPUFrac: cpu / totalCPU, MemFrac: mem / totalMem, Active: len(placed),
+		})
+	}
+	for _, ev := range events {
+		for nextSample <= ev.Time {
+			snapshot(nextSample)
+			nextSample += sampleEvery
+		}
+		vm := tr.VMs[ev.VM]
+		def := tr.Flavors.Defs[vm.Flavor]
+		if !ev.Arrival {
+			if srv, ok := placed[ev.VM]; ok {
+				servers[srv].CPUUsed -= def.CPU
+				servers[srv].MemUsed -= def.MemGB
+				delete(placed, ev.VM)
+			}
+			continue
+		}
+		req := Request{VM: ev.VM, CPU: def.CPU, Mem: def.MemGB}
+		srv := opt.Alg.Choose(servers, req, g)
+		if srv < 0 {
+			dropped++
+			continue
+		}
+		servers[srv].CPUUsed += req.CPU
+		servers[srv].MemUsed += req.Mem
+		placed[ev.VM] = srv
+	}
+	// Final snapshot after the last event so the end state is observed.
+	snapshot(nextSample)
+	return out, dropped
+}

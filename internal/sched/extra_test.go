@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFirstFitTakesLowestIndex(t *testing.T) {
+	servers := []Server{
+		{CPUCap: 1, MemCap: 1, CPUUsed: 1}, // full
+		{CPUCap: 4, MemCap: 4},
+		{CPUCap: 4, MemCap: 4},
+	}
+	if got := (FirstFit{}).Choose(servers, Request{CPU: 1, Mem: 1}, nil); got != 1 {
+		t.Fatalf("first-fit chose %d", got)
+	}
+	full := []Server{{CPUCap: 1, MemCap: 1, CPUUsed: 1}}
+	if got := (FirstFit{}).Choose(full, Request{CPU: 1, Mem: 1}, nil); got != -1 {
+		t.Fatalf("expected -1, got %d", got)
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	servers := []Server{
+		{CPUCap: 10, MemCap: 10, CPUUsed: 8, MemUsed: 8},
+		{CPUCap: 10, MemCap: 10, CPUUsed: 1, MemUsed: 1},
+		{CPUCap: 10, MemCap: 10, CPUUsed: 5, MemUsed: 5},
+	}
+	if got := (WorstFit{}).Choose(servers, Request{CPU: 1, Mem: 1}, nil); got != 1 {
+		t.Fatalf("worst-fit chose %d", got)
+	}
+}
+
+func TestAllAlgorithms(t *testing.T) {
+	algs := AllAlgorithms()
+	if len(algs) != 6 {
+		t.Fatalf("got %d algorithms", len(algs))
+	}
+	seen := map[string]bool{}
+	for _, a := range algs {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate algorithm %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}
+
+func TestReplayUtilization(t *testing.T) {
+	// Two long VMs of 4 CPUs onto one 8-CPU server: utilization ramps to
+	// 1.0; a third is dropped.
+	tr := mkTrace([3]int{0, 0, 9999999}, [3]int{0, 1, 9999999}, [3]int{0, 2, 9999999})
+	evs := Events(tr, nil)
+	pts, dropped := ReplayUtilization(tr, evs, PackOptions{
+		Servers: 1, CPUCap: 8, MemCap: 100, Alg: FirstFit{},
+	}, 300, rng.New(1))
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no samples")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatal("samples out of order")
+		}
+	}
+	// At peak, both placed VMs saturate the 8-CPU server; they depart at
+	// the end of their long lifetimes, so check the maximum rather than
+	// the final sample.
+	var peak UtilizationPoint
+	for _, p := range pts {
+		if p.CPUFrac > peak.CPUFrac {
+			peak = p
+		}
+	}
+	if peak.CPUFrac != 1.0 || peak.Active != 2 {
+		t.Fatalf("peak sample: %+v", peak)
+	}
+	for _, p := range pts {
+		if p.CPUFrac < 0 || p.CPUFrac > 1 || p.MemFrac < 0 || p.MemFrac > 1 {
+			t.Fatalf("utilization out of range: %+v", p)
+		}
+	}
+}
+
+func TestReplayUtilizationDeparturesReduceLoad(t *testing.T) {
+	// One VM that departs after 300s: utilization should return to 0.
+	tr := mkTrace([3]int{0, 0, 300})
+	evs := Events(tr, nil)
+	pts, dropped := ReplayUtilization(tr, evs, PackOptions{
+		Servers: 1, CPUCap: 8, MemCap: 100, Alg: FirstFit{},
+	}, 100, rng.New(2))
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	// The final sample (after the departure) must be back at zero, and
+	// the load must have been visible in between.
+	last := pts[len(pts)-1]
+	if last.CPUFrac != 0 || last.Active != 0 {
+		t.Fatalf("utilization never returned to zero: %+v", pts)
+	}
+	sawLoad := false
+	for _, p := range pts {
+		if p.Active == 1 {
+			sawLoad = true
+		}
+	}
+	if !sawLoad {
+		t.Fatalf("load never observed: %+v", pts)
+	}
+}
+
+func TestReplayUtilizationBadOptsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReplayUtilization(mkTrace(), nil, PackOptions{}, 0, nil)
+}

@@ -1,0 +1,329 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func flavors() *trace.FlavorSet {
+	return &trace.FlavorSet{Defs: []trace.FlavorDef{
+		{Name: "cpu-heavy", CPU: 4, MemGB: 4},
+		{Name: "mem-heavy", CPU: 1, MemGB: 16},
+		{Name: "tiny", CPU: 1, MemGB: 1},
+	}}
+}
+
+func mkTrace(specs ...[3]int) *trace.Trace {
+	// Each spec: {flavor, startPeriod, durationSeconds}.
+	tr := &trace.Trace{Flavors: flavors(), Periods: 100}
+	for i, s := range specs {
+		tr.VMs = append(tr.VMs, trace.VM{
+			ID: i, User: i, Flavor: s[0], Start: s[1], Duration: float64(s[2]),
+		})
+	}
+	return tr
+}
+
+func TestServerFits(t *testing.T) {
+	s := Server{CPUCap: 4, MemCap: 8, CPUUsed: 3, MemUsed: 4}
+	if !s.Fits(Request{CPU: 1, Mem: 4}) {
+		t.Fatal("exact fit should fit")
+	}
+	if s.Fits(Request{CPU: 1.5, Mem: 1}) {
+		t.Fatal("CPU overflow should not fit")
+	}
+	if s.Fits(Request{CPU: 0.5, Mem: 5}) {
+		t.Fatal("memory overflow should not fit")
+	}
+}
+
+func TestRandomChoosesOnlyFeasible(t *testing.T) {
+	g := rng.New(1)
+	servers := []Server{
+		{CPUCap: 1, MemCap: 1, CPUUsed: 1}, // full
+		{CPUCap: 4, MemCap: 4},             // free
+		{CPUCap: 2, MemCap: 2, CPUUsed: 2}, // full
+	}
+	for i := 0; i < 100; i++ {
+		if got := (Random{}).Choose(servers, Request{CPU: 1, Mem: 1}, g); got != 1 {
+			t.Fatalf("chose infeasible server %d", got)
+		}
+	}
+	full := []Server{{CPUCap: 1, MemCap: 1, CPUUsed: 1}}
+	if got := (Random{}).Choose(full, Request{CPU: 1, Mem: 1}, g); got != -1 {
+		t.Fatalf("expected -1, got %d", got)
+	}
+}
+
+func TestBusiestFitPrefersFuller(t *testing.T) {
+	servers := []Server{
+		{CPUCap: 10, MemCap: 10, CPUUsed: 1, MemUsed: 1},
+		{CPUCap: 10, MemCap: 10, CPUUsed: 8, MemUsed: 8},
+		{CPUCap: 10, MemCap: 10, CPUUsed: 4, MemUsed: 4},
+	}
+	if got := (BusiestFit{}).Choose(servers, Request{CPU: 1, Mem: 1}, nil); got != 1 {
+		t.Fatalf("busiest-fit chose %d", got)
+	}
+	// When the busiest cannot fit, fall to the next busiest.
+	if got := (BusiestFit{}).Choose(servers, Request{CPU: 3, Mem: 3}, nil); got != 2 {
+		t.Fatalf("busiest-fit chose %d", got)
+	}
+}
+
+func TestCosinePrefersAlignedServer(t *testing.T) {
+	// CPU-heavy request should go to the server with proportionally more
+	// free CPU than memory.
+	servers := []Server{
+		{CPUCap: 10, MemCap: 10, CPUUsed: 0, MemUsed: 8}, // free: (1.0, 0.2)
+		{CPUCap: 10, MemCap: 10, CPUUsed: 8, MemUsed: 0}, // free: (0.2, 1.0)
+	}
+	req := Request{CPU: 2, Mem: 0.4} // cpu-dominant
+	if got := (CosineSimilarity{}).Choose(servers, req, nil); got != 0 {
+		t.Fatalf("cosine chose %d", got)
+	}
+}
+
+func TestDeltaPerpPrefersBalancing(t *testing.T) {
+	// Server 0 is CPU-loaded; a memory-heavy request balances it
+	// (reduces perp distance). Server 1 is empty; the same request
+	// unbalances it.
+	servers := []Server{
+		{CPUCap: 10, MemCap: 10, CPUUsed: 5, MemUsed: 0},
+		{CPUCap: 10, MemCap: 10},
+	}
+	req := Request{CPU: 0.5, Mem: 5}
+	if got := (DeltaPerpDistance{}).Choose(servers, req, nil); got != 0 {
+		t.Fatalf("delta-perp chose %d", got)
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != 4 {
+		t.Fatalf("got %d algorithms", len(algs))
+	}
+	names := map[string]bool{}
+	for _, a := range algs {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"Random", "BusiestFit", "Cosine", "DeltaPerp"} {
+		if !names[want] {
+			t.Fatalf("missing algorithm %q", want)
+		}
+	}
+}
+
+func TestEventsOrderingAndInterleaving(t *testing.T) {
+	// Two VMs in period 0; one lives 10 minutes (departs period 2), one
+	// lives long.
+	tr := mkTrace([3]int{0, 0, 600}, [3]int{1, 0, 86400})
+	evs := Events(tr, nil)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("events out of order")
+		}
+	}
+	// Both arrivals inside period 0.
+	var arrivals int
+	for _, e := range evs {
+		if e.Arrival {
+			arrivals++
+			if e.Time < 0 || e.Time >= trace.PeriodSeconds {
+				t.Fatalf("arrival at %v outside period 0", e.Time)
+			}
+		}
+	}
+	if arrivals != 2 {
+		t.Fatalf("arrivals = %d", arrivals)
+	}
+	// Arrival order within the period follows trace order.
+	if !evs[0].Arrival || tr.VMs[evs[0].VM].ID != 0 {
+		t.Fatal("first arrival should be VM 0")
+	}
+}
+
+func TestEventsDepartureJitterStaysInPeriod(t *testing.T) {
+	tr := mkTrace([3]int{0, 0, 600})
+	g := rng.New(3)
+	for i := 0; i < 50; i++ {
+		evs := Events(tr, g)
+		for _, e := range evs {
+			if !e.Arrival {
+				nominal := evs[0].Time + 600
+				nominalPeriod := math.Floor(nominal / trace.PeriodSeconds)
+				gotPeriod := math.Floor(e.Time / trace.PeriodSeconds)
+				if gotPeriod != nominalPeriod {
+					t.Fatalf("departure moved out of period: %v vs %v", gotPeriod, nominalPeriod)
+				}
+			}
+		}
+	}
+}
+
+// TestEventsDeterministic is a regression test: event construction must
+// not depend on map iteration order, or every packing experiment
+// becomes unreproducible across processes.
+func TestEventsDeterministic(t *testing.T) {
+	specs := make([][3]int, 200)
+	for i := range specs {
+		specs[i] = [3]int{i % 3, (i * 7) % 50, 100 + i*13}
+	}
+	tr := mkTrace(specs...)
+	tr.SortVMs()
+	a := Events(tr, rng.New(9))
+	b := Events(tr, rng.New(9))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPackFillsUntilFailure(t *testing.T) {
+	// 10 long-lived CPU-heavy VMs (4 CPU each) onto 2 servers of 8 CPU:
+	// only 4 fit, the 5th placement fails with full CPU.
+	specs := make([][3]int, 10)
+	for i := range specs {
+		specs[i] = [3]int{0, 0, 9999999}
+	}
+	tr := mkTrace(specs...)
+	evs := Events(tr, nil)
+	res := Pack(tr, evs, PackOptions{Servers: 2, CPUCap: 8, MemCap: 1000, Alg: BusiestFit{}}, nil)
+	if !res.Failed {
+		t.Fatal("expected failure")
+	}
+	if res.Placed != 4 {
+		t.Fatalf("placed %d, want 4", res.Placed)
+	}
+	if res.CPUFFAR != 1 {
+		t.Fatalf("CPU FFAR = %v, want 1", res.CPUFFAR)
+	}
+	if res.Limiting != 1 {
+		t.Fatalf("limiting = %v", res.Limiting)
+	}
+	if res.MemFFAR >= res.CPUFFAR {
+		t.Fatal("memory should not be limiting")
+	}
+}
+
+func TestPackDeparturesFreeCapacity(t *testing.T) {
+	// VM 0 occupies a server then departs; VM 1 arrives later and fits.
+	tr := mkTrace([3]int{0, 0, 300}, [3]int{0, 5, 9999})
+	evs := Events(tr, nil)
+	res := Pack(tr, evs, PackOptions{Servers: 1, CPUCap: 4, MemCap: 4, Alg: BusiestFit{}}, nil)
+	if res.Failed {
+		t.Fatal("should not fail when departures free capacity")
+	}
+	if res.Placed != 2 {
+		t.Fatalf("placed %d", res.Placed)
+	}
+}
+
+func TestPackNoDeparts(t *testing.T) {
+	tr := mkTrace([3]int{0, 0, 300}, [3]int{0, 5, 9999})
+	evs := Events(tr, nil)
+	res := Pack(tr, evs, PackOptions{Servers: 1, CPUCap: 4, MemCap: 4, Alg: BusiestFit{}, NoDeparts: true}, nil)
+	if !res.Failed || res.Placed != 1 {
+		t.Fatalf("arrivals-only should fail at second VM: %+v", res)
+	}
+}
+
+func TestPackStartSkipsEarlierVMs(t *testing.T) {
+	tr := mkTrace([3]int{0, 0, 9999999}, [3]int{0, 1, 9999999})
+	evs := Events(tr, nil)
+	// Starting after the first arrival, only the second VM is placed and
+	// the departure of the never-placed first VM is ignored.
+	res := Pack(tr, evs, PackOptions{Servers: 1, CPUCap: 4, MemCap: 4, Alg: BusiestFit{}, Start: 1}, nil)
+	if res.Failed || res.Placed != 1 {
+		t.Fatalf("start-offset pack: %+v", res)
+	}
+}
+
+func TestPackBadOptionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pack(mkTrace(), nil, PackOptions{}, nil)
+}
+
+func TestReuseDistances(t *testing.T) {
+	// Flavor sequence: 0, 0, 1, 0, 2, 1.
+	tr := mkTrace(
+		[3]int{0, 0, 1}, [3]int{0, 0, 1}, [3]int{1, 0, 1},
+		[3]int{0, 0, 1}, [3]int{2, 0, 1}, [3]int{1, 0, 1},
+	)
+	d := ReuseDistances(tr)
+	want := []int{math.MaxInt, 0, math.MaxInt, 1, math.MaxInt, 2}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("distance %d = %d, want %d (all %v)", i, d[i], w, d)
+		}
+	}
+}
+
+func TestReuseHistogram(t *testing.T) {
+	h := ReuseHistogram([]int{0, 0, 1, 5, 6, math.MaxInt})
+	if math.Abs(h[0]-2.0/6.0) > 1e-12 {
+		t.Fatalf("bucket 0 = %v", h[0])
+	}
+	if math.Abs(h[6]-2.0/6.0) > 1e-12 {
+		t.Fatalf("bucket 6+ = %v", h[6])
+	}
+	empty := ReuseHistogram(nil)
+	for _, v := range empty {
+		if v != 0 {
+			t.Fatal("empty histogram should be zeros")
+		}
+	}
+}
+
+func TestSampleTuplesInRange(t *testing.T) {
+	g := rng.New(9)
+	r := TupleRanges{MinServers: 10, MaxServers: 50, MinCPU: 16, MaxCPU: 64, MinMem: 64, MaxMem: 256}
+	tuples := SampleTuples(g, 200, r)
+	for _, tp := range tuples {
+		if tp.Servers < 10 || tp.Servers > 50 {
+			t.Fatalf("servers %d", tp.Servers)
+		}
+		if tp.CPUCap < 16 || tp.CPUCap > 64 {
+			t.Fatalf("cpu %v", tp.CPUCap)
+		}
+		if tp.MemCap < 64 || tp.MemCap > 256 {
+			t.Fatalf("mem %v", tp.MemCap)
+		}
+		if tp.StartFrac < 0 || tp.StartFrac >= 0.5 {
+			t.Fatalf("start %v", tp.StartFrac)
+		}
+		if tp.AlgIndex < 0 || tp.AlgIndex >= 4 {
+			t.Fatalf("alg %d", tp.AlgIndex)
+		}
+	}
+}
+
+func TestRunTuple(t *testing.T) {
+	specs := make([][3]int, 50)
+	for i := range specs {
+		specs[i] = [3]int{i % 3, i / 10, 3000}
+	}
+	tr := mkTrace(specs...)
+	evs := Events(tr, nil)
+	g := rng.New(4)
+	res := RunTuple(tr, evs, Tuple{StartFrac: 0, Servers: 2, CPUCap: 8, MemCap: 32, AlgIndex: 1}, g)
+	if res.Placed == 0 {
+		t.Fatal("nothing placed")
+	}
+	if res.Limiting < res.CPUFFAR-1e-12 || res.Limiting < res.MemFFAR-1e-12 {
+		t.Fatal("limiting must be the max FFAR")
+	}
+}

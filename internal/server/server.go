@@ -1,0 +1,163 @@
+// Package server exposes a trained generative model as an HTTP service:
+// downstream systems (scheduler test rigs, capacity dashboards) request
+// synthetic traces on demand instead of shipping model files around.
+//
+//	GET  /healthz             -> {"status":"ok", ...}
+//	GET  /model               -> model metadata
+//	POST /generate            -> trace (CSV or JSON), body: GenerateRequest
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// GenerateRequest is the POST /generate body.
+type GenerateRequest struct {
+	// Periods is the number of 5-minute periods to generate (required,
+	// bounded by MaxPeriods).
+	Periods int `json:"periods"`
+	// StartPeriod is the absolute period index the window starts at
+	// (temporal-feature phase); defaults to the end of the model's
+	// training history.
+	StartPeriod int `json:"start_period"`
+	// Seed selects the sampling stream; 0 draws a fresh seed.
+	Seed int64 `json:"seed"`
+	// Scale multiplies the arrival rate (the 10x knob); 0 means 1.
+	Scale float64 `json:"scale"`
+	// Format is "csv" (default) or "json".
+	Format string `json:"format"`
+}
+
+// Server wraps a trained model with HTTP handlers. It is safe for
+// concurrent use: generation state is created per request and the model
+// weights are read-only after construction.
+type Server struct {
+	model   *core.Model
+	catalog *trace.FlavorSet
+	// MaxPeriods bounds a single request (default: 4 weeks).
+	MaxPeriods int
+
+	mu    sync.Mutex
+	seeds *rng.RNG // fresh-seed source for requests without a seed
+
+	started time.Time
+	served  int64
+}
+
+// New builds a server around a trained model and its flavor catalog.
+func New(model *core.Model, catalog *trace.FlavorSet) *Server {
+	return &Server{
+		model:      model,
+		catalog:    catalog,
+		MaxPeriods: 28 * trace.PeriodsPerDay,
+		seeds:      rng.New(time.Now().UnixNano()),
+		started:    time.Now(),
+	}
+}
+
+// Handler returns the HTTP mux for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /model", s.handleModel)
+	mux.HandleFunc("POST /generate", s.handleGenerate)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	served := s.served
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.started).Round(time.Second).String(),
+		"served":  served,
+		"flavors": s.catalog.K(),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flavors":        s.model.Flavor.K,
+		"history_days":   s.model.Flavor.HistoryDays,
+		"lifetime_bins":  s.model.Lifetime.Bins.J(),
+		"flavor_params":  s.model.Flavor.Net.NumParams(),
+		"hazard_params":  s.model.Lifetime.Net.NumParams(),
+		"max_periods":    s.MaxPeriods,
+		"period_seconds": trace.PeriodSeconds,
+	})
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Periods <= 0 {
+		httpError(w, http.StatusBadRequest, "periods must be positive")
+		return
+	}
+	if req.Periods > s.MaxPeriods {
+		httpError(w, http.StatusBadRequest, "periods %d exceeds limit %d", req.Periods, s.MaxPeriods)
+		return
+	}
+	if req.Scale < 0 {
+		httpError(w, http.StatusBadRequest, "scale must be non-negative")
+		return
+	}
+	start := req.StartPeriod
+	if start <= 0 {
+		start = s.model.Flavor.HistoryDays * trace.PeriodsPerDay
+	}
+	seed := req.Seed
+	if seed == 0 {
+		s.mu.Lock()
+		seed = s.seeds.Int63()
+		s.mu.Unlock()
+	}
+	// Copy the model so per-request knobs do not race.
+	m := *s.model
+	m.RateScale = req.Scale
+	window := trace.Window{Start: start, End: start + req.Periods}
+	tr := core.WithCatalog(m.Generate(rng.New(seed), window), s.catalog)
+
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+
+	w.Header().Set("X-Trace-Seed", fmt.Sprint(seed))
+	w.Header().Set("X-Trace-VMs", fmt.Sprint(len(tr.VMs)))
+	switch req.Format {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := tr.WriteCSV(w); err != nil {
+			httpError(w, http.StatusInternalServerError, "write: %v", err)
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteJSON(w); err != nil {
+			httpError(w, http.StatusInternalServerError, "write: %v", err)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q", req.Format)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

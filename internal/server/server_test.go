@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *Server
+)
+
+// testServer trains a tiny model once (a few seconds) and shares it.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		cfg := synth.AzureLike()
+		cfg.Days = 2
+		cfg.Users = 40
+		cfg.BaseRate = 1.5
+		full := cfg.Generate(3)
+		train := full.Slice(trace.Window{Start: 0, End: full.Periods}, 0)
+		m, err := core.TrainModel(train, core.ModelOptions{
+			Bins: survival.PaperBins(),
+			Train: core.TrainConfig{
+				Hidden: 12, Layers: 1, SeqLen: 48, BatchSize: 8, Epochs: 5, Seed: 1,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv = New(m, cfg.Flavors)
+	})
+	return srv
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := do(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["status"] != "ok" || resp["flavors"].(float64) != 16 {
+		t.Fatalf("resp: %v", resp)
+	}
+}
+
+func TestModelInfo(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := do(t, h, "GET", "/model", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["lifetime_bins"].(float64) != 47 {
+		t.Fatalf("resp: %v", resp)
+	}
+}
+
+func TestGenerateCSV(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := do(t, h, "POST", "/generate", `{"periods": 48, "seed": 7}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("content type %q", ct)
+	}
+	if rec.Header().Get("X-Trace-Seed") != "7" {
+		t.Fatalf("seed header %q", rec.Header().Get("X-Trace-Seed"))
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if lines[0] != "id,user,flavor,start_period,duration_s,censored" {
+		t.Fatalf("header: %q", lines[0])
+	}
+}
+
+func TestGenerateJSONAndDeterminism(t *testing.T) {
+	h := testServer(t).Handler()
+	a := do(t, h, "POST", "/generate", `{"periods": 24, "seed": 9, "format": "json"}`)
+	b := do(t, h, "POST", "/generate", `{"periods": 24, "seed": 9, "format": "json"}`)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", a.Code, b.Code)
+	}
+	if a.Body.String() != b.Body.String() {
+		t.Fatal("same seed must generate identical traces")
+	}
+	tr, err := trace.ReadJSON(strings.NewReader(a.Body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Periods != 24 {
+		t.Fatalf("periods %d", tr.Periods)
+	}
+}
+
+func TestGenerateFreshSeedsDiffer(t *testing.T) {
+	h := testServer(t).Handler()
+	a := do(t, h, "POST", "/generate", `{"periods": 24, "format": "json"}`)
+	b := do(t, h, "POST", "/generate", `{"periods": 24, "format": "json"}`)
+	if a.Header().Get("X-Trace-Seed") == b.Header().Get("X-Trace-Seed") {
+		t.Fatal("fresh seeds should differ")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	h := testServer(t).Handler()
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"periods": 0}`, http.StatusBadRequest},
+		{`{"periods": 99999999}`, http.StatusBadRequest},
+		{`{"periods": 10, "scale": -1}`, http.StatusBadRequest},
+		{`{"periods": 10, "format": "xml"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "POST", "/generate", c.body)
+		if rec.Code != c.want {
+			t.Errorf("body %q: status %d, want %d", c.body, rec.Code, c.want)
+		}
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	h := testServer(t).Handler()
+	small := do(t, h, "POST", "/generate", `{"periods": 96, "seed": 11, "scale": 1}`)
+	big := do(t, h, "POST", "/generate", `{"periods": 96, "seed": 11, "scale": 8}`)
+	ns := strings.Count(small.Body.String(), "\n")
+	nb := strings.Count(big.Body.String(), "\n")
+	if nb < ns*3 {
+		t.Fatalf("scale 8 generated %d rows vs %d at scale 1", nb, ns)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	h := testServer(t).Handler()
+	if rec := do(t, h, "GET", "/generate", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /generate status %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/healthz", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status %d", rec.Code)
+	}
+}

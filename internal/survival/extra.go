@@ -1,0 +1,207 @@
+package survival
+
+import (
+	"math"
+	"sort"
+)
+
+// NelsonAalen estimates the discrete cumulative hazard H(j) = Σ_{i<=j}
+// d_i/n_i from possibly-censored observations — the standard companion
+// to Kaplan-Meier, with exp(-H) giving an alternative survival
+// estimator that is better behaved at small risk sets.
+func NelsonAalen(obs []Observation, bins Bins) []float64 {
+	h := KaplanMeier(obs, bins)
+	out := make([]float64, len(h))
+	var cum float64
+	for j, hj := range h {
+		cum += hj
+		out[j] = cum
+	}
+	return out
+}
+
+// SurvivalFromCumHazard converts a cumulative hazard to the
+// Fleming-Harrington survival estimate S(j) = exp(-H(j)).
+func SurvivalFromCumHazard(cumHazard []float64) []float64 {
+	out := make([]float64, len(cumHazard))
+	for j, hc := range cumHazard {
+		out[j] = math.Exp(-hc)
+	}
+	return out
+}
+
+// MedianSurvival returns the smallest time at which the survival implied
+// by a discrete hazard drops to 0.5 or below, using the given
+// interpolation; it returns the horizon if survival never reaches 0.5.
+func MedianSurvival(hazard []float64, bins Bins, interp Interpolation) float64 {
+	return QuantileSurvival(hazard, bins, interp, 0.5)
+}
+
+// QuantileSurvival returns the smallest time t with S(t) <= 1-q (the
+// q-th lifetime quantile). q must be in (0,1).
+func QuantileSurvival(hazard []float64, bins Bins, interp Interpolation, q float64) float64 {
+	if q <= 0 || q >= 1 {
+		panic("survival: quantile must be in (0,1)")
+	}
+	target := 1 - q
+	s := HazardToSurvival(hazard)
+	sPrev := 1.0
+	for j := 0; j < bins.J(); j++ {
+		if s[j] > target {
+			sPrev = s[j]
+			continue
+		}
+		if interp == Stepped {
+			return bins.Hi(j)
+		}
+		// CDI: survival falls linearly from sPrev at Lo(j) to s[j] at
+		// Hi(j); solve for the crossing.
+		if sPrev == s[j] {
+			return bins.Lo(j)
+		}
+		frac := (sPrev - target) / (sPrev - s[j])
+		return bins.Lo(j) + frac*(bins.Hi(j)-bins.Lo(j))
+	}
+	return bins.Horizon()
+}
+
+// GreenwoodBands computes pointwise (1-alpha) confidence bands for the
+// Kaplan-Meier survival curve using Greenwood's variance formula with a
+// normal approximation, clamped to [0, 1].
+func GreenwoodBands(obs []Observation, bins Bins, alpha float64) (lo, surv, hi []float64) {
+	if alpha <= 0 || alpha >= 1 {
+		panic("survival: alpha must be in (0,1)")
+	}
+	j := bins.J()
+	events := make([]float64, j)
+	atRisk := make([]float64, j)
+	for _, o := range obs {
+		k := bins.Index(o.Duration)
+		if o.Censored {
+			for i := 0; i < k; i++ {
+				atRisk[i]++
+			}
+		} else {
+			for i := 0; i <= k; i++ {
+				atRisk[i]++
+			}
+			events[k]++
+		}
+	}
+	z := normalQuantile(1 - alpha/2)
+	lo = make([]float64, j)
+	surv = make([]float64, j)
+	hi = make([]float64, j)
+	s := 1.0
+	varSum := 0.0
+	for i := 0; i < j; i++ {
+		if atRisk[i] > 0 {
+			s *= 1 - events[i]/atRisk[i]
+			if atRisk[i] > events[i] {
+				varSum += events[i] / (atRisk[i] * (atRisk[i] - events[i]))
+			}
+		}
+		se := s * math.Sqrt(varSum)
+		surv[i] = s
+		lo[i] = math.Max(0, s-z*se)
+		hi[i] = math.Min(1, s+z*se)
+	}
+	return lo, surv, hi
+}
+
+// normalQuantile inverts the standard normal CDF via bisection on erf —
+// accurate to ~1e-10, ample for confidence bands.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("survival: normal quantile needs p in (0,1)")
+	}
+	cdf := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RestrictedMeanSurvival returns the mean lifetime restricted to the
+// horizon: ∫_0^horizon S(t) dt under the given interpolation, a robust
+// summary when the tail is censored.
+func RestrictedMeanSurvival(hazard []float64, bins Bins, interp Interpolation) float64 {
+	s := HazardToSurvival(hazard)
+	var total float64
+	sPrev := 1.0
+	for j := 0; j < bins.J(); j++ {
+		width := bins.Hi(j) - bins.Lo(j)
+		if interp == Stepped {
+			total += sPrev * width
+		} else {
+			total += (sPrev + s[j]) / 2 * width
+		}
+		sPrev = s[j]
+	}
+	return total
+}
+
+// LogRankStat computes the two-sample log-rank statistic comparing
+// lifetime distributions of groups a and b over the bins (larger values
+// indicate stronger evidence the groups differ; compare against a
+// chi-squared(1) critical value, e.g. 3.84 for p=0.05).
+func LogRankStat(a, b []Observation, bins Bins) float64 {
+	type counts struct{ events, atRisk []float64 }
+	tally := func(obs []Observation) counts {
+		c := counts{events: make([]float64, bins.J()), atRisk: make([]float64, bins.J())}
+		for _, o := range obs {
+			k := bins.Index(o.Duration)
+			if o.Censored {
+				for i := 0; i < k; i++ {
+					c.atRisk[i]++
+				}
+			} else {
+				for i := 0; i <= k; i++ {
+					c.atRisk[i]++
+				}
+				c.events[k]++
+			}
+		}
+		return c
+	}
+	ca, cb := tally(a), tally(b)
+	var obsMinusExp, variance float64
+	for j := 0; j < bins.J(); j++ {
+		na, nb := ca.atRisk[j], cb.atRisk[j]
+		n := na + nb
+		d := ca.events[j] + cb.events[j]
+		if n <= 1 || d == 0 {
+			continue
+		}
+		expA := d * na / n
+		obsMinusExp += ca.events[j] - expA
+		variance += d * (na / n) * (nb / n) * (n - d) / (n - 1)
+	}
+	if variance == 0 {
+		return 0
+	}
+	return obsMinusExp * obsMinusExp / variance
+}
+
+// SortedEventTimes returns the distinct uncensored event times in
+// ascending order — a convenience for plotting and continuous-KM
+// comparisons.
+func SortedEventTimes(obs []Observation) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, o := range obs {
+		if o.Censored || seen[o.Duration] {
+			continue
+		}
+		seen[o.Duration] = true
+		out = append(out, o.Duration)
+	}
+	sort.Float64s(out)
+	return out
+}

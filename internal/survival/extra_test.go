@@ -1,0 +1,187 @@
+package survival
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNelsonAalenMonotone(t *testing.T) {
+	b := UniformBins(4, 4)
+	obs := []Observation{{Duration: 0.5}, {Duration: 1.5}, {Duration: 2.5, Censored: true}, {Duration: 3.5}}
+	h := NelsonAalen(obs, b)
+	for i := 1; i < len(h); i++ {
+		if h[i] < h[i-1] {
+			t.Fatal("cumulative hazard must be non-decreasing")
+		}
+	}
+	// First bin: 1 event, 4 at risk -> H(0) = 0.25.
+	if math.Abs(h[0]-0.25) > 1e-12 {
+		t.Fatalf("H(0) = %v", h[0])
+	}
+	s := SurvivalFromCumHazard(h)
+	for i, v := range s {
+		if v <= 0 || v > 1 {
+			t.Fatalf("exp(-H) out of range at %d: %v", i, v)
+		}
+		if i > 0 && s[i] > s[i-1] {
+			t.Fatal("survival must be non-increasing")
+		}
+	}
+}
+
+func TestFlemingHarringtonCloseToKM(t *testing.T) {
+	// The estimators agree when per-bin hazards are small (exp(-h) ≈
+	// 1-h); use a slowly-dying population.
+	g := rng.New(1)
+	b := UniformBins(10, 10)
+	var obs []Observation
+	for i := 0; i < 2000; i++ {
+		obs = append(obs, Observation{Duration: g.Exponential(0.05)})
+	}
+	km := HazardToSurvival(KaplanMeier(obs, b))
+	fh := SurvivalFromCumHazard(NelsonAalen(obs, b))
+	for j := 0; j < 5; j++ {
+		if math.Abs(km[j]-fh[j]) > 0.01 {
+			t.Fatalf("KM %v vs FH %v at bin %d", km[j], fh[j], j)
+		}
+	}
+}
+
+func TestMedianAndQuantileSurvival(t *testing.T) {
+	b := UniformBins(4, 4)
+	// Hazard 0.5 in every bin: S = 0.5, 0.25, ...; median crossing is in
+	// bin 0.
+	h := []float64{0.5, 0.5, 0.5, 0.5}
+	if got := MedianSurvival(h, b, Stepped); got != 1 {
+		t.Fatalf("stepped median = %v, want 1 (upper edge of bin 0)", got)
+	}
+	cdi := MedianSurvival(h, b, CDI)
+	if !(cdi > 0.9 && cdi <= 1.0) {
+		t.Fatalf("CDI median = %v", cdi)
+	}
+	q90 := QuantileSurvival(h, b, CDI, 0.9)
+	if q90 <= cdi {
+		t.Fatalf("q90 %v should exceed median %v", q90, cdi)
+	}
+	// Survival never reaching the target returns the horizon.
+	low := []float64{0.01, 0.01, 0.01, 0.01}
+	if got := QuantileSurvival(low, b, CDI, 0.9); got != b.Horizon() {
+		t.Fatalf("uncrossed quantile = %v, want horizon", got)
+	}
+}
+
+func TestQuantileSurvivalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QuantileSurvival([]float64{0.5}, UniformBins(1, 1), CDI, 0)
+}
+
+func TestGreenwoodBands(t *testing.T) {
+	g := rng.New(2)
+	b := UniformBins(8, 8)
+	var obs []Observation
+	for i := 0; i < 500; i++ {
+		obs = append(obs, Observation{Duration: g.Exponential(0.4)})
+	}
+	lo, surv, hi := GreenwoodBands(obs, b, 0.05)
+	for j := range surv {
+		if !(lo[j] <= surv[j] && surv[j] <= hi[j]) {
+			t.Fatalf("band ordering violated at %d: %v %v %v", j, lo[j], surv[j], hi[j])
+		}
+		if lo[j] < 0 || hi[j] > 1 {
+			t.Fatalf("band out of [0,1] at %d", j)
+		}
+	}
+	// Bands should be narrow with n=500 in early bins.
+	if hi[1]-lo[1] > 0.15 {
+		t.Fatalf("band too wide at bin 1: %v", hi[1]-lo[1])
+	}
+	// More data tightens the bands.
+	var big []Observation
+	for i := 0; i < 5000; i++ {
+		big = append(big, Observation{Duration: g.Exponential(0.4)})
+	}
+	loB, _, hiB := GreenwoodBands(big, b, 0.05)
+	if hiB[1]-loB[1] >= hi[1]-lo[1] {
+		t.Fatal("more data should tighten the band")
+	}
+}
+
+func TestGreenwoodBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GreenwoodBands(nil, UniformBins(2, 2), 0)
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.95996,
+		0.95:  1.64485,
+	}
+	for p, want := range cases {
+		if got := normalQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestRestrictedMeanSurvival(t *testing.T) {
+	b := UniformBins(2, 2)
+	// Certain death in bin 0: stepped RMS = 1*1 + 0*1 = 1; CDI = 0.5+0 = 0.5.
+	h := []float64{1, 0}
+	if got := RestrictedMeanSurvival(h, b, Stepped); got != 1 {
+		t.Fatalf("stepped RMS = %v", got)
+	}
+	if got := RestrictedMeanSurvival(h, b, CDI); got != 0.5 {
+		t.Fatalf("CDI RMS = %v", got)
+	}
+	// Immortal: RMS = horizon.
+	if got := RestrictedMeanSurvival([]float64{0, 0}, b, CDI); got != 2 {
+		t.Fatalf("immortal RMS = %v", got)
+	}
+}
+
+func TestLogRankStat(t *testing.T) {
+	g := rng.New(3)
+	b := UniformBins(10, 10)
+	var fast, slow, fast2 []Observation
+	for i := 0; i < 400; i++ {
+		fast = append(fast, Observation{Duration: g.Exponential(1.0)})
+		fast2 = append(fast2, Observation{Duration: g.Exponential(1.0)})
+		slow = append(slow, Observation{Duration: g.Exponential(0.3)})
+	}
+	distinct := LogRankStat(fast, slow, b)
+	same := LogRankStat(fast, fast2, b)
+	if distinct < 3.84 {
+		t.Fatalf("log-rank %v should reject equal distributions", distinct)
+	}
+	if same > 3.84 {
+		t.Fatalf("log-rank %v should not reject identical distributions", same)
+	}
+}
+
+func TestSortedEventTimes(t *testing.T) {
+	obs := []Observation{
+		{Duration: 3}, {Duration: 1}, {Duration: 3},
+		{Duration: 2, Censored: true}, {Duration: 5},
+	}
+	times := SortedEventTimes(obs)
+	want := []float64{1, 3, 5}
+	if len(times) != len(want) {
+		t.Fatalf("times %v", times)
+	}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times %v", times)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package synth is the ground-truth workload simulator that stands in
+// for the proprietary Microsoft Azure and Huawei Cloud production traces
+// (§3 of the paper). It plants exactly the statistical structure the
+// paper documents in the real data — user-specific batches, intra-batch
+// flavor and lifetime momentum, diurnal and weekly seasonality, per-day
+// random effects ("every day is unique"), long-range user persistence,
+// workload growth with change-points, heavy-tailed lifetimes — so that
+// the paper's experiments, which measure whether each model recovers
+// that structure, remain meaningful without the original bytes.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Config is the full parameterization of the ground-truth process.
+type Config struct {
+	Name  string
+	Days  int // history length
+	Users int
+
+	Flavors *trace.FlavorSet
+
+	// Arrival process.
+	BaseRate   float64 // mean batches/period at reference conditions
+	DiurnalAmp float64 // 0..1 amplitude of the hour-of-day curve
+	WeekendDip float64 // multiplier applied on Saturday/Sunday
+	DayEffect  float64 // sigma of the per-day log-normal random effect
+	// Growth returns the arrival-rate multiplier for a given day
+	// (identity if nil). HuaweiLike uses fast growth that levels off.
+	Growth func(day int) float64
+
+	// User population.
+	UserZipf      float64 // activity skew across users
+	FavoriteCount int     // favorite flavors per user
+	Persistence   float64 // probability a batch comes from a recently active user
+
+	// Batch structure.
+	BatchSizeMean   float64 // mean of the (1+geometric) batch size
+	RepeatFlavorP   float64 // within-batch flavor momentum
+	RepeatLifetimeP float64 // within-batch lifetime momentum
+	// TemplateP is the probability a batch is a templated deployment:
+	// the user's favorite flavors issued cyclically (web+db+cache-style
+	// pods). Templates make the most probable next flavor different from
+	// a plain repeat — the structure behind the paper's observation that
+	// the LSTM beats RepeatFlav ("the most probable flavor is not always
+	// a repeat of the previous one", §5.2).
+	TemplateP float64
+
+	// Lifetimes: per-user log-normal profiles.
+	LifeMuMin, LifeMuMax float64 // user-level mean log-lifetime range (seconds)
+	LifeSigma            float64 // within-user log-lifetime spread
+	// FlavorLifeEffect scales per-flavor log-lifetime shifts, planting
+	// the flavor→lifetime correlation that makes the paper's per-flavor
+	// Kaplan-Meier baseline beat the pooled one (Table 3).
+	FlavorLifeEffect float64
+	// LifeShift returns an additive shift to the log-lifetime for a
+	// given day (identity if nil). HuaweiLike shortens lifetimes over
+	// the history, planting the regime change that defeats whole-history
+	// empirical baselines in Figure 8.
+	LifeShift func(day int) float64
+}
+
+// AzureFlavors builds the 16-flavor Azure-like catalog (4 CPU sizes ×
+// 4 memory ratios), matching the paper's 16 CPU/memory combinations.
+func AzureFlavors() *trace.FlavorSet {
+	fs := &trace.FlavorSet{}
+	for _, cpu := range []float64{1, 2, 4, 8} {
+		for _, ratio := range []float64{1.75, 3.5, 7, 14} {
+			fs.Defs = append(fs.Defs, trace.FlavorDef{
+				Name:  fmt.Sprintf("A%gr%g", cpu, ratio),
+				CPU:   cpu,
+				MemGB: cpu * ratio,
+			})
+		}
+	}
+	return fs
+}
+
+// HuaweiFlavors builds a 259-flavor catalog mimicking Huawei Cloud's
+// mix of CPU/memory combinations, hardware generations, and special
+// resource attributes (§3.2).
+func HuaweiFlavors() *trace.FlavorSet {
+	fs := &trace.FlavorSet{}
+	cpus := []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+	ratios := []float64{1, 2, 4, 8}
+	gens := []string{"s3", "c6", "m5"}
+	for _, gen := range gens {
+		for _, cpu := range cpus {
+			for _, ratio := range ratios {
+				if fs.K() >= 259 {
+					return fs
+				}
+				fs.Defs = append(fs.Defs, trace.FlavorDef{
+					Name:  fmt.Sprintf("%s.%gxlarge.%g", gen, cpu, ratio),
+					CPU:   cpu,
+					MemGB: cpu * ratio,
+				})
+			}
+		}
+	}
+	// Special flavors (GPU / local-disk variants) to reach exactly 259.
+	i := 0
+	for fs.K() < 259 {
+		cpu := cpus[i%len(cpus)]
+		fs.Defs = append(fs.Defs, trace.FlavorDef{
+			Name:  fmt.Sprintf("g5.%gxlarge.v%d", cpu, i),
+			CPU:   cpu,
+			MemGB: cpu * 4,
+		})
+		i++
+	}
+	return fs
+}
+
+// AzureLike returns the configuration emulating the Azure V1 trace: a
+// 30-day window, 16 flavors, strong diurnal pattern, no growth trend,
+// noticeable day-to-day variation.
+func AzureLike() Config {
+	return Config{
+		Name:             "AzureLike",
+		Days:             30,
+		Users:            400,
+		Flavors:          AzureFlavors(),
+		BaseRate:         5,
+		DiurnalAmp:       0.45,
+		WeekendDip:       0.6,
+		DayEffect:        0.30,
+		UserZipf:         1.1,
+		FavoriteCount:    3,
+		Persistence:      0.45,
+		BatchSizeMean:    2.6,
+		RepeatFlavorP:    0.85,
+		RepeatLifetimeP:  0.8,
+		TemplateP:        0.35,
+		LifeMuMin:        math.Log(8 * 60),    // 8 minutes
+		LifeMuMax:        math.Log(2 * 86400), // 2 days
+		LifeSigma:        1.0,
+		FlavorLifeEffect: 0.7,
+	}
+}
+
+// HuaweiLike returns the configuration emulating the Huawei Cloud trace:
+// a long window, 259 flavors, lower arrival rate, fast growth that
+// levels off, and lifetimes that shorten over the history (the regime
+// change behind Figure 8).
+func HuaweiLike() Config {
+	cfg := Config{
+		Name:             "HuaweiLike",
+		Days:             60, // scaled stand-in for the paper's 10 months
+		Users:            300,
+		Flavors:          HuaweiFlavors(),
+		BaseRate:         1.6,
+		DiurnalAmp:       0.3,
+		WeekendDip:       0.75,
+		DayEffect:        0.15,
+		UserZipf:         1.2,
+		FavoriteCount:    2,
+		Persistence:      0.5,
+		BatchSizeMean:    3.2,
+		RepeatFlavorP:    0.92,
+		RepeatLifetimeP:  0.85,
+		TemplateP:        0.25,
+		LifeMuMin:        math.Log(20 * 60),
+		LifeMuMax:        math.Log(8 * 86400),
+		LifeSigma:        1.0,
+		FlavorLifeEffect: 0.5,
+	}
+	days := float64(cfg.Days)
+	cfg.Growth = func(day int) float64 {
+		// Logistic growth from ~0.45x to ~1x, leveled off in the final
+		// quarter of the history.
+		x := float64(day) / days
+		return 0.45 + 0.55/(1+math.Exp(-10*(x-0.45)))
+	}
+	cfg.LifeShift = func(day int) float64 {
+		// Early-history VMs live ~3.3x longer; the shift decays to zero
+		// by three-quarters through the history.
+		x := float64(day) / days
+		return 1.2 * math.Max(0, 1-x/0.75)
+	}
+	return cfg
+}
+
+// user is one member of the simulated population.
+type user struct {
+	weight    float64
+	favorites []int     // flavor indices
+	favWeight []float64 // unnormalized preference weights
+	batchMean float64
+	lifeMu    float64
+	lifeSigma float64
+}
+
+// Generate runs the ground-truth process and returns the full-history
+// trace. The trace is uncensored (every VM has its true duration);
+// apply trace.Slice to impose observation windows.
+func (c Config) Generate(seed int64) *trace.Trace {
+	if c.Days <= 0 || c.Users <= 0 || c.Flavors == nil || c.Flavors.K() == 0 {
+		panic(fmt.Sprintf("synth: invalid config %+v", c.Name))
+	}
+	g := rng.New(seed)
+	users := c.makeUsers(g.Split())
+	arrivalG := g.Split()
+	batchG := g.Split()
+	lifeG := g.Split()
+
+	// Per-flavor lifetime shifts (flavor→lifetime correlation).
+	flavorShift := make([]float64, c.Flavors.K())
+	if c.FlavorLifeEffect != 0 {
+		shiftG := g.Split()
+		for f := range flavorShift {
+			flavorShift[f] = c.FlavorLifeEffect * shiftG.NormFloat64()
+		}
+	}
+
+	// Per-day random effects ("every day is unique").
+	dayEffects := make([]float64, c.Days)
+	for d := range dayEffects {
+		dayEffects[d] = math.Exp(c.DayEffect * arrivalG.NormFloat64())
+	}
+
+	periods := c.Days * trace.PeriodsPerDay
+	tr := &trace.Trace{Flavors: c.Flavors, Periods: periods}
+	userWeights := make([]float64, len(users))
+	for i, u := range users {
+		userWeights[i] = u.weight
+	}
+	userAlias := rng.NewAlias(userWeights)
+
+	// Recently active users: a small FIFO that implements cross-period
+	// persistence (long-range correlation).
+	var recent []int
+	// A short recency window concentrates cross-batch persistence on the
+	// last few users, matching the strong short-range reuse the paper
+	// documents (Figure 9: most requests reuse one of the last few
+	// flavor types).
+	const recentCap = 6
+
+	id := 0
+	for p := 0; p < periods; p++ {
+		day := trace.DayOfHistory(p)
+		lambda := c.BaseRate * c.diurnal(trace.HourOfDay(p)) * c.weekly(trace.DayOfWeek(p)) * dayEffects[day]
+		if c.Growth != nil {
+			lambda *= c.Growth(day)
+		}
+		n := arrivalG.Poisson(lambda)
+		for b := 0; b < n; b++ {
+			var uid int
+			if len(recent) > 0 && batchG.Bernoulli(c.Persistence) {
+				// Half of persistent batches come from the immediately
+				// previous batch's user (users submit several batches in
+				// a row), the rest from the recent-user window.
+				if batchG.Bernoulli(0.5) {
+					uid = recent[len(recent)-1]
+				} else {
+					uid = recent[batchG.Intn(len(recent))]
+				}
+			} else {
+				uid = userAlias.Sample(batchG)
+			}
+			recent = append(recent, uid)
+			if len(recent) > recentCap {
+				recent = recent[1:]
+			}
+			u := users[uid]
+			size := 1 + batchG.Geometric(1/u.batchMean)
+			templated := c.TemplateP > 0 && batchG.Bernoulli(c.TemplateP)
+			prevFlavor := -1
+			prevLife := -1.0
+			for v := 0; v < size; v++ {
+				var flavor int
+				if templated {
+					// Templated deployment: cycle the user's favorites
+					// in order (web+db+cache-style pods).
+					flavor = u.favorites[v%len(u.favorites)]
+				} else if prevFlavor >= 0 && batchG.Bernoulli(c.RepeatFlavorP) {
+					flavor = prevFlavor
+				} else {
+					flavor = u.favorites[batchG.Categorical(u.favWeight)]
+				}
+				life := prevLife
+				if life < 0 || !lifeG.Bernoulli(c.RepeatLifetimeP) {
+					mu := u.lifeMu + flavorShift[flavor]
+					if c.LifeShift != nil {
+						mu += c.LifeShift(day)
+					}
+					life = lifeG.LogNormal(mu, u.lifeSigma)
+				} else {
+					life *= lifeG.Uniform(0.9, 1.1)
+				}
+				tr.VMs = append(tr.VMs, trace.VM{
+					ID:       id,
+					User:     uid,
+					Flavor:   flavor,
+					Start:    p,
+					Duration: life,
+				})
+				id++
+				prevFlavor, prevLife = flavor, life
+			}
+		}
+	}
+	return tr
+}
+
+func (c Config) makeUsers(g *rng.RNG) []user {
+	k := c.Flavors.K()
+	globalPop := rng.ZipfWeights(k, 1.0)
+	// Shuffle so flavor index order is not popularity order.
+	perm := g.Perm(k)
+	popularity := make([]float64, k)
+	for i, p := range perm {
+		popularity[i] = globalPop[p]
+	}
+	popAlias := rng.NewAlias(popularity)
+	users := make([]user, c.Users)
+	zipf := rng.ZipfWeights(c.Users, c.UserZipf)
+	for i := range users {
+		u := &users[i]
+		u.weight = zipf[i]
+		seen := map[int]bool{}
+		for len(u.favorites) < c.FavoriteCount {
+			f := popAlias.Sample(g)
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			u.favorites = append(u.favorites, f)
+			// Geometric preference decay across favorites.
+			u.favWeight = append(u.favWeight, math.Pow(0.3, float64(len(u.favWeight))))
+		}
+		u.batchMean = math.Max(1, c.BatchSizeMean*g.Uniform(0.5, 1.5))
+		u.lifeMu = g.Uniform(c.LifeMuMin, c.LifeMuMax)
+		u.lifeSigma = c.LifeSigma * g.Uniform(0.7, 1.3)
+	}
+	return users
+}
+
+func (c Config) diurnal(hour int) float64 {
+	// Peak mid-afternoon, trough pre-dawn.
+	return 1 + c.DiurnalAmp*math.Sin(2*math.Pi*(float64(hour)-9)/24)
+}
+
+func (c Config) weekly(dow int) float64 {
+	if dow >= 5 {
+		return c.WeekendDip
+	}
+	return 1
+}
+
+// StandardSplit carves the full history into train/dev/test windows in
+// roughly the paper's Table-1 proportions (~70/12/18).
+func StandardSplit(days int) (train, dev, test trace.Window) {
+	p := trace.PeriodsPerDay
+	trainEnd := days * 7 / 10
+	devEnd := trainEnd + days*12/100
+	if devEnd <= trainEnd {
+		devEnd = trainEnd + 1
+	}
+	if devEnd >= days {
+		devEnd = days - 1
+	}
+	return trace.Window{Start: 0, End: trainEnd * p},
+		trace.Window{Start: trainEnd * p, End: devEnd * p},
+		trace.Window{Start: devEnd * p, End: days * p}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV parser never panics and that anything it
+// accepts round-trips.
+func FuzzReadCSV(f *testing.F) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("id,user,flavor,start_period,duration_s,censored\n")
+	f.Add("garbage")
+	f.Add("id,user,flavor,start_period,duration_s,censored\n0,0,0,0,-1,false\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		fs := twoFlavors()
+		got, err := ReadCSV(strings.NewReader(data), fs, 1000)
+		if err != nil {
+			return
+		}
+		// Accepted input must be a valid trace and survive a round trip.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadCSV(&out, fs, 1000)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.VMs) != len(got.VMs) {
+			t.Fatalf("round trip changed VM count")
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON parser never panics and validates
+// whatever it accepts.
+func FuzzReadJSON(f *testing.F) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"periods":1,"flavors":[],"vms":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTrace is the self-describing JSON wire format: unlike the CSV
+// form, it carries the flavor catalog and window length, so a trace can
+// be reconstructed without out-of-band metadata.
+type jsonTrace struct {
+	Version int         `json:"version"`
+	Periods int         `json:"periods"`
+	Flavors []FlavorDef `json:"flavors"`
+	VMs     []jsonVM    `json:"vms"`
+}
+
+type jsonVM struct {
+	ID       int     `json:"id"`
+	User     int     `json:"user"`
+	Flavor   int     `json:"flavor"`
+	Start    int     `json:"start"`
+	Duration float64 `json:"duration_s"`
+	Censored bool    `json:"censored,omitempty"`
+}
+
+const jsonVersion = 1
+
+// WriteJSON serializes the trace (catalog included) as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	jt := jsonTrace{
+		Version: jsonVersion,
+		Periods: t.Periods,
+		Flavors: t.Flavors.Defs,
+		VMs:     make([]jsonVM, len(t.VMs)),
+	}
+	for i, vm := range t.VMs {
+		jt.VMs[i] = jsonVM{
+			ID: vm.ID, User: vm.User, Flavor: vm.Flavor,
+			Start: vm.Start, Duration: vm.Duration, Censored: vm.Censored,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: read json: %w", err)
+	}
+	if jt.Version != jsonVersion {
+		return nil, fmt.Errorf("trace: unsupported json version %d", jt.Version)
+	}
+	t := &Trace{
+		Flavors: &FlavorSet{Defs: jt.Flavors},
+		Periods: jt.Periods,
+	}
+	for _, vm := range jt.VMs {
+		t.VMs = append(t.VMs, VM{
+			ID: vm.ID, User: vm.User, Flavor: vm.Flavor,
+			Start: vm.Start, Duration: vm.Duration, Censored: vm.Censored,
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteJSONGz writes the gzip-compressed JSON form — the format for
+// sharing multi-million-VM traces.
+func (t *Trace) WriteJSONGz(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	if err := t.WriteJSON(gz); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// ReadJSONGz parses a trace written by WriteJSONGz.
+func ReadJSONGz(r io.Reader) (*Trace, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: gzip: %w", err)
+	}
+	defer gz.Close()
+	return ReadJSON(gz)
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Periods != tr.Periods {
+		t.Fatalf("periods %d", got.Periods)
+	}
+	if got.Flavors.K() != tr.Flavors.K() {
+		t.Fatalf("flavors %d", got.Flavors.K())
+	}
+	if got.Flavors.Defs[1].Name != "large" || got.Flavors.Defs[1].CPU != 4 {
+		t.Fatalf("catalog lost: %+v", got.Flavors.Defs[1])
+	}
+	for i := range tr.VMs {
+		if got.VMs[i] != tr.VMs[i] {
+			t.Fatalf("VM %d: %+v vs %+v", i, got.VMs[i], tr.VMs[i])
+		}
+	}
+}
+
+func TestJSONGzRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONGz(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONGz(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != len(tr.VMs) {
+		t.Fatalf("VMs %d", len(got.VMs))
+	}
+	// Compression should actually compress a repetitive trace.
+	var plain bytes.Buffer
+	if err := tr.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= plain.Len() {
+		t.Logf("note: gz %d >= plain %d (tiny input)", buf.Len(), plain.Len())
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	// Invalid trace content (flavor out of range).
+	bad := `{"version":1,"periods":2,"flavors":[{"Name":"a","CPU":1,"MemGB":1}],"vms":[{"id":0,"user":0,"flavor":5,"start":0,"duration_s":1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestReadJSONGzNotGzip(t *testing.T) {
+	if _, err := ReadJSONGz(strings.NewReader("plain text")); err == nil {
+		t.Fatal("expected gzip error")
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FilterUsers returns the sub-trace of VMs whose user satisfies keep,
+// preserving order. The result shares the flavor catalog.
+func (t *Trace) FilterUsers(keep func(user int) bool) *Trace {
+	out := &Trace{Flavors: t.Flavors, Periods: t.Periods}
+	for _, vm := range t.VMs {
+		if keep(vm.User) {
+			out.VMs = append(out.VMs, vm)
+		}
+	}
+	return out
+}
+
+// TopUsers returns the n users with the most VMs, busiest first.
+func (t *Trace) TopUsers(n int) []int {
+	counts := map[int]int{}
+	for _, vm := range t.VMs {
+		counts[vm.User]++
+	}
+	users := make([]int, 0, len(counts))
+	for u := range counts {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if counts[users[i]] != counts[users[j]] {
+			return counts[users[i]] > counts[users[j]]
+		}
+		return users[i] < users[j] // deterministic tie-break
+	})
+	if n > len(users) {
+		n = len(users)
+	}
+	return users[:n]
+}
+
+// Merge combines several traces over the same catalog and window into
+// one, interleaving per period while preserving each source's
+// within-period order (source order breaks ties). User IDs are remapped
+// per source so distinct sources never share a user; IDs are
+// reassigned. Useful for combining generated shards or overlaying a
+// synthetic stress workload onto a base trace.
+func Merge(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: Merge of nothing")
+	}
+	first := traces[0]
+	for i, tr := range traces[1:] {
+		if tr.Periods != first.Periods {
+			return nil, fmt.Errorf("trace: Merge window mismatch: %d vs %d periods", tr.Periods, first.Periods)
+		}
+		if tr.Flavors.K() != first.Flavors.K() {
+			return nil, fmt.Errorf("trace: Merge catalog mismatch at source %d", i+1)
+		}
+	}
+	out := &Trace{Flavors: first.Flavors, Periods: first.Periods}
+	// Per-source cursors walk each trace period by period.
+	cursors := make([]int, len(traces))
+	userBase := make([]int, len(traces))
+	base := 0
+	for i, tr := range traces {
+		userBase[i] = base
+		maxUser := -1
+		for _, vm := range tr.VMs {
+			if vm.User > maxUser {
+				maxUser = vm.User
+			}
+		}
+		base += maxUser + 1
+	}
+	for p := 0; p < first.Periods; p++ {
+		for i, tr := range traces {
+			for cursors[i] < len(tr.VMs) && tr.VMs[cursors[i]].Start == p {
+				vm := tr.VMs[cursors[i]]
+				vm.User += userBase[i]
+				vm.ID = len(out.VMs)
+				out.VMs = append(out.VMs, vm)
+				cursors[i]++
+			}
+		}
+	}
+	for i, tr := range traces {
+		if cursors[i] != len(tr.VMs) {
+			return nil, fmt.Errorf("trace: Merge source %d not sorted by period", i)
+		}
+	}
+	return out, nil
+}
+
+// CountUsers returns the number of distinct users in the trace.
+func (t *Trace) CountUsers() int {
+	seen := map[int]bool{}
+	for _, vm := range t.VMs {
+		seen[vm.User] = true
+	}
+	return len(seen)
+}

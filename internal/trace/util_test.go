@@ -1,0 +1,87 @@
+package trace
+
+import "testing"
+
+func TestFilterUsers(t *testing.T) {
+	tr := sample()
+	only1 := tr.FilterUsers(func(u int) bool { return u == 1 })
+	if len(only1.VMs) != 3 {
+		t.Fatalf("got %d VMs", len(only1.VMs))
+	}
+	for _, vm := range only1.VMs {
+		if vm.User != 1 {
+			t.Fatal("wrong user")
+		}
+	}
+	if only1.Periods != tr.Periods || only1.Flavors != tr.Flavors {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestTopUsers(t *testing.T) {
+	tr := sample() // user 1: 3 VMs, user 3: 2, user 2: 1
+	top := tr.TopUsers(2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	all := tr.TopUsers(99)
+	if len(all) != 3 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestCountUsers(t *testing.T) {
+	if got := sample().CountUsers(); got != 3 {
+		t.Fatalf("users = %d", got)
+	}
+}
+
+func TestMergeInterleavesAndRemaps(t *testing.T) {
+	a := sample()
+	b := sample()
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.VMs) != len(a.VMs)+len(b.VMs) {
+		t.Fatalf("merged %d VMs", len(merged.VMs))
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Users from distinct sources must not collide: sample() has users
+	// 1..3, so the second source should occupy 4+.
+	if merged.CountUsers() != 6 {
+		t.Fatalf("merged users = %d, want 6", merged.CountUsers())
+	}
+	// Period-0 VMs from source a come before source b's.
+	if merged.VMs[0].User != a.VMs[0].User {
+		t.Fatal("source order not preserved within period")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Fatal("expected empty error")
+	}
+	a := sample()
+	short := sample()
+	short.Periods = 5
+	// Drop VMs outside the shorter window so the mismatch is the window,
+	// not validity.
+	short.VMs = short.VMs[:4]
+	if _, err := Merge(a, short); err == nil {
+		t.Fatal("expected window mismatch error")
+	}
+	diffCat := sample()
+	diffCat.Flavors = &FlavorSet{Defs: []FlavorDef{{Name: "x", CPU: 1, MemGB: 1}}}
+	diffCat.VMs = diffCat.VMs[:0]
+	if _, err := Merge(a, diffCat); err == nil {
+		t.Fatal("expected catalog mismatch error")
+	}
+	unsorted := sample()
+	unsorted.VMs[0], unsorted.VMs[5] = unsorted.VMs[5], unsorted.VMs[0]
+	if _, err := Merge(unsorted); err == nil {
+		t.Fatal("expected unsorted error")
+	}
+}

@@ -1,0 +1,158 @@
+package tune
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/glm"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+var (
+	dataOnce sync.Once
+	trainTr  *trace.Trace
+	devTr    *trace.Trace
+	devOff   int
+)
+
+func data(t *testing.T) (*trace.Trace, *trace.Trace, int) {
+	t.Helper()
+	dataOnce.Do(func() {
+		cfg := synth.AzureLike()
+		cfg.Days = 4
+		cfg.Users = 80
+		cfg.BaseRate = 2
+		full := cfg.Generate(77)
+		devOff = 3 * trace.PeriodsPerDay
+		trainTr = full.Slice(trace.Window{Start: 0, End: devOff}, 0)
+		devTr = full.Slice(trace.Window{Start: devOff, End: full.Periods}, 0)
+	})
+	return trainTr, devTr, devOff
+}
+
+func TestArrivalGrid(t *testing.T) {
+	train, dev, off := data(t)
+	results, err := ArrivalGrid(train, dev, off, []float64{0.01, 0.1, 10, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Score < results[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	// An absurdly strong ridge should not win: it flattens the rate to
+	// the global mean.
+	if results[0].Params["l2"] == 10000 {
+		t.Errorf("degenerate penalty won the grid: %+v", results)
+	}
+}
+
+func TestArrivalGridEmpty(t *testing.T) {
+	train, dev, off := data(t)
+	if _, err := ArrivalGrid(train, dev, off, nil); err == nil {
+		t.Fatal("expected empty-grid error")
+	}
+}
+
+func TestFlavorGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several LSTMs")
+	}
+	train, dev, off := data(t)
+	base := core.TrainConfig{Hidden: 12, Layers: 1, SeqLen: 48, BatchSize: 8, Epochs: 8, Seed: 1}
+	results, err := FlavorGrid(train, dev, off, base, []float64{8e-3, 1e-5}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results %d", len(results))
+	}
+	// A vanishing learning rate cannot win: the network stays at its
+	// random initialization.
+	if results[0].Params["lr"] == 1e-5 {
+		t.Errorf("untrained candidate won: %+v", results)
+	}
+}
+
+func TestLifetimeGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several LSTMs")
+	}
+	train, dev, off := data(t)
+	bins := survival.PaperBins()
+	base := core.TrainConfig{Hidden: 12, Layers: 1, SeqLen: 48, BatchSize: 8, Epochs: 8, Seed: 1}
+	results, err := LifetimeGrid(train, dev, off, bins, base, []float64{8e-3, 1e-5}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Params["lr"] == 1e-5 {
+		t.Errorf("untrained candidate won: %+v", results)
+	}
+}
+
+func TestDOHGeomGrid(t *testing.T) {
+	train, dev, off := data(t)
+	results, err := DOHGeomGrid(train, dev, off, []float64{1.0 / 7.0, 0.9}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results %d", len(results))
+	}
+	for _, r := range results {
+		if r.Score < 0 || r.Score > 1 {
+			t.Fatalf("score out of range: %+v", r)
+		}
+	}
+	if _, err := DOHGeomGrid(train, dev, off, []float64{2}, 10); err == nil {
+		t.Fatal("expected p-range error")
+	}
+}
+
+func TestElasticNetGrid(t *testing.T) {
+	g := rng.New(5)
+	mk := func(n int) (*mat.Dense, []float64) {
+		x := mat.NewDense(n, 3)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] = g.Uniform(-1, 1)
+			}
+			mu := math.Exp(0.8*row[0] - 0.5*row[1] + 1)
+			y[i] = float64(g.Poisson(mu))
+		}
+		return x, y
+	}
+	xTr, yTr := mk(1500)
+	xDev, yDev := mk(500)
+	results, err := ElasticNetGrid(xTr, yTr, xDev, yDev, []float64{0, 5}, []float64{0.01, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	// Extreme ridge must lose to the light penalties.
+	if results[0].Params["l2"] == 1000 {
+		t.Errorf("over-penalized candidate won: %+v", results[0])
+	}
+	// Sanity: the winner's dev NLL is no worse than an unregularized fit.
+	base, err := glm.Fit(xTr, yTr, glm.Options{Solver: glm.IRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Score > base.NLL(xDev, yDev)+0.05 {
+		t.Errorf("grid winner %v worse than unregularized %v", results[0].Score, base.NLL(xDev, yDev))
+	}
+}
