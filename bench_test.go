@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/glm"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/survival"
@@ -233,6 +235,76 @@ func BenchmarkLSTMTrainWindow(b *testing.B) {
 		opt.Step(net.Params())
 	}
 }
+
+// --- Parallel execution layer (DESIGN.md "Parallel execution") ---
+
+// benchMatMul times C += A·B at the given worker count. SetBytes counts
+// the matrices touched per op so ns/op and MB/s are both reported.
+func benchMatMul(b *testing.B, procs int) {
+	defer par.SetProcs(par.SetProcs(procs))
+	const m, k, n = 256, 256, 256
+	g := rng.New(1)
+	a := mat.NewDense(m, k)
+	bm := mat.NewDense(k, n)
+	for i := range a.Data {
+		a.Data[i] = g.NormFloat64()
+	}
+	for i := range bm.Data {
+		bm.Data[i] = g.NormFloat64()
+	}
+	dst := mat.NewDense(m, n)
+	b.SetBytes(8 * (m*k + k*n + m*n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulAdd(dst, a, bm)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B)         { benchMatMul(b, 1) }
+func BenchmarkMatMulParallel(b *testing.B) { benchMatMul(b, runtime.NumCPU()) }
+
+// benchLSTMTrain times one sharded forward/backward/Adam window at the
+// given worker count; compare against BenchmarkLSTMTrainWindow for the
+// unsharded baseline. SetBytes counts the input activations per op.
+func benchLSTMTrain(b *testing.B, procs int) {
+	defer par.SetProcs(par.SetProcs(procs))
+	net := nn.NewLSTM(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	g := rng.New(2)
+	const steps, batch = 32, 8
+	xs := make([]*mat.Dense, steps)
+	targets := make([][]int, steps)
+	for s := range xs {
+		x := mat.NewDense(batch, 64)
+		for i := range x.Data {
+			x.Data[i] = g.NormFloat64()
+		}
+		xs[s] = x
+		tg := make([]int, batch)
+		for i := range tg {
+			tg[i] = g.Intn(17)
+		}
+		targets[s] = tg
+	}
+	opt := nn.NewAdam(1e-3)
+	sharded := nn.NewShardedLSTM(net, batch)
+	b.SetBytes(8 * steps * batch * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := net.NewState(batch)
+		sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+			dys := make([]*mat.Dense, len(ys))
+			for s, y := range ys {
+				_, d, _ := nn.SoftmaxCE(y, targets[s][lo:hi], nil)
+				dys[s] = d
+			}
+			return dys, 0, 0
+		})
+		opt.Step(net.Params())
+	}
+}
+
+func BenchmarkLSTMTrainSharded(b *testing.B)  { benchLSTMTrain(b, 1) }
+func BenchmarkLSTMTrainParallel(b *testing.B) { benchLSTMTrain(b, runtime.NumCPU()) }
 
 func BenchmarkPoissonRegressionIRLS(b *testing.B) {
 	c := benchAzure(b)

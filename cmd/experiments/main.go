@@ -56,7 +56,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: unknown -cloud value")
 		os.Exit(2)
 	}
-	fmt.Printf("Prepared %d synthetic cloud(s) in %v\n\n", len(clouds), time.Since(start).Round(time.Millisecond))
+	experiments.FitAll(clouds...)
+	fmt.Printf("Prepared and fitted %d synthetic cloud(s) in %v\n\n", len(clouds), time.Since(start).Round(time.Millisecond))
 
 	if want("table1") {
 		experiments.RenderTable1(os.Stdout, experiments.Table1(clouds...))

@@ -1,0 +1,106 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestDeterminismAcrossWorkerCounts is the end-to-end enforcement of
+// the par package's determinism contract: training the full model and
+// generating a trace must produce byte-identical weights and output
+// whether the parallel layer runs on one worker or eight. Every
+// parallel region in the repository — sharded minibatch training,
+// blocked GEMM, the pipelined generator, Monte-Carlo sampling — is
+// required to reduce in fixed order, and this test catches any of them
+// drifting.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(procs int) (flavorW, lifetimeW, traceJSON []byte) {
+		defer par.SetProcs(par.SetProcs(procs))
+		cfg := synth.AzureLike()
+		cfg.Days = 3
+		cfg.Users = 60
+		cfg.BaseRate = 1.5
+		full := cfg.Generate(7)
+		trainW, _, testW := synth.StandardSplit(cfg.Days)
+		train := full.Slice(trainW, 0)
+		m, err := core.TrainModel(train, core.ModelOptions{
+			Train: core.TrainConfig{
+				Hidden: 8, Layers: 2, SeqLen: 16, BatchSize: 4,
+				Epochs: 2, LR: 5e-3, Seed: 3,
+			},
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: train: %v", procs, err)
+		}
+		flavorW, err = m.Flavor.Net.MarshalBinary()
+		if err != nil {
+			t.Fatalf("procs=%d: marshal flavor: %v", procs, err)
+		}
+		lifetimeW, err = m.Lifetime.Net.MarshalBinary()
+		if err != nil {
+			t.Fatalf("procs=%d: marshal lifetime: %v", procs, err)
+		}
+		tr := m.Generate(rng.New(11), testW)
+		tr = core.WithCatalog(tr, full.Flavors)
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("procs=%d: write trace: %v", procs, err)
+		}
+		return flavorW, lifetimeW, buf.Bytes()
+	}
+
+	f1, l1, t1 := run(1)
+	f8, l8, t8 := run(8)
+	if !bytes.Equal(f1, f8) {
+		t.Errorf("flavor weights differ between REPRO_PROCS=1 and 8 (%d vs %d bytes)", len(f1), len(f8))
+	}
+	if !bytes.Equal(l1, l8) {
+		t.Errorf("lifetime weights differ between REPRO_PROCS=1 and 8 (%d vs %d bytes)", len(l1), len(l8))
+	}
+	if !bytes.Equal(t1, t8) {
+		t.Errorf("generated traces differ between REPRO_PROCS=1 and 8 (%d vs %d bytes)", len(t1), len(t8))
+	}
+	if len(t1) == 0 {
+		t.Fatal("empty serialized trace")
+	}
+}
+
+// TestDeterminismExperimentsSweep covers the experiment-layer fan-outs
+// (Monte-Carlo sampling, packing trials) at two worker counts on a tiny
+// cloud; unlike the training test above it exercises the shared-events
+// parallel packing path with per-tuple RNG streams.
+func TestDeterminismExperimentsSweep(t *testing.T) {
+	cfg := synth.AzureLike()
+	cfg.Days = 3
+	cfg.Users = 60
+	cfg.BaseRate = 1.5
+	full := cfg.Generate(9)
+	_, _, testW := synth.StandardSplit(cfg.Days)
+
+	run := func(procs int) []byte {
+		defer par.SetProcs(par.SetProcs(procs))
+		naive, err := core.NewNaiveGenerator(full.Slice(trace.Window{Start: 0, End: testW.Start}, 0), survival.PaperBins())
+		if err != nil {
+			t.Fatalf("procs=%d: fit naive: %v", procs, err)
+		}
+		var buf bytes.Buffer
+		g := rng.New(21)
+		for i := 0; i < 4; i++ {
+			tr := naive.Generate(g.Split(), testW)
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Fatalf("procs=%d: %v", procs, err)
+			}
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(1), run(8); !bytes.Equal(a, b) {
+		t.Errorf("naive generator sweep differs across worker counts (%d vs %d bytes)", len(a), len(b))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -94,8 +95,11 @@ func Evaluate(sampled [][]float64, actual, carryOver []float64, level float64) F
 	if carryOver != nil && len(carryOver) != n {
 		panic(fmt.Sprintf("capacity: carryOver len %d, actual %d", len(carryOver), n))
 	}
+	// Each sample's adjustment is independent; fan out across the Monte
+	// Carlo samples (each task writes only its own row).
 	adjusted := make([][]float64, len(sampled))
-	for s, row := range sampled {
+	par.Do(len(sampled), func(s int) {
+		row := sampled[s]
 		if len(row) != n {
 			panic(fmt.Sprintf("capacity: sample %d len %d, actual %d", s, len(row), n))
 		}
@@ -107,7 +111,7 @@ func Evaluate(sampled [][]float64, actual, carryOver []float64, level float64) F
 			}
 		}
 		adjusted[s] = adj
-	}
+	})
 	actAdj := make([]float64, n)
 	for i, v := range actual {
 		actAdj[i] = v

@@ -153,6 +153,7 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 			}
 		}
 	}
+	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
@@ -190,25 +191,37 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 				targets[s] = tg
 				valids[s] = vd
 			}
-			m.Net.ZeroGrads()
-			ys, cache := m.Net.Forward(xs, st)
-			dys := make([]*mat.Dense, wl)
-			for s, y := range ys {
-				l, d, n := nn.SoftmaxCE(y, targets[s], valids[s])
-				totalLoss += l
-				totalSteps += n
-				dys[s] = d
+			// Normalize gradients by the number of contributing steps so
+			// the learning rate is scale-free. The count is known before
+			// the forward pass, so each shard scales its own gradients
+			// and no cross-shard barrier is needed between loss and BPTT.
+			var norm float64
+			if batchSteps > 0 {
+				norm = 1 / float64(batchSteps)
 			}
+			loss, steps := sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+				dys := make([]*mat.Dense, len(ys))
+				var shardLoss float64
+				var shardN int
+				for s, y := range ys {
+					l, d, n := nn.SoftmaxCE(y, targets[s][lo:hi], valids[s][lo:hi])
+					shardLoss += l
+					shardN += n
+					dys[s] = d
+				}
+				if batchSteps == 0 {
+					return nil, shardLoss, shardN
+				}
+				for _, d := range dys {
+					mat.Scale(norm, d.Data)
+				}
+				return dys, shardLoss, shardN
+			})
+			totalLoss += loss
+			totalSteps += steps
 			if batchSteps == 0 {
 				continue
 			}
-			// Normalize gradient by the number of contributing steps so
-			// the learning rate is scale-free.
-			norm := 1 / float64(batchSteps)
-			for _, d := range dys {
-				mat.Scale(norm, d.Data)
-			}
-			m.Net.Backward(cache, dys)
 			opt.Step(m.Net.Params())
 		}
 		if cfg.Progress != nil && totalSteps > 0 {

@@ -48,6 +48,7 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 	opt.ClipNorm = cfg.ClipNorm
 	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
 	eob := EOBToken(k)
+	sharded := nn.NewShardedGRU(m.Net, plan.batch)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		st := m.Net.NewState(plan.batch)
@@ -80,21 +81,31 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 				targets[s] = tg
 				valids[s] = vd
 			}
-			m.Net.ZeroGrads()
-			ys, cache := m.Net.Forward(xs, st)
-			dys := make([]*mat.Dense, wl)
-			for s, y := range ys {
-				_, d, _ := nn.SoftmaxCE(y, targets[s], valids[s])
-				dys[s] = d
+			var norm float64
+			if batchSteps > 0 {
+				norm = 1 / float64(batchSteps)
 			}
+			sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+				dys := make([]*mat.Dense, len(ys))
+				var shardLoss float64
+				var shardN int
+				for s, y := range ys {
+					l, d, n := nn.SoftmaxCE(y, targets[s][lo:hi], valids[s][lo:hi])
+					shardLoss += l
+					shardN += n
+					dys[s] = d
+				}
+				if batchSteps == 0 {
+					return nil, shardLoss, shardN
+				}
+				for _, d := range dys {
+					mat.Scale(norm, d.Data)
+				}
+				return dys, shardLoss, shardN
+			})
 			if batchSteps == 0 {
 				continue
 			}
-			norm := 1 / float64(batchSteps)
-			for _, d := range dys {
-				mat.Scale(norm, d.Data)
-			}
-			m.Net.Backward(cache, dys)
 			opt.Step(m.Net.Params())
 		}
 	}

@@ -46,7 +46,7 @@ type ModelOptions struct {
 // default arrival options follow the paper: batch arrivals with DOH
 // features and geometric DOH sampling (success probability 1/7).
 func TrainModel(tr *trace.Trace, opt ModelOptions) (*Model, error) {
-	if opt.Bins.J() == 0 {
+	if opt.Bins.J() <= 0 {
 		opt.Bins = survival.PaperBins()
 	}
 	arrOpt := opt.Arrival
@@ -94,6 +94,12 @@ func (m *Model) maxJobs() int {
 // carries across periods so momentum persists, as in training on long
 // sequences (§4.2). One DOH day is sampled per generated day and shared
 // by all three stages for coherence.
+//
+// Generate only mutates its own decoding state and draws only from g,
+// so concurrent calls with distinct RNGs are safe; the experiment layer
+// exploits this by fanning Monte-Carlo samples out over pre-split
+// streams (one g.Split() per sample, split serially in sample order),
+// which reproduces a serial sweep exactly at any worker count.
 func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 	out := &trace.Trace{Flavors: &trace.FlavorSet{Defs: m.flavorDefs()}, Periods: w.Periods()}
 	fs := m.Flavor.newFlavorState()

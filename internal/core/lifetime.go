@@ -119,6 +119,7 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 			}
 		}
 	}
+	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
@@ -130,6 +131,10 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 			xs := make([]*mat.Dense, wl)
 			targets := make([]*mat.Dense, wl)
 			masks := make([]*mat.Dense, wl)
+			// The masked-BCE output count is a function of the targets
+			// alone, so tally it while encoding: the gradient scale is
+			// then known before the sharded forward/backward pass.
+			var batchOutputs int
 			for s := 0; s < wl; s++ {
 				x := mat.NewDense(plan.batch, inDim)
 				tg := mat.NewDense(plan.batch, j)
@@ -146,30 +151,43 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 					day := trace.DayOfHistory(steps[t].Period)
 					m.encodeLifetimeInput(x.Row(row), steps[t], day, prevBin, prevCens)
 					lifetimeTargets(tg.Row(row), mk.Row(row), steps[t])
+					for _, mv := range mk.Row(row) {
+						if mv != 0 {
+							batchOutputs++
+						}
+					}
 				}
 				xs[s] = x
 				targets[s] = tg
 				masks[s] = mk
 			}
-			m.Net.ZeroGrads()
-			ys, cache := m.Net.Forward(xs, st)
-			dys := make([]*mat.Dense, wl)
-			var batchOutputs int
-			for s, y := range ys {
-				l, d, n := nn.MaskedBCEWithLogits(y, targets[s], masks[s])
-				totalLoss += l
-				totalOutputs += n
-				batchOutputs += n
-				dys[s] = d
+			var norm float64
+			if batchOutputs > 0 {
+				norm = 1 / float64(batchOutputs)
 			}
+			loss, outputs := sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+				dys := make([]*mat.Dense, len(ys))
+				var shardLoss float64
+				var shardN int
+				for s, y := range ys {
+					l, d, n := nn.MaskedBCEWithLogits(y, targets[s].SliceRows(lo, hi), masks[s].SliceRows(lo, hi))
+					shardLoss += l
+					shardN += n
+					dys[s] = d
+				}
+				if batchOutputs == 0 {
+					return nil, shardLoss, shardN
+				}
+				for _, d := range dys {
+					mat.Scale(norm, d.Data)
+				}
+				return dys, shardLoss, shardN
+			})
+			totalLoss += loss
+			totalOutputs += outputs
 			if batchOutputs == 0 {
 				continue
 			}
-			norm := 1 / float64(batchOutputs)
-			for _, d := range dys {
-				mat.Scale(norm, d.Data)
-			}
-			m.Net.Backward(cache, dys)
 			opt.Step(m.Net.Params())
 		}
 		if cfg.Progress != nil && totalOutputs > 0 {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/par"
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -195,6 +196,20 @@ func (c *Cloud) SimpleBatch() *core.SimpleBatchGenerator {
 // order: Naive, SimpleBatch, LSTM.
 func (c *Cloud) Generators() []core.Generator {
 	return []core.Generator{c.Naive(), c.SimpleBatch(), c.Model()}
+}
+
+// FitAll trains every cloud's generators up front, fitting the clouds
+// in parallel. Each cloud's fit consumes only its own seeded streams
+// and writes only its own lazy caches, so the fitted models are
+// identical to on-demand fitting — this just overlaps the per-cloud
+// training time before a sequential rendering pass.
+func FitAll(clouds ...*Cloud) {
+	par.Do(len(clouds), func(i int) {
+		c := clouds[i]
+		c.Model()
+		c.Naive()
+		c.SimpleBatch()
+	})
 }
 
 // Table1Row is one dataset row of Table 1.

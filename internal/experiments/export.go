@@ -91,6 +91,7 @@ func ExportAll(dir string, clouds ...*Cloud) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	FitAll(clouds...)
 	for _, c := range clouds {
 		tag := "azure"
 		figA, figC := "fig4", "fig7"

@@ -6,10 +6,22 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
+
+// splitStreams derives n child RNG streams from g, in order. Splitting
+// happens serially before any parallel region, so the streams — and
+// therefore every downstream draw — do not depend on the worker count.
+func splitStreams(g *rng.RNG, n int) []*rng.RNG {
+	gs := make([]*rng.RNG, n)
+	for i := range gs {
+		gs[i] = g.Split()
+	}
+	return gs
+}
 
 // CapacityResult is one generator's row in a Figure 7/8 experiment.
 type CapacityResult struct {
@@ -18,14 +30,16 @@ type CapacityResult struct {
 	Forecast  capacity.Forecast
 }
 
-// sampleCPUSeries generates n traces and returns their total-CPU series.
+// sampleCPUSeries generates n traces and returns their total-CPU
+// series. Samples are generated in parallel from pre-split RNG streams,
+// so the result matches a serial run sample for sample.
 func sampleCPUSeries(c *Cloud, gen core.Generator, n int, seed int64) [][]float64 {
-	g := rng.New(seed)
+	gs := splitStreams(rng.New(seed), n)
 	out := make([][]float64, n)
-	for i := range out {
-		tr := core.WithCatalog(gen.Generate(g.Split(), c.TestW), c.Full.Flavors)
+	par.Do(n, func(i int) {
+		tr := core.WithCatalog(gen.Generate(gs[i], c.TestW), c.Full.Flavors)
 		out[i] = capacity.TotalCPUSeries(tr)
-	}
+	})
 	return out
 }
 
@@ -81,10 +95,15 @@ type ReuseResult struct {
 func Figure9(c *Cloud) (actual []float64, results []ReuseResult) {
 	actual = sched.ReuseHistogram(sched.ReuseDistances(c.Test))
 	for gi, gen := range c.Generators() {
-		g := rng.New(c.Scale.Seed + int64(2000+gi))
 		// Reuse distributions are stable across samples; a fraction of
 		// the capacity-planning sample count suffices.
 		n := c.Scale.Samples/5 + 1
+		gs := splitStreams(rng.New(c.Scale.Seed+int64(2000+gi)), n)
+		hists := make([][]float64, n)
+		par.Do(n, func(s int) {
+			tr := gen.Generate(gs[s], c.TestW)
+			hists[s] = sched.ReuseHistogram(sched.ReuseDistances(tr))
+		})
 		minH := make([]float64, sched.ReuseBuckets)
 		maxH := make([]float64, sched.ReuseBuckets)
 		sumH := make([]float64, sched.ReuseBuckets)
@@ -92,9 +111,7 @@ func Figure9(c *Cloud) (actual []float64, results []ReuseResult) {
 			minH[i] = math.Inf(1)
 			maxH[i] = math.Inf(-1)
 		}
-		for s := 0; s < n; s++ {
-			tr := gen.Generate(g.Split(), c.TestW)
-			h := sched.ReuseHistogram(sched.ReuseDistances(tr))
+		for _, h := range hists {
 			for i, v := range h {
 				minH[i] = math.Min(minH[i], v)
 				maxH[i] = math.Max(maxH[i], v)
@@ -142,7 +159,9 @@ func summarizePacking(name string, results []sched.PackResult) PackingResult {
 	return PackingResult{Source: name, FFARs: results, Median: med, Frac95: frac}
 }
 
-// packTrace runs every tuple against one trace.
+// packTrace runs every tuple against one trace. The tuples share one
+// sequential RNG stream (Pack's draw count is data-dependent), so the
+// loop itself stays serial; Table5 parallelizes across sources instead.
 func packTrace(tr *trace.Trace, tuples []sched.Tuple, seed int64) []sched.PackResult {
 	g := rng.New(seed)
 	events := sched.Events(tr, g.Split())
@@ -179,8 +198,20 @@ func defaultTupleRanges(c *Cloud) sched.TupleRanges {
 // one sampled trace per tuple from each generator.
 func Table5(c *Cloud) []PackingResult {
 	tuples := sched.SampleTuples(rng.New(c.Scale.Seed+31), c.Scale.Tuples, defaultTupleRanges(c))
-	out := []PackingResult{}
-	for gi, gen := range c.Generators() {
+	gens := c.Generators()
+	// Within one source the tuples share a single sequential RNG stream
+	// (trace sampling, event jitter, and packing interleave draws whose
+	// counts are data-dependent), so each source runs serially and the
+	// fan-out is across sources. Every source seeds its own generator,
+	// so the per-source streams — and hence the results — match a fully
+	// serial run exactly.
+	out := make([]PackingResult, len(gens)+1)
+	par.Do(len(gens)+1, func(gi int) {
+		if gi == len(gens) {
+			out[gi] = summarizePacking("Test data", packTrace(c.Test, tuples, c.Scale.Seed+41))
+			return
+		}
+		gen := gens[gi]
 		g := rng.New(c.Scale.Seed + int64(3000+gi))
 		results := make([]sched.PackResult, len(tuples))
 		for i, tp := range tuples {
@@ -188,9 +219,8 @@ func Table5(c *Cloud) []PackingResult {
 			events := sched.Events(tr, g.Split())
 			results[i] = sched.RunTuple(tr, events, tp, g)
 		}
-		out = append(out, summarizePacking(gen.Name(), results))
-	}
-	out = append(out, summarizePacking("Test data", packTrace(c.Test, tuples, c.Scale.Seed+41)))
+		out[gi] = summarizePacking(gen.Name(), results)
+	})
 	return out
 }
 
@@ -219,14 +249,16 @@ func TenX(c *Cloud) TenXResult {
 	packArrivalsOnly := func(tr *trace.Trace, seed int64) []sched.PackResult {
 		gg := rng.New(seed)
 		events := sched.Events(tr, gg.Split())
+		gs := splitStreams(gg, len(tuples))
 		out := make([]sched.PackResult, len(tuples))
-		for i, tp := range tuples {
+		par.Do(len(tuples), func(i int) {
+			tp := tuples[i]
 			start := int(tp.StartFrac * float64(len(events)))
 			out[i] = sched.Pack(tr, events, sched.PackOptions{
 				Servers: tp.Servers, CPUCap: tp.CPUCap, MemCap: tp.MemCap,
 				Alg: sched.Algorithms()[tp.AlgIndex], Start: start, NoDeparts: true,
-			}, gg)
-		}
+			}, gs[i])
+		})
 		return out
 	}
 	res := TenXResult{

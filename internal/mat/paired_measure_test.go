@@ -1,0 +1,49 @@
+package mat
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestPairedKernelMeasure reports drift-resistant timings for the
+// unrolled Dot/Axpy kernels against their straight-loop baselines.
+// Variants alternate round-robin within one process so slow clock
+// drift (frequency scaling, noisy neighbors) hits all of them equally,
+// and per-round medians are compared — consecutive `go test -bench`
+// blocks on such hosts drift by more than the ~5% deltas at stake.
+// Run with -v to see the numbers; it never fails.
+func TestPairedKernelMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement, skipped in -short")
+	}
+	x := denseRand(1, vecLen, 1).Data
+	y := denseRand(1, vecLen, 2).Data
+
+	const rounds, iters = 300, 2000
+	measure := func(f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return time.Since(start)
+	}
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+
+	var sink float64
+	var dotUnroll, dotPlain, axpyUnroll, axpyPlain []time.Duration
+	for r := 0; r < rounds; r++ {
+		dotUnroll = append(dotUnroll, measure(func() { sink += Dot(x, y) }))
+		dotPlain = append(dotPlain, measure(func() { sink += dotRef(x, y) }))
+		axpyUnroll = append(axpyUnroll, measure(func() { Axpy(1e-12, x, y) }))
+		axpyPlain = append(axpyPlain, measure(func() { axpyRef(1e-12, x, y) }))
+	}
+	_ = sink
+	t.Logf("dot  unrolled median %v per %d calls", median(dotUnroll), iters)
+	t.Logf("dot  straight median %v per %d calls", median(dotPlain), iters)
+	t.Logf("axpy unrolled median %v per %d calls", median(axpyUnroll), iters)
+	t.Logf("axpy straight median %v per %d calls", median(axpyPlain), iters)
+}

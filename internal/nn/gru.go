@@ -25,6 +25,7 @@ type GRU struct {
 // dimension is reset (r), update (z), candidate (n).
 type gruLayer struct {
 	in, hidden int
+	first      bool   // layer 0: input may be a sparse feature encoding
 	wx         *Param // [in x 3H]
 	wh         *Param // [H x 3H]
 	b          *Param // [1 x 3H]
@@ -41,6 +42,7 @@ func NewGRU(cfg Config, g *rng.RNG) *GRU {
 		layer := &gruLayer{
 			in:     in,
 			hidden: cfg.HiddenDim,
+			first:  l == 0,
 			wx:     newParam(fmt.Sprintf("g%d.wx", l), in, 3*cfg.HiddenDim),
 			wh:     newParam(fmt.Sprintf("g%d.wh", l), cfg.HiddenDim, 3*cfg.HiddenDim),
 			b:      newParam(fmt.Sprintf("g%d.b", l), 1, 3*cfg.HiddenDim),
@@ -147,7 +149,11 @@ func (l *gruLayer) forward(x, hPrev *mat.Dense) *gruStepCache {
 	// zx = x Wx + bias; zh = hPrev Wh (candidate recurrent term needs
 	// r applied before Wh's n-block, so compute blocks separately).
 	zx := mat.NewDense(b, 3*h)
-	mat.MulAdd(zx, x, l.wx.Value)
+	if l.first && sparseEnough(x) {
+		mat.MulAddSparse(zx, x, l.wx.Value)
+	} else {
+		mat.MulAdd(zx, x, l.wx.Value)
+	}
 	mat.AddBiasRows(zx, l.b.Value.Row(0))
 	zh := mat.NewDense(b, 3*h)
 	mat.MulAdd(zh, hPrev, l.wh.Value)
@@ -234,7 +240,11 @@ func (n *GRU) Backward(cache *GRUCache, dys []*mat.Dense) {
 					dzhr[j] = drr
 				}
 			}
-			mat.MulATB(layer.wx.Grad, sc.x, dzx)
+			if layer.first && sparseEnough(sc.x) {
+				mat.MulATBSparse(layer.wx.Grad, sc.x, dzx)
+			} else {
+				mat.MulATB(layer.wx.Grad, sc.x, dzx)
+			}
 			mat.SumRows(layer.b.Grad.Row(0), dzx)
 			mat.MulATB(layer.wh.Grad, sc.hPrev, dzh)
 			// dhPrev = gate term + dzh Whᵀ.

@@ -58,6 +58,7 @@ func (c Config) validate() error {
 // the 4H dimension is input, forget, cell (g), output.
 type lstmLayer struct {
 	in, hidden int
+	first      bool   // layer 0: input may be a sparse feature encoding
 	wx         *Param // [in x 4H]
 	wh         *Param // [H x 4H]
 	b          *Param // [1 x 4H]
@@ -84,6 +85,7 @@ func NewLSTM(cfg Config, g *rng.RNG) *LSTM {
 		layer := &lstmLayer{
 			in:     in,
 			hidden: cfg.HiddenDim,
+			first:  l == 0,
 			wx:     newParam(fmt.Sprintf("l%d.wx", l), in, 4*cfg.HiddenDim),
 			wh:     newParam(fmt.Sprintf("l%d.wh", l), cfg.HiddenDim, 4*cfg.HiddenDim),
 			b:      newParam(fmt.Sprintf("l%d.b", l), 1, 4*cfg.HiddenDim),
@@ -188,6 +190,22 @@ func (c *Cache) T() int { return len(c.steps) }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
+// sparseEnough reports whether fewer than a quarter of m's entries are
+// nonzero — past that, the skip branch in the sparse kernels beats the
+// dense kernel's unconditional multiply-adds. The scan is O(len) per
+// step versus the O(len·4H) product it guards. Layer-0 inputs here are
+// one-hot token/feature encodings, so this is almost always true in
+// training and false for dense random benches.
+func sparseEnough(m *mat.Dense) bool {
+	nz := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	return nz*4 < len(m.Data)
+}
+
 // Forward runs the network over xs (a sequence of [B x InputDim] step
 // inputs), starting from state st (zero state if nil; st is updated in
 // place to the final state). It returns per-step output logits
@@ -241,7 +259,11 @@ func (l *lstmLayer) forward(x, hPrev, cPrev *mat.Dense) *stepCache {
 	b := x.Rows
 	h := l.hidden
 	z := mat.NewDense(b, 4*h)
-	mat.MulAdd(z, x, l.wx.Value)
+	if l.first && sparseEnough(x) {
+		mat.MulAddSparse(z, x, l.wx.Value)
+	} else {
+		mat.MulAdd(z, x, l.wx.Value)
+	}
 	mat.MulAdd(z, hPrev, l.wh.Value)
 	mat.AddBiasRows(z, l.b.Value.Row(0))
 	sc := &stepCache{
@@ -327,7 +349,11 @@ func (n *LSTM) Backward(cache *Cache, dys []*mat.Dense) {
 				}
 			}
 			// Parameter gradients.
-			mat.MulATB(layer.wx.Grad, sc.x, dz)
+			if layer.first && sparseEnough(sc.x) {
+				mat.MulATBSparse(layer.wx.Grad, sc.x, dz)
+			} else {
+				mat.MulATB(layer.wx.Grad, sc.x, dz)
+			}
 			mat.MulATB(layer.wh.Grad, sc.hPrev, dz)
 			mat.SumRows(layer.b.Grad.Row(0), dz)
 			// Gradient to previous h (same layer, previous step).

@@ -8,21 +8,31 @@ import (
 	"repro/internal/rng"
 )
 
+// paramBlob is one named weight tensor on the snapshot wire format.
+// Params are encoded as a slice in construction order, not a map: gob
+// walks maps in Go's randomized iteration order, which would make two
+// snapshots of identical weights differ byte for byte and break the
+// repository-wide byte-identical-output determinism contract.
+type paramBlob struct {
+	Name   string
+	Values []float64
+}
+
 // marshalParams encodes a parameter list (with any gob-encodable config)
 // into the shared snapshot wire format.
 func marshalParams[C any](cfg C, params []*Param) ([]byte, error) {
-	values := make(map[string][]float64, len(params))
+	blobs := make([]paramBlob, 0, len(params))
 	for _, p := range params {
 		vals := make([]float64, len(p.Value.Data))
 		copy(vals, p.Value.Data)
-		values[p.Name] = vals
+		blobs = append(blobs, paramBlob{Name: p.Name, Values: vals})
 	}
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
 	if err := enc.Encode(cfg); err != nil {
 		return nil, fmt.Errorf("nn: marshal config: %w", err)
 	}
-	if err := enc.Encode(values); err != nil {
+	if err := enc.Encode(blobs); err != nil {
 		return nil, fmt.Errorf("nn: marshal values: %w", err)
 	}
 	return buf.Bytes(), nil
@@ -35,9 +45,13 @@ func unmarshalParams[C any](data []byte, cfg *C, fresh func(C) []*Param) error {
 	if err := dec.Decode(cfg); err != nil {
 		return fmt.Errorf("nn: unmarshal config: %w", err)
 	}
-	var values map[string][]float64
-	if err := dec.Decode(&values); err != nil {
+	var blobs []paramBlob
+	if err := dec.Decode(&blobs); err != nil {
 		return fmt.Errorf("nn: unmarshal values: %w", err)
+	}
+	values := make(map[string][]float64, len(blobs))
+	for _, b := range blobs {
+		values[b.Name] = b.Values
 	}
 	for _, p := range fresh(*cfg) {
 		vals, ok := values[p.Name]

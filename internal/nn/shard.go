@@ -1,0 +1,250 @@
+// Minibatch sharding: the deterministic data-parallel training driver.
+//
+// A minibatch of B independent sequences is split into fixed row-shards
+// (ShardRows rows each — a constant, never a function of the worker
+// count). Each shard runs Forward/Backward on a shadow of the network
+// that shares the weight tensors but owns private gradient buffers, so
+// shards never race. When every shard has finished, the per-shard
+// gradients and losses are reduced into the real network in ascending
+// shard order. Because the shard layout and the reduction order are
+// both fixed, every Adam update — and therefore every trained weight
+// and every generated trace — is bit-identical for any REPRO_PROCS.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+)
+
+// ShardRows is the fixed row granularity of minibatch sharding. One row
+// per shard maximizes available parallelism at the small batch sizes
+// this repository trains with; determinism requires only that it never
+// depend on the worker count.
+const ShardRows = 1
+
+// NumShards returns how many shards a batch of b rows splits into.
+func NumShards(b int) int { return (b + ShardRows - 1) / ShardRows }
+
+// shadowParam returns a Param sharing p's value tensor but owning a
+// fresh gradient buffer. Shadow params carry no Adam moments: only the
+// real network's params ever reach the optimizer.
+func shadowParam(p *Param) *Param {
+	return &Param{
+		Name:  p.Name,
+		Value: p.Value,
+		Grad:  mat.NewDense(p.Grad.Rows, p.Grad.Cols),
+	}
+}
+
+// ShadowGrads returns a network sharing n's weight tensors but with
+// private gradient buffers, for race-free per-shard backward passes.
+func (n *LSTM) ShadowGrads() *LSTM {
+	s := &LSTM{Cfg: n.Cfg}
+	for _, l := range n.layers {
+		sl := &lstmLayer{
+			in: l.in, hidden: l.hidden, first: l.first,
+			wx: shadowParam(l.wx), wh: shadowParam(l.wh), b: shadowParam(l.b),
+		}
+		s.layers = append(s.layers, sl)
+		s.params = append(s.params, sl.wx, sl.wh, sl.b)
+	}
+	s.wy, s.by = shadowParam(n.wy), shadowParam(n.by)
+	s.params = append(s.params, s.wy, s.by)
+	return s
+}
+
+// ShadowGrads is the GRU counterpart of LSTM.ShadowGrads.
+func (n *GRU) ShadowGrads() *GRU {
+	s := &GRU{Cfg: n.Cfg}
+	for _, l := range n.layers {
+		sl := &gruLayer{
+			in: l.in, hidden: l.hidden, first: l.first,
+			wx: shadowParam(l.wx), wh: shadowParam(l.wh), b: shadowParam(l.b),
+		}
+		s.layers = append(s.layers, sl)
+		s.params = append(s.params, sl.wx, sl.wh, sl.b)
+	}
+	s.wy, s.by = shadowParam(n.wy), shadowParam(n.by)
+	s.params = append(s.params, s.wy, s.by)
+	return s
+}
+
+// SliceRows returns a view of rows [lo, hi) of the state. The view
+// aliases s's storage until Forward replaces the per-layer matrices.
+func (s *State) SliceRows(lo, hi int) *State {
+	out := &State{}
+	for i := range s.H {
+		out.H = append(out.H, s.H[i].SliceRows(lo, hi))
+		out.C = append(out.C, s.C[i].SliceRows(lo, hi))
+	}
+	return out
+}
+
+// CopyRows copies the (hi-lo)-row state src into rows [lo, hi) of s.
+func (s *State) CopyRows(lo, hi int, src *State) {
+	for i := range s.H {
+		copy(s.H[i].SliceRows(lo, hi).Data, src.H[i].Data)
+		copy(s.C[i].SliceRows(lo, hi).Data, src.C[i].Data)
+	}
+}
+
+// SliceRows returns a view of rows [lo, hi) of the GRU state.
+func (s *GRUState) SliceRows(lo, hi int) *GRUState {
+	out := &GRUState{}
+	for i := range s.H {
+		out.H = append(out.H, s.H[i].SliceRows(lo, hi))
+	}
+	return out
+}
+
+// CopyRows copies the (hi-lo)-row state src into rows [lo, hi) of s.
+func (s *GRUState) CopyRows(lo, hi int, src *GRUState) {
+	for i := range s.H {
+		copy(s.H[i].SliceRows(lo, hi).Data, src.H[i].Data)
+	}
+}
+
+// ShardDys computes the loss gradient for shard rows [lo, hi) given the
+// shard's per-step output logits. It returns the per-step gradients
+// (nil to skip the backward pass, e.g. when the whole window carries no
+// valid targets), the summed loss, and the contributing output count.
+// It is called concurrently for different shards and must touch only
+// row-[lo,hi) slices of caller state.
+type ShardDys func(lo, hi int, ys []*mat.Dense) (dys []*mat.Dense, loss float64, count int)
+
+// sliceRowsSeq views rows [lo, hi) of every step input.
+func sliceRowsSeq(xs []*mat.Dense, lo, hi int) []*mat.Dense {
+	out := make([]*mat.Dense, len(xs))
+	for i, x := range xs {
+		out[i] = x.SliceRows(lo, hi)
+	}
+	return out
+}
+
+// ShardedLSTM drives sharded minibatch training of an LSTM. Shadows are
+// allocated once and reused across windows and epochs.
+type ShardedLSTM struct {
+	Net     *LSTM
+	shadows []*LSTM
+}
+
+// NewShardedLSTM prepares a sharded trainer for batches of up to
+// maxBatch rows.
+func NewShardedLSTM(net *LSTM, maxBatch int) *ShardedLSTM {
+	s := &ShardedLSTM{Net: net}
+	for i := 0; i < NumShards(maxBatch); i++ {
+		s.shadows = append(s.shadows, net.ShadowGrads())
+	}
+	return s
+}
+
+// RunWindow runs one truncated-BPTT window: per shard, forward over the
+// row-sliced inputs from the row-sliced state, loss gradients via dys,
+// backward into the shard's private gradients, and the shard's final
+// state written back into st. Gradients are then reduced into Net's
+// params (zeroed first) in ascending shard order; losses and counts
+// reduce in the same order. st is advanced in place exactly as a
+// full-batch Forward would.
+func (s *ShardedLSTM) RunWindow(xs []*mat.Dense, st *State, dys ShardDys) (loss float64, count int) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	b := xs[0].Rows
+	ns := NumShards(b)
+	if ns > len(s.shadows) {
+		panic(fmt.Sprintf("nn: RunWindow batch %d exceeds prepared shards %d", b, len(s.shadows)))
+	}
+	losses := make([]float64, ns)
+	counts := make([]int, ns)
+	par.Do(ns, func(si int) {
+		lo := si * ShardRows
+		hi := lo + ShardRows
+		if hi > b {
+			hi = b
+		}
+		shadow := s.shadows[si]
+		shadow.ZeroGrads()
+		sst := st.SliceRows(lo, hi)
+		ys, cache := shadow.Forward(sliceRowsSeq(xs, lo, hi), sst)
+		d, l, n := dys(lo, hi, ys)
+		if d != nil {
+			shadow.Backward(cache, d)
+		}
+		st.CopyRows(lo, hi, sst)
+		losses[si], counts[si] = l, n
+	})
+	s.Net.ZeroGrads()
+	reduceGrads(s.Net.params, ns, func(i int) []*Param { return s.shadows[i].params })
+	for si := 0; si < ns; si++ {
+		loss += losses[si]
+		count += counts[si]
+	}
+	return loss, count
+}
+
+// ShardedGRU drives sharded minibatch training of a GRU.
+type ShardedGRU struct {
+	Net     *GRU
+	shadows []*GRU
+}
+
+// NewShardedGRU prepares a sharded trainer for batches of up to
+// maxBatch rows.
+func NewShardedGRU(net *GRU, maxBatch int) *ShardedGRU {
+	s := &ShardedGRU{Net: net}
+	for i := 0; i < NumShards(maxBatch); i++ {
+		s.shadows = append(s.shadows, net.ShadowGrads())
+	}
+	return s
+}
+
+// RunWindow is the GRU counterpart of ShardedLSTM.RunWindow.
+func (s *ShardedGRU) RunWindow(xs []*mat.Dense, st *GRUState, dys ShardDys) (loss float64, count int) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	b := xs[0].Rows
+	ns := NumShards(b)
+	if ns > len(s.shadows) {
+		panic(fmt.Sprintf("nn: RunWindow batch %d exceeds prepared shards %d", b, len(s.shadows)))
+	}
+	losses := make([]float64, ns)
+	counts := make([]int, ns)
+	par.Do(ns, func(si int) {
+		lo := si * ShardRows
+		hi := lo + ShardRows
+		if hi > b {
+			hi = b
+		}
+		shadow := s.shadows[si]
+		shadow.ZeroGrads()
+		sst := st.SliceRows(lo, hi)
+		ys, cache := shadow.Forward(sliceRowsSeq(xs, lo, hi), sst)
+		d, l, n := dys(lo, hi, ys)
+		if d != nil {
+			shadow.Backward(cache, d)
+		}
+		st.CopyRows(lo, hi, sst)
+		losses[si], counts[si] = l, n
+	})
+	s.Net.ZeroGrads()
+	reduceGrads(s.Net.params, ns, func(i int) []*Param { return s.shadows[i].params })
+	for si := 0; si < ns; si++ {
+		loss += losses[si]
+		count += counts[si]
+	}
+	return loss, count
+}
+
+// reduceGrads accumulates shard gradients into dst in ascending shard
+// order — the fixed-order merge half of the determinism contract.
+func reduceGrads(dst []*Param, ns int, shard func(i int) []*Param) {
+	for si := 0; si < ns; si++ {
+		src := shard(si)
+		for pi, p := range dst {
+			mat.Axpy(1, src[pi].Grad.Data, p.Grad.Data)
+		}
+	}
+}

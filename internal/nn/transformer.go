@@ -234,7 +234,11 @@ func (t *Transformer) Forward(x *mat.Dense) (*mat.Dense, *tCache) {
 	d := t.Cfg.ModelDim
 	cache := &tCache{T: T, input: x}
 	h := mat.NewDense(T, d)
-	mat.MulAdd(h, x, t.wEmb.Value)
+	if sparseEnough(x) {
+		mat.MulAddSparse(h, x, t.wEmb.Value)
+	} else {
+		mat.MulAdd(h, x, t.wEmb.Value)
+	}
 	mat.AddBiasRows(h, t.bEmb.Value.Row(0))
 	for i := 0; i < T; i++ {
 		mat.Axpy(1, t.pos.Value.Row(i), h.Row(i))
@@ -352,7 +356,11 @@ func (t *Transformer) Backward(cache *tCache, dOut *mat.Dense) {
 		dCur = t.blockBackward(t.blocks[l], cache.blocks[l], dCur)
 	}
 	// Embedding.
-	mat.MulATB(t.wEmb.Grad, cache.input, dCur)
+	if sparseEnough(cache.input) {
+		mat.MulATBSparse(t.wEmb.Grad, cache.input, dCur)
+	} else {
+		mat.MulATB(t.wEmb.Grad, cache.input, dCur)
+	}
 	mat.SumRows(t.bEmb.Grad.Row(0), dCur)
 	for i := 0; i < T; i++ {
 		mat.Axpy(1, dCur.Row(i), t.pos.Grad.Row(i))

@@ -1,0 +1,154 @@
+// Package par is the deterministic parallel execution layer: a bounded
+// worker scheme with a process-wide worker count (REPRO_PROCS env
+// override, runtime.NumCPU() default) and helpers for running
+// independent index-addressed tasks concurrently.
+//
+// Determinism contract: every caller must arrange the work so the
+// result is independent of scheduling order — each task writes only to
+// its own index of a pre-sized slice (or to a disjoint row range), and
+// any floating-point or RNG-consuming reduction happens on the caller's
+// goroutine in fixed index order after the parallel region completes.
+// Under that contract the output is bit-identical for any worker count,
+// which the root determinism regression test enforces end-to-end.
+//
+// Workers are spawned per call (bounded by Procs()) rather than parked
+// in a shared global pool: nested parallel regions (e.g. a pipelined
+// Model.Generate inside a parallel Monte-Carlo sweep) would deadlock a
+// fixed-size shared pool, while per-call workers compose freely and the
+// spawn cost (~1µs) is negligible at the granularity this repository
+// parallelizes (training shards, trace samples, packing trials, GEMM
+// row blocks).
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// procs is the current worker count. It is stored atomically so tests
+// (and the determinism harness) can flip it at runtime.
+var procs atomic.Int32
+
+func init() { procs.Store(int32(defaultProcs())) }
+
+// defaultProcs resolves the initial worker count: the REPRO_PROCS
+// environment variable when set to a positive integer, else the number
+// of logical CPUs.
+func defaultProcs() int {
+	if s := os.Getenv("REPRO_PROCS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Procs returns the current worker count. A value of 1 selects the
+// serial path everywhere.
+func Procs() int { return int(procs.Load()) }
+
+// SetProcs overrides the worker count (the programmatic equivalent of
+// REPRO_PROCS) and returns the previous value so callers can restore it:
+//
+//	defer par.SetProcs(par.SetProcs(8))
+//
+// Values below 1 are clamped to 1.
+func SetProcs(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(procs.Swap(int32(n)))
+}
+
+// Do runs fn(i) for every i in [0, n), spread over min(Procs(), n)
+// workers. Tasks must be independent: fn(i) may read shared immutable
+// state but must write only to state owned by index i. With Procs()==1
+// the tasks run inline in ascending order; otherwise completion order is
+// unspecified, so reductions belong after Do returns.
+//
+// A panic in any task is re-raised on the calling goroutine after all
+// workers have drained, preserving the package's panic-on-bug style.
+func Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Procs()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+					// Drain remaining indices so sibling workers exit
+					// promptly instead of running doomed work.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// For splits [0, n) into at most Procs() contiguous chunks of at least
+// grain elements each and runs fn(lo, hi) on each chunk. It is meant for
+// row-range kernels where every row's result is independent of the
+// chunking (so the boundaries — which do depend on the worker count —
+// cannot affect the output). With one worker, or when n does not exceed
+// grain, fn(0, n) runs inline.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Procs()
+	if w <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > w {
+		chunks = w
+	}
+	Do(chunks, func(c int) {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestProcsDefaultPositive(t *testing.T) {
+	if Procs() < 1 {
+		t.Fatalf("Procs() = %d", Procs())
+	}
+}
+
+func TestSetProcsRestores(t *testing.T) {
+	old := SetProcs(3)
+	if Procs() != 3 {
+		t.Fatalf("after SetProcs(3), Procs() = %d", Procs())
+	}
+	if prev := SetProcs(old); prev != 3 {
+		t.Fatalf("SetProcs returned %d, want 3", prev)
+	}
+	if Procs() != old {
+		t.Fatalf("restore failed: %d != %d", Procs(), old)
+	}
+}
+
+func TestSetProcsClamps(t *testing.T) {
+	defer SetProcs(SetProcs(0))
+	if Procs() != 1 {
+		t.Fatalf("SetProcs(0) should clamp to 1, got %d", Procs())
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 32} {
+		defer SetProcs(SetProcs(w))
+		const n = 1000
+		counts := make([]int32, n)
+		Do(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("procs=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndNegative(t *testing.T) {
+	called := false
+	Do(0, func(int) { called = true })
+	Do(-5, func(int) { called = true })
+	if called {
+		t.Fatal("Do ran tasks for n <= 0")
+	}
+}
+
+// TestDoDeterministicReduction is the package-level contract check:
+// per-index outputs followed by an in-order reduction give identical
+// results at any worker count.
+func TestDoDeterministicReduction(t *testing.T) {
+	run := func(w int) float64 {
+		defer SetProcs(SetProcs(w))
+		const n = 513
+		out := make([]float64, n)
+		Do(n, func(i int) { out[i] = 1.0 / float64(i+1) })
+		var s float64
+		for _, v := range out {
+			s += v
+		}
+		return s
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := run(w); got != want {
+			t.Fatalf("procs=%d sum %v != serial %v", w, got, want)
+		}
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	defer SetProcs(SetProcs(4))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		} else if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Do(100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForCoversRangeDisjointly(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		for _, n := range []int{1, 5, 64, 1001} {
+			defer SetProcs(SetProcs(w))
+			counts := make([]int32, n)
+			For(n, 4, func(lo, hi int) {
+				if lo >= hi || lo < 0 || hi > n {
+					panic(fmt.Sprintf("bad range [%d,%d) of %d", lo, hi, n))
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("procs=%d n=%d: index %d covered %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForRespectsGrain(t *testing.T) {
+	defer SetProcs(SetProcs(8))
+	// n <= grain must run as a single inline chunk.
+	chunks := 0
+	For(16, 32, func(lo, hi int) {
+		chunks++
+		if lo != 0 || hi != 16 {
+			t.Fatalf("expected single chunk [0,16), got [%d,%d)", lo, hi)
+		}
+	})
+	if chunks != 1 {
+		t.Fatalf("chunks = %d", chunks)
+	}
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// TestRunTuplesMatchesSerial pins the parallel tuple fan-out to a plain
+// serial loop over the same pre-split RNG streams: because every tuple's
+// stream is split from g in tuple order before the fan-out, the packing
+// results must be identical at any worker count.
+func TestRunTuplesMatchesSerial(t *testing.T) {
+	gv := rng.New(5)
+	specs := make([][3]int, 60)
+	for i := range specs {
+		specs[i] = [3]int{gv.Intn(3), gv.Intn(80), 300 + gv.Intn(5000)}
+	}
+	tr := mkTrace(specs...)
+	events := Events(tr, rng.New(6))
+	tuples := SampleTuples(rng.New(7), 12, TupleRanges{
+		MinServers: 2, MaxServers: 6,
+		MinCPU: 2, MaxCPU: 8,
+		MinMem: 2, MaxMem: 32,
+	})
+
+	ref := func() []PackResult {
+		g := rng.New(8)
+		gs := make([]*rng.RNG, len(tuples))
+		for i := range gs {
+			gs[i] = g.Split()
+		}
+		out := make([]PackResult, len(tuples))
+		for i, tp := range tuples {
+			out[i] = RunTuple(tr, events, tp, gs[i])
+		}
+		return out
+	}()
+
+	for _, procs := range []int{1, 8} {
+		func() {
+			defer par.SetProcs(par.SetProcs(procs))
+			got := RunTuples(tr, events, tuples, rng.New(8))
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("procs=%d: RunTuples differs from serial reference", procs)
+			}
+		}()
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the cross-PR benchmark suite and snapshots the results to
+# BENCH_baseline.json so ns/op and MB/s are comparable across PRs.
+# Run from the repository root: scripts/bench.sh [benchtime]
+#
+# Caveat: on hosts with unstable clocks, deltas under ~10% between
+# separate benchmark blocks are noise; for kernel-level decisions use
+# the paired measurement instead:
+#   go test ./internal/mat -run TestPairedKernelMeasure -v
+set -eu
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_baseline.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" . ./internal/mat | tee "$TMP"
+
+{
+	echo '{'
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "goos": "%s", "goarch": "%s", "ncpu": %s,\n' \
+		"$(go env GOOS)" "$(go env GOARCH)" "$(getconf _NPROCESSORS_ONLN)"
+	echo '  "benchmarks": ['
+	awk '/^Benchmark/ {
+		name=$1; iters=$2; nsop=$3
+		mbs="null"
+		for (i=4; i<=NF; i++) if ($i == "MB/s") mbs=$(i-1)
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s}", name, iters, nsop, mbs
+	} END { print "" }' "$TMP"
+	echo '  ]'
+	echo '}'
+} > "$OUT"
+
+echo "bench.sh: wrote $OUT"
