@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-full] [-cloud azure|huawei|both] [-exp all|table1|fig4|fig5|fig6|table2|table3|table4|fig7|fig8|fig9|table5|tenx|censoring|joint] [-seed N]
+//	experiments [-full] [-cloud azure|huawei|both] [-exp all|table1|fig4|fig5|fig6|table2|table3|table4|fig7|fig8|fig9|table5|tenx|censoring|joint] [-seed N] [-journal run.jsonl]
 //
 // The default scale is the fast test configuration; -full uses the
 // larger configuration (several minutes of LSTM training per cloud).
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments to run (all, table1, fig4, fig5, fig6, table2, table3, table4, fig7, fig8, fig9, table5, tenx, censoring, joint, forecast, arch, heads)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	export := flag.String("export", "", "also write per-figure TSV plot data into this directory")
+	journalPath := flag.String("journal", "", "write a JSONL telemetry journal (per-epoch training events, phase spans) to this path")
 	flag.Parse()
 
 	scale := experiments.SmallScale()
@@ -32,6 +34,24 @@ func main() {
 		scale = experiments.FullScale()
 	}
 	scale.Seed = *seed
+
+	var journal *obs.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = obs.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: open journal:", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		// Every training loop in every cloud reports through the same
+		// journal (writes are line-atomic, so the parallel cloud fits
+		// interleave cleanly).
+		scale.Train.Obs = journal
+	}
+	journal.Event("experiments_start", map[string]any{
+		"cloud": *cloud, "exp": *exp, "seed": *seed, "full": *full,
+	})
 
 	wants := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -56,7 +76,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: unknown -cloud value")
 		os.Exit(2)
 	}
+	fitSpan := journal.StartSpan("fit_all")
 	experiments.FitAll(clouds...)
+	fitSpan.End()
 	fmt.Printf("Prepared and fitted %d synthetic cloud(s) in %v\n\n", len(clouds), time.Since(start).Round(time.Millisecond))
 
 	if want("table1") {
@@ -144,5 +166,8 @@ func main() {
 		}
 		fmt.Printf("Plot data exported to %s\n", *export)
 	}
+	journal.Event("experiments_done", map[string]any{
+		"wall_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
 	fmt.Printf("Total time: %v\n", time.Since(start).Round(time.Millisecond))
 }

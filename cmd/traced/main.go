@@ -6,20 +6,32 @@
 //
 //	traced [-addr :8080] [-cloud azure|huawei] [-days 9] [-seed 1]
 //	traced -model model.bin -flavors azure
+//	traced -journal run.jsonl -debug-addr :6060
 //
-// Endpoints: GET /healthz, GET /model, POST /generate
-// (see internal/server for the request schema).
+// Endpoints: GET /healthz, GET /model, GET /metrics, POST /generate
+// (see internal/server for the request schema). -journal writes a JSONL
+// telemetry journal (per-epoch training events, phase spans); the
+// optional -debug-addr listener exposes net/http/pprof under
+// /debug/pprof/ and expvar (including the metrics registry and parallel
+// layer counters) under /debug/vars. SIGINT/SIGTERM drain in-flight
+// requests via http.Server.Shutdown before exiting.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/survival"
 	"repro/internal/synth"
@@ -34,13 +46,31 @@ func main() {
 	modelPath := flag.String("model", "", "load a serialized model instead of training")
 	hidden := flag.Int("hidden", 24, "LSTM hidden units")
 	epochs := flag.Int("epochs", 40, "training epochs")
+	journalPath := flag.String("journal", "", "write a JSONL telemetry journal (training epochs, phase spans) to this path")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener with /debug/pprof/ and /debug/vars")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
 	flag.Parse()
+
+	var journal *obs.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = obs.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("traced: open journal: %v", err)
+		}
+		defer journal.Close()
+		log.Printf("journaling telemetry to %s", *journalPath)
+	}
 
 	cfg := synth.AzureLike()
 	if *cloud == "huawei" {
 		cfg = synth.HuaweiLike()
 	}
 
+	trainInfo := map[string]any{
+		"cloud": cfg.Name,
+		"seed":  *seed,
+	}
 	var model *core.Model
 	if *modelPath != "" {
 		blob, err := os.ReadFile(*modelPath)
@@ -52,13 +82,19 @@ func main() {
 			log.Fatalf("traced: load model: %v", err)
 		}
 		log.Printf("loaded model from %s (%d flavors)", *modelPath, model.Flavor.K)
+		trainInfo["source"] = "loaded"
+		trainInfo["model_path"] = *modelPath
+		journal.Event("model_loaded", map[string]any{"path": *modelPath, "flavors": model.Flavor.K})
 	} else {
 		cfg.Days = *days
+		prep := journal.StartSpan("data_prep")
 		history := cfg.Generate(*seed)
 		devStart := history.Periods * 85 / 100
 		train := history.Slice(trace.Window{Start: 0, End: devStart}, 0)
 		dev := history.Slice(trace.Window{Start: devStart, End: history.Periods}, 0)
+		prep.End()
 		log.Printf("training on %d VMs (%s, %d days)...", len(train.VMs), cfg.Name, *days)
+		span := journal.StartSpan("train")
 		start := time.Now()
 		var err error
 		model, err = core.TrainModel(train, core.ModelOptions{
@@ -66,23 +102,80 @@ func main() {
 			Train: core.TrainConfig{
 				Hidden: *hidden, Epochs: *epochs, Seed: *seed,
 				Dev: dev, DevOffset: devStart,
+				Obs: journal,
 			},
 		})
 		if err != nil {
 			log.Fatalf("traced: train: %v", err)
 		}
-		log.Printf("trained in %v", time.Since(start).Round(time.Second))
+		span.End()
+		wall := time.Since(start).Round(time.Second)
+		log.Printf("trained in %v", wall)
+		trainInfo["source"] = "trained"
+		trainInfo["days"] = *days
+		trainInfo["hidden"] = *hidden
+		trainInfo["epochs"] = *epochs
+		trainInfo["train_vms"] = len(train.VMs)
+		trainInfo["train_wall_s"] = wall.Seconds()
+	}
+	if *journalPath != "" {
+		trainInfo["journal"] = *journalPath
 	}
 
 	s := server.New(model, cfg.Flavors)
-	log.Printf("serving on %s (POST /generate)", *addr)
+	s.TrainInfo = trainInfo
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		expvar.Publish("repro.metrics", expvar.Func(func() any { return s.Metrics().Snapshot() }))
+		expvar.Publish("repro.par", expvar.Func(func() any { return par.Snapshot() }))
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("debug listener on %s (/debug/pprof/, /debug/vars)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("traced: debug listener: %v", err)
+			}
+		}()
+	}
+
+	log.Printf("serving on %s (POST /generate, GET /metrics)", *addr)
+	journal.Event("serving", map[string]any{"addr": *addr})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "traced:", err)
-		os.Exit(1)
+
+	// Trap SIGINT/SIGTERM and drain in-flight requests instead of dying
+	// mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatalf("traced: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		log.Printf("signal received; draining for up to %v...", *shutdownTimeout)
+		journal.Event("shutdown", map[string]any{"timeout_s": shutdownTimeout.Seconds()})
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("traced: shutdown: %v", err)
+		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(sctx)
+		}
+		log.Printf("drained; bye")
 	}
 }

@@ -2,9 +2,12 @@ package repro
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/survival"
@@ -68,6 +71,81 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		t.Errorf("generated traces differ between REPRO_PROCS=1 and 8 (%d vs %d bytes)", len(t1), len(t8))
 	}
 	if len(t1) == 0 {
+		t.Fatal("empty serialized trace")
+	}
+}
+
+// TestObservabilityIsReadOnly enforces the instrumentation layer's side
+// of the determinism contract: attaching a telemetry journal, a
+// Progress callback, and an epoch sink to training must not touch any
+// RNG stream or training state, so the trained weights and the
+// generated trace are byte-identical with observability fully on and
+// fully off.
+func TestObservabilityIsReadOnly(t *testing.T) {
+	run := func(observed bool) (flavorW, lifetimeW, traceJSON []byte) {
+		cfg := synth.AzureLike()
+		cfg.Days = 3
+		cfg.Users = 60
+		cfg.BaseRate = 1.5
+		full := cfg.Generate(7)
+		trainW, _, testW := synth.StandardSplit(cfg.Days)
+		train := full.Slice(trainW, 0)
+		tc := core.TrainConfig{
+			Hidden: 8, Layers: 2, SeqLen: 16, BatchSize: 4,
+			Epochs: 2, LR: 5e-3, Seed: 3,
+		}
+		var journal *obs.Journal
+		if observed {
+			path := filepath.Join(t.TempDir(), "run.jsonl")
+			var err error
+			journal, err = obs.OpenJournal(path)
+			if err != nil {
+				t.Fatalf("open journal: %v", err)
+			}
+			defer func() {
+				journal.Close()
+				blob, err := os.ReadFile(path)
+				if err != nil || len(blob) == 0 {
+					t.Errorf("journal was not written (err=%v, %d bytes)", err, len(blob))
+				}
+			}()
+			tc.Obs = journal
+			tc.Progress = func(int, float64) {}
+		}
+		span := journal.StartSpan("train")
+		m, err := core.TrainModel(train, core.ModelOptions{Train: tc})
+		span.End()
+		if err != nil {
+			t.Fatalf("observed=%v: train: %v", observed, err)
+		}
+		flavorW, err = m.Flavor.Net.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lifetimeW, err = m.Lifetime.Net.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := core.WithCatalog(m.Generate(rng.New(11), testW), full.Flavors)
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return flavorW, lifetimeW, buf.Bytes()
+	}
+
+	fOn, lOn, tOn := run(true)
+	fOff, lOff, tOff := run(false)
+	if !bytes.Equal(fOn, fOff) {
+		t.Error("flavor weights change when telemetry is enabled")
+	}
+	if !bytes.Equal(lOn, lOff) {
+		t.Error("lifetime weights change when telemetry is enabled")
+	}
+	if !bytes.Equal(tOn, tOff) {
+		t.Error("generated trace changes when telemetry is enabled")
+	}
+	if len(tOn) == 0 {
 		t.Fatal("empty serialized trace")
 	}
 }

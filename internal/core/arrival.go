@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 
+	"time"
+
 	"repro/internal/features"
 	"repro/internal/glm"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -30,6 +33,10 @@ type ArrivalOptions struct {
 	L2     float64 // ridge penalty (default 0.1)
 	L1     float64 // optional lasso penalty (switches to ProxGrad)
 	DOH    features.DOHSampler
+	// Obs mirrors TrainConfig.Obs. The GLM converges in one solver run,
+	// so it emits a single event (model "arrival_glm", epoch 0) whose
+	// loss is the fitted mean Poisson NLL on the training periods.
+	Obs obs.EpochSink
 }
 
 // ArrivalModel is the fitted stage-1 model: an inhomogeneous Poisson
@@ -81,11 +88,22 @@ func TrainArrival(tr *trace.Trace, opt ArrivalOptions) (*ArrivalModel, error) {
 	if opt.L1 > 0 {
 		fitOpt = glm.Options{Solver: glm.ProxGrad, L2: l2, L1: opt.L1, MaxIter: 2000}
 	}
+	fitStart := time.Now()
 	reg, err := glm.Fit(x, y, fitOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: arrival fit: %w", err)
 	}
 	m.Reg = reg
+	if opt.Obs != nil {
+		opt.Obs.EpochDone(obs.EpochEvent{
+			Model:  ObsArrivalGLM,
+			Epoch:  0,
+			Epochs: 1,
+			Loss:   reg.NLL(x, y),
+			Steps:  len(counts),
+			WallMS: float64(time.Since(fitStart).Microseconds()) / 1000,
+		})
+	}
 	return m, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -28,6 +29,13 @@ type TrainConfig struct {
 	// Progress, if non-nil, receives the mean per-step loss after each
 	// epoch.
 	Progress func(epoch int, loss float64)
+	// Obs, if non-nil, receives a structured obs.EpochEvent after each
+	// epoch from every training loop sharing this config (flavor
+	// LSTM/GRU, lifetime hazard/PMF, joint; the Transformer and arrival
+	// GLM carry the hook on their own option structs) — the uniform
+	// telemetry hook (DESIGN.md §7). Strictly observational: enabling it
+	// cannot change trained weights or generated traces.
+	Obs obs.EpochSink
 	// Dev, if non-nil, enables development-set model selection (§4.2:
 	// hyperparameters and stopping are tuned on the development window):
 	// every DevEvery epochs the teacher-forced dev loss is computed and
@@ -141,9 +149,9 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 	}
 	bestDev := math.Inf(1)
 	var bestSnap []byte
-	checkDev := func() {
+	checkDev := func() (float64, bool) {
 		if len(devToks) == 0 {
-			return
+			return 0, false
 		}
 		ev := EvaluateFlavor(NewLSTMFlavorPredictor(m), devToks, cfg.DevOffset)
 		if ev.NLL < bestDev {
@@ -152,8 +160,10 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 				bestSnap = snap
 			}
 		}
+		return ev.NLL, true
 	}
 	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
+	ec := newEpochClock(ObsFlavorLSTM, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
@@ -224,12 +234,16 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 			}
 			opt.Step(m.Net.Params())
 		}
-		if cfg.Progress != nil && totalSteps > 0 {
-			cfg.Progress(epoch, totalLoss/float64(totalSteps))
-		}
+		var devLoss float64
+		var hasDev bool
 		if (epoch+1)%cfg.DevEvery == 0 || epoch == cfg.Epochs-1 {
-			checkDev()
+			devLoss, hasDev = checkDev()
 		}
+		var mean float64
+		if totalSteps > 0 {
+			mean = totalLoss / float64(totalSteps)
+		}
+		ec.emit(epoch, mean, totalSteps, opt, devLoss, hasDev)
 	}
 	if bestSnap != nil {
 		if err := m.Net.UnmarshalBinary(bestSnap); err != nil {

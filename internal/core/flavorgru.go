@@ -49,8 +49,11 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
 	eob := EOBToken(k)
 	sharded := nn.NewShardedGRU(m.Net, plan.batch)
+	ec := newEpochClock(ObsFlavorGRU, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
+		var totalLoss float64
+		var totalSteps int
 		st := m.Net.NewState(plan.batch)
 		for w := 0; w < plan.windows; w++ {
 			wl := plan.windowLen(w)
@@ -85,7 +88,7 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 			if batchSteps > 0 {
 				norm = 1 / float64(batchSteps)
 			}
-			sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+			loss, steps := sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
 				dys := make([]*mat.Dense, len(ys))
 				var shardLoss float64
 				var shardN int
@@ -103,11 +106,18 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 				}
 				return dys, shardLoss, shardN
 			})
+			totalLoss += loss
+			totalSteps += steps
 			if batchSteps == 0 {
 				continue
 			}
 			opt.Step(m.Net.Params())
 		}
+		var mean float64
+		if totalSteps > 0 {
+			mean = totalLoss / float64(totalSteps)
+		}
+		ec.emit(epoch, mean, totalSteps, opt, 0, false)
 	}
 	return m
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -21,6 +22,12 @@ type TransformerTrainConfig struct {
 	LR       float64
 	ClipNorm float64
 	Seed     int64
+	// Progress mirrors TrainConfig.Progress: mean per-step loss after
+	// each epoch.
+	Progress func(epoch int, loss float64)
+	// Obs mirrors TrainConfig.Obs: the uniform per-epoch telemetry sink
+	// (model name "flavor_transformer").
+	Obs obs.EpochSink
 }
 
 func (c TransformerTrainConfig) withDefaults() TransformerTrainConfig {
@@ -92,7 +99,10 @@ func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *Transf
 	opt := nn.NewAdam(cfg.LR)
 	opt.ClipNorm = cfg.ClipNorm
 	eob := EOBToken(k)
+	ec := newEpochClock(ObsFlavorTransformer, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var totalLoss float64
+		var totalSteps int
 		for start := 0; start < len(toks); start += cfg.MaxLen {
 			end := start + cfg.MaxLen
 			if end > len(toks) {
@@ -113,14 +123,21 @@ func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *Transf
 			}
 			m.Net.ZeroGrads()
 			out, cache := m.Net.Forward(x)
-			_, d, n := nn.SoftmaxCE(out, targets, nil)
+			l, d, n := nn.SoftmaxCE(out, targets, nil)
 			if n == 0 {
 				continue
 			}
+			totalLoss += l
+			totalSteps += n
 			mat.Scale(1/float64(n), d.Data)
 			m.Net.Backward(cache, d)
 			opt.Step(m.Net.Params())
 		}
+		var mean float64
+		if totalSteps > 0 {
+			mean = totalLoss / float64(totalSteps)
+		}
+		ec.emit(epoch, mean, totalSteps, opt, 0, false)
 	}
 	return m
 }

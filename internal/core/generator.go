@@ -51,6 +51,10 @@ func TrainModel(tr *trace.Trace, opt ModelOptions) (*Model, error) {
 	}
 	arrOpt := opt.Arrival
 	arrOpt.Kind = BatchArrivals
+	if arrOpt.Obs == nil {
+		// One telemetry sink covers all three stages.
+		arrOpt.Obs = opt.Train.Obs
+	}
 	if arrOpt.DOH.Mode == features.DOHGeometric || arrOpt.DOH.GeomP == 0 {
 		arrOpt.DOH.GeomP = 1.0 / 7.0
 	}

@@ -87,8 +87,11 @@ func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
 	opt.ClipNorm = cfg.ClipNorm
 	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
 	eop := m.jointEOP()
+	ec := newEpochClock(ObsJointLSTM, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
+		var totalLoss float64
+		var totalSteps int
 		st := m.Net.NewState(plan.batch)
 		for w := 0; w < plan.windows; w++ {
 			wl := plan.windowLen(w)
@@ -123,7 +126,9 @@ func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
 			ys, cache := m.Net.Forward(xs, st)
 			dys := make([]*mat.Dense, wl)
 			for s, y := range ys {
-				_, d, _ := nn.SoftmaxCE(y, targets[s], valids[s])
+				l, d, n := nn.SoftmaxCE(y, targets[s], valids[s])
+				totalLoss += l
+				totalSteps += n
 				dys[s] = d
 			}
 			if batchSteps == 0 {
@@ -136,6 +141,11 @@ func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
 			m.Net.Backward(cache, dys)
 			opt.Step(m.Net.Params())
 		}
+		var mean float64
+		if totalSteps > 0 {
+			mean = totalLoss / float64(totalSteps)
+		}
+		ec.emit(epoch, mean, totalSteps, opt, 0, false)
 	}
 	return m
 }

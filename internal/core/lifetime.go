@@ -107,9 +107,9 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 	}
 	bestDev := math.Inf(1)
 	var bestSnap []byte
-	checkDev := func() {
+	checkDev := func() (float64, bool) {
 		if len(devSteps) == 0 {
-			return
+			return 0, false
 		}
 		ev := EvaluateLifetime(NewLSTMLifetimePredictor(m), devSteps, bins, cfg.DevOffset)
 		if ev.BCE < bestDev {
@@ -118,8 +118,10 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 				bestSnap = snap
 			}
 		}
+		return ev.BCE, true
 	}
 	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
+	ec := newEpochClock(ObsLifetimeHazard, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
@@ -190,12 +192,16 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 			}
 			opt.Step(m.Net.Params())
 		}
-		if cfg.Progress != nil && totalOutputs > 0 {
-			cfg.Progress(epoch, totalLoss/float64(totalOutputs))
-		}
+		var devLoss float64
+		var hasDev bool
 		if (epoch+1)%cfg.DevEvery == 0 || epoch == cfg.Epochs-1 {
-			checkDev()
+			devLoss, hasDev = checkDev()
 		}
+		var mean float64
+		if totalOutputs > 0 {
+			mean = totalLoss / float64(totalOutputs)
+		}
+		ec.emit(epoch, mean, totalOutputs, opt, devLoss, hasDev)
 	}
 	if bestSnap != nil {
 		if err := m.Net.UnmarshalBinary(bestSnap); err != nil {

@@ -99,8 +99,11 @@ func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMF
 	opt.ClipNorm = cfg.ClipNorm
 	plan := newSegmentPlan(len(steps), cfg.SeqLen, cfg.BatchSize)
 	j := bins.J()
+	ec := newEpochClock(ObsLifetimePMF, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
+		var totalLoss float64
+		var totalSteps int
 		st := m.Net.NewState(plan.batch)
 		for w := 0; w < plan.windows; w++ {
 			wl := plan.windowLen(w)
@@ -135,11 +138,12 @@ func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMF
 					if stepAt[s][row] == nil {
 						continue
 					}
-					pmfLoss(y.Row(row), *stepAt[s][row], d.Row(row))
+					totalLoss += pmfLoss(y.Row(row), *stepAt[s][row], d.Row(row))
 					nSteps++
 				}
 				dys[s] = d
 			}
+			totalSteps += nSteps
 			if nSteps == 0 {
 				continue
 			}
@@ -150,6 +154,11 @@ func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMF
 			m.Net.Backward(cache, dys)
 			opt.Step(m.Net.Params())
 		}
+		var mean float64
+		if totalSteps > 0 {
+			mean = totalLoss / float64(totalSteps)
+		}
+		ec.emit(epoch, mean, totalSteps, opt, 0, false)
 	}
 	return m
 }

@@ -17,6 +17,7 @@ type Adam struct {
 	WeightDecay float64 // decoupled L2 decay applied to weights
 	ClipNorm    float64 // if > 0, clip gradients to this global L2 norm
 	t           int     // step counter for bias correction
+	lastNorm    float64 // pre-clip global gradient norm from the latest Step
 }
 
 // NewAdam returns an Adam optimizer with standard defaults.
@@ -26,6 +27,12 @@ func NewAdam(lr float64) *Adam {
 
 // Steps returns how many optimization steps have been applied.
 func (a *Adam) Steps() int { return a.t }
+
+// LastGradNorm returns the pre-clip global gradient L2 norm observed at
+// the most recent Step. The norm is only computed when ClipNorm > 0
+// (clipping already pays for the pass over the gradients); it reads 0
+// otherwise, keeping the unclipped path cost-free.
+func (a *Adam) LastGradNorm() float64 { return a.lastNorm }
 
 // Step applies one update to all params from their accumulated
 // gradients. Gradients are left untouched; the caller zeroes them.
@@ -38,7 +45,9 @@ func (a *Adam) Step(params []*Param) {
 				sq += g * g
 			}
 		}
-		if norm := math.Sqrt(sq); norm > a.ClipNorm {
+		norm := math.Sqrt(sq)
+		a.lastNorm = norm
+		if norm > a.ClipNorm {
 			scale := a.ClipNorm / norm
 			for _, p := range params {
 				mat.Scale(scale, p.Grad.Data)

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The instrumentation budget (DESIGN.md §7): counters/gauges are one
+// atomic op, Histogram.Observe stays allocation-free, and the journal
+// is off the hot path entirely (per-epoch / per-request granularity).
+
+func BenchmarkCounterInc(b *testing.B) {
+	b.ReportAllocs()
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	b.ReportAllocs()
+	var g Gauge
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	b.ReportAllocs()
+	h := NewHistogram(LatencyBuckets)
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.001)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	b.ReportAllocs()
+	h := NewHistogram(LatencyBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0
+		for pb.Next() {
+			h.Observe(v)
+			v += 0.001
+			if v > 1 {
+				v = 0
+			}
+		}
+	})
+}
+
+func BenchmarkJournalEvent(b *testing.B) {
+	b.ReportAllocs()
+	j := NewJournal(io.Discard)
+	fields := map[string]any{"model": "flavor_lstm", "epoch": 3, "loss": 2.25}
+	for i := 0; i < b.N; i++ {
+		j.Event("epoch", fields)
+	}
+}

@@ -1,7 +1,10 @@
 // Package par is the deterministic parallel execution layer: a bounded
 // worker scheme with a process-wide worker count (REPRO_PROCS env
 // override, runtime.NumCPU() default) and helpers for running
-// independent index-addressed tasks concurrently.
+// independent index-addressed tasks concurrently. Process-wide
+// utilization counters (regions, tasks, worker busy/spawn-wait time)
+// are exposed via Snapshot for the observability layer (/metrics,
+// expvar).
 //
 // Determinism contract: every caller must arrange the work so the
 // result is independent of scheduling order — each task writes only to
@@ -26,6 +29,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // procs is the current worker count. It is stored atomically so tests
@@ -63,6 +67,49 @@ func SetProcs(n int) int {
 	return int(procs.Swap(int32(n)))
 }
 
+// Stats is a point-in-time snapshot of the process-wide parallel-layer
+// counters: how many parallel regions ran, how many tasks they carried,
+// how many workers were spawned, and the accumulated wall, busy, and
+// spawn-wait times. Utilization over an interval is the delta of
+// BusyNanos divided by (delta of WallNanos × worker count); SpawnNanos
+// is the region-entry latency (time from Do being called to each
+// worker claiming its first task) — the per-call analogue of queue
+// wait in a pooled design.
+type Stats struct {
+	Regions    int64 `json:"regions"`
+	Tasks      int64 `json:"tasks"`
+	Workers    int64 `json:"workers"`
+	WallNanos  int64 `json:"wall_nanos"`
+	BusyNanos  int64 `json:"busy_nanos"`
+	SpawnNanos int64 `json:"spawn_nanos"`
+}
+
+// Counters are process-wide and monotonic; consumers (the /metrics
+// endpoint, expvar) report values or deltas. Cost per region: two
+// clock reads and a handful of atomic adds — noise next to the
+// millisecond-scale work Do fans out (the bench.sh overhead comparison
+// keeps this honest).
+var (
+	statRegions atomic.Int64
+	statTasks   atomic.Int64
+	statWorkers atomic.Int64
+	statWall    atomic.Int64
+	statBusy    atomic.Int64
+	statSpawn   atomic.Int64
+)
+
+// Snapshot returns the current counter values.
+func Snapshot() Stats {
+	return Stats{
+		Regions:    statRegions.Load(),
+		Tasks:      statTasks.Load(),
+		Workers:    statWorkers.Load(),
+		WallNanos:  statWall.Load(),
+		BusyNanos:  statBusy.Load(),
+		SpawnNanos: statSpawn.Load(),
+	}
+}
+
 // Do runs fn(i) for every i in [0, n), spread over min(Procs(), n)
 // workers. Tasks must be independent: fn(i) may read shared immutable
 // state but must write only to state owned by index i. With Procs()==1
@@ -75,6 +122,9 @@ func Do(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	start := time.Now()
+	statRegions.Add(1)
+	statTasks.Add(int64(n))
 	w := Procs()
 	if w > n {
 		w = n
@@ -83,8 +133,12 @@ func Do(n int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		d := time.Since(start).Nanoseconds()
+		statWall.Add(d)
+		statBusy.Add(d)
 		return
 	}
+	statWorkers.Add(int64(w))
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -95,7 +149,10 @@ func Do(n int, fn func(i int)) {
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			t0 := time.Now()
+			statSpawn.Add(t0.Sub(start).Nanoseconds())
 			defer func() {
+				statBusy.Add(time.Since(t0).Nanoseconds())
 				if r := recover(); r != nil {
 					panicMu.Lock()
 					if panicVal == nil {
@@ -117,6 +174,7 @@ func Do(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	statWall.Add(time.Since(start).Nanoseconds())
 	if panicVal != nil {
 		panic(panicVal)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestProcsDefaultPositive(t *testing.T) {
@@ -128,5 +129,67 @@ func TestForRespectsGrain(t *testing.T) {
 	})
 	if chunks != 1 {
 		t.Fatalf("chunks = %d", chunks)
+	}
+}
+
+func TestSnapshotCountersAdvance(t *testing.T) {
+	defer SetProcs(SetProcs(4))
+	before := Snapshot()
+	Do(10, func(int) { time.Sleep(time.Millisecond) })
+	after := Snapshot()
+	if got := after.Regions - before.Regions; got != 1 {
+		t.Errorf("regions delta = %d, want 1", got)
+	}
+	if got := after.Tasks - before.Tasks; got != 10 {
+		t.Errorf("tasks delta = %d, want 10", got)
+	}
+	if got := after.Workers - before.Workers; got != 4 {
+		t.Errorf("workers delta = %d, want 4", got)
+	}
+	if after.WallNanos <= before.WallNanos {
+		t.Error("wall time did not advance")
+	}
+	// 10 sleeping tasks over 4 workers: busy time must exceed the
+	// region's wall time (workers run concurrently).
+	if busy, wall := after.BusyNanos-before.BusyNanos, after.WallNanos-before.WallNanos; busy <= wall {
+		t.Errorf("busy delta %d <= wall delta %d for a 4-worker region", busy, wall)
+	}
+}
+
+// BenchmarkDoSerialRegion measures the fixed per-region cost of the
+// serial Do path (bounds check + stats: two clock reads, a few atomic
+// adds). Compare against the millisecond-scale regions Do fans out in
+// practice — the stats must stay noise (<2% overhead budget).
+func BenchmarkDoSerialRegion(b *testing.B) {
+	defer SetProcs(SetProcs(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Do(1, func(int) {})
+	}
+}
+
+// BenchmarkDoParallelRegion measures region setup + teardown on the
+// multi-worker path (worker spawn, stats, join) with trivial tasks.
+func BenchmarkDoParallelRegion(b *testing.B) {
+	defer SetProcs(SetProcs(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Do(8, func(int) {})
+	}
+}
+
+func TestSnapshotSerialPath(t *testing.T) {
+	defer SetProcs(SetProcs(1))
+	before := Snapshot()
+	Do(5, func(int) {})
+	after := Snapshot()
+	if got := after.Tasks - before.Tasks; got != 5 {
+		t.Errorf("tasks delta = %d, want 5", got)
+	}
+	if got := after.Workers - before.Workers; got != 0 {
+		t.Errorf("workers delta = %d, want 0 on the serial path", got)
+	}
+	if after.BusyNanos < before.BusyNanos || after.WallNanos < before.WallNanos {
+		t.Error("time counters went backwards")
 	}
 }

@@ -4,7 +4,15 @@
 //
 //	GET  /healthz             -> {"status":"ok", ...}
 //	GET  /model               -> model metadata
+//	GET  /metrics             -> JSON metrics snapshot (per-endpoint
+//	                             counters + latency histograms, parallel
+//	                             layer stats, training-run metadata)
 //	POST /generate            -> trace (CSV or JSON), body: GenerateRequest
+//
+// Every endpoint runs behind instrumentation middleware that records a
+// request counter, an error counter (status >= 400), an in-flight
+// gauge, and a latency histogram into the server's obs.Registry (metric
+// names in DESIGN.md §7).
 package server
 
 import (
@@ -15,6 +23,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -44,32 +54,93 @@ type Server struct {
 	catalog *trace.FlavorSet
 	// MaxPeriods bounds a single request (default: 4 weeks).
 	MaxPeriods int
+	// TrainInfo optionally carries training-run metadata (cloud, epochs,
+	// seed, wall time, journal path) surfaced under "train" at /metrics.
+	TrainInfo map[string]any
 
 	mu    sync.Mutex
 	seeds *rng.RNG // fresh-seed source for requests without a seed
 
 	started time.Time
 	served  int64
+
+	reg       *obs.Registry
+	inflight  *obs.Gauge
+	sampleLat *obs.Histogram // model sampling phase of /generate
+	encodeLat *obs.Histogram // serialization phase of /generate
 }
 
 // New builds a server around a trained model and its flavor catalog.
 func New(model *core.Model, catalog *trace.FlavorSet) *Server {
+	reg := obs.NewRegistry()
 	return &Server{
 		model:      model,
 		catalog:    catalog,
 		MaxPeriods: 28 * trace.PeriodsPerDay,
 		seeds:      rng.New(time.Now().UnixNano()),
 		started:    time.Now(),
+		reg:        reg,
+		inflight:   reg.Gauge("http.inflight"),
+		sampleLat:  reg.Histogram("generate.sample.seconds", obs.LatencyBuckets),
+		encodeLat:  reg.Histogram("generate.encode.seconds", obs.LatencyBuckets),
 	}
 }
+
+// Metrics exposes the server's registry (for expvar publication and
+// tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP mux for the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /model", s.handleModel)
-	mux.HandleFunc("POST /generate", s.handleGenerate)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /model", s.instrument("model", s.handleModel))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST /generate", s.instrument("generate", s.handleGenerate))
 	return mux
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-route metrics. The metric
+// pointers are resolved once at wiring time so the request path only
+// pays atomic updates.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.Counter("http.requests." + route)
+	errors := s.reg.Counter("http.errors." + route)
+	latency := s.reg.Histogram("http.latency_seconds."+route, obs.LatencyBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			latency.Observe(time.Since(start).Seconds())
+		}()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		requests.Inc()
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -84,8 +155,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+func (s *Server) modelMeta() map[string]any {
+	return map[string]any{
 		"flavors":        s.model.Flavor.K,
 		"history_days":   s.model.Flavor.HistoryDays,
 		"lifetime_bins":  s.model.Lifetime.Bins.J(),
@@ -93,6 +164,27 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		"hazard_params":  s.model.Lifetime.Net.NumParams(),
 		"max_periods":    s.MaxPeriods,
 		"period_seconds": trace.PeriodSeconds,
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.modelMeta())
+}
+
+// handleMetrics serves the JSON observability snapshot: the HTTP and
+// generation metrics, the parallel-layer counters, and the model /
+// training-run metadata.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	served := s.served
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.started).Seconds(),
+		"served":   served,
+		"metrics":  s.reg.Snapshot(),
+		"par":      par.Snapshot(),
+		"model":    s.modelMeta(),
+		"train":    s.TrainInfo,
 	})
 }
 
@@ -124,11 +216,20 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		seed = s.seeds.Int63()
 		s.mu.Unlock()
 	}
+	// Reject unknown formats before paying for generation.
+	switch req.Format {
+	case "", "csv", "json":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q", req.Format)
+		return
+	}
 	// Copy the model so per-request knobs do not race.
 	m := *s.model
 	m.RateScale = req.Scale
 	window := trace.Window{Start: start, End: start + req.Periods}
+	sampleStart := time.Now()
 	tr := core.WithCatalog(m.Generate(rng.New(seed), window), s.catalog)
+	s.sampleLat.Observe(time.Since(sampleStart).Seconds())
 
 	s.mu.Lock()
 	s.served++
@@ -136,6 +237,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("X-Trace-Seed", fmt.Sprint(seed))
 	w.Header().Set("X-Trace-VMs", fmt.Sprint(len(tr.VMs)))
+	encodeStart := time.Now()
 	switch req.Format {
 	case "", "csv":
 		w.Header().Set("Content-Type", "text/csv")
@@ -147,9 +249,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		if err := tr.WriteJSON(w); err != nil {
 			httpError(w, http.StatusInternalServerError, "write: %v", err)
 		}
-	default:
-		httpError(w, http.StatusBadRequest, "unknown format %q", req.Format)
 	}
+	s.encodeLat.Observe(time.Since(encodeStart).Seconds())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

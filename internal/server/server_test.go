@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -155,6 +156,108 @@ func TestGenerateScale(t *testing.T) {
 	nb := strings.Count(big.Body.String(), "\n")
 	if nb < ns*3 {
 		t.Fatalf("scale 8 generated %d rows vs %d at scale 1", nb, ns)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resp struct {
+		UptimeS float64 `json:"uptime_s"`
+		Served  float64 `json:"served"`
+		Metrics struct {
+			Counters   map[string]int64 `json:"counters"`
+			Gauges     map[string]int64 `json:"gauges"`
+			Histograms map[string]struct {
+				Count  int64     `json:"count"`
+				Sum    float64   `json:"sum"`
+				Bounds []float64 `json:"bounds"`
+				Counts []int64   `json:"counts"`
+			} `json:"histograms"`
+		} `json:"metrics"`
+		Par   map[string]int64 `json:"par"`
+		Model map[string]any   `json:"model"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("metrics response is not valid JSON: %v", err)
+	}
+	if resp.UptimeS < 0 {
+		t.Errorf("uptime_s = %v", resp.UptimeS)
+	}
+	if resp.Model["flavors"].(float64) != 16 {
+		t.Errorf("model metadata missing from /metrics: %v", resp.Model)
+	}
+	if _, ok := resp.Par["tasks"]; !ok {
+		t.Errorf("par stats missing from /metrics: %v", resp.Par)
+	}
+	// The snapshot is taken while the /metrics request itself is still
+	// in flight, so the gauge reads exactly 1 in its own response.
+	if g, ok := resp.Metrics.Gauges["http.inflight"]; !ok || g != 1 {
+		t.Errorf("http.inflight = %d (present=%v), want 1", g, ok)
+	}
+	for _, name := range []string{"http.latency_seconds.metrics", "generate.sample.seconds"} {
+		hist, ok := resp.Metrics.Histograms[name]
+		if !ok {
+			t.Errorf("histogram %q missing", name)
+			continue
+		}
+		if len(hist.Counts) != len(hist.Bounds)+1 {
+			t.Errorf("%s: %d counts for %d bounds", name, len(hist.Counts), len(hist.Bounds))
+		}
+	}
+}
+
+// TestMetricsCountersAdvance drives a mix of successful and failing
+// requests and asserts the middleware counters and latency histograms
+// actually move. The fixture is shared across tests, so everything is
+// checked as a before/after delta.
+func TestMetricsCountersAdvance(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	before := s.Metrics().Snapshot()
+
+	for i := 0; i < 2; i++ {
+		if rec := do(t, h, "POST", "/generate", `{"periods": 12, "seed": 5}`); rec.Code != http.StatusOK {
+			t.Fatalf("generate status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	for _, body := range []string{`{`, `{"periods": 0}`, `{"periods": 10, "format": "xml"}`} {
+		if rec := do(t, h, "POST", "/generate", body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d", body, rec.Code)
+		}
+	}
+	do(t, h, "GET", "/healthz", "")
+
+	after := s.Metrics().Snapshot()
+	if got := after.Counters["http.requests.generate"] - before.Counters["http.requests.generate"]; got != 5 {
+		t.Errorf("http.requests.generate delta = %d, want 5", got)
+	}
+	if got := after.Counters["http.errors.generate"] - before.Counters["http.errors.generate"]; got != 3 {
+		t.Errorf("http.errors.generate delta = %d, want 3", got)
+	}
+	if got := after.Counters["http.requests.healthz"] - before.Counters["http.requests.healthz"]; got != 1 {
+		t.Errorf("http.requests.healthz delta = %d, want 1", got)
+	}
+	if got := after.Counters["http.errors.healthz"] - before.Counters["http.errors.healthz"]; got != 0 {
+		t.Errorf("http.errors.healthz delta = %d, want 0", got)
+	}
+	lat := func(s obs.Snapshot) int64 { return s.Histograms["http.latency_seconds.generate"].Count }
+	if got := lat(after) - lat(before); got != 5 {
+		t.Errorf("latency histogram count delta = %d, want 5 (errors included)", got)
+	}
+	// Phase histograms only cover requests that reached generation.
+	samp := func(s obs.Snapshot) int64 { return s.Histograms["generate.sample.seconds"].Count }
+	if got := samp(after) - samp(before); got != 2 {
+		t.Errorf("sample phase histogram delta = %d, want 2", got)
+	}
+	if after.Gauges["http.inflight"] != 0 {
+		t.Errorf("http.inflight = %d after requests drained", after.Gauges["http.inflight"])
 	}
 }
 

@@ -1,6 +1,11 @@
 #!/bin/sh
 # Runs the cross-PR benchmark suite and snapshots the results to
 # BENCH_baseline.json so ns/op and MB/s are comparable across PRs.
+# When a previous baseline exists it is preserved as
+# BENCH_baseline.prev.json and a per-benchmark ns/op delta table is
+# printed — the instrumentation layer (internal/obs, par counters,
+# server middleware) budgets < 2% overhead on the kernel and
+# generation benchmarks.
 # Run from the repository root: scripts/bench.sh [benchtime]
 #
 # Caveat: on hosts with unstable clocks, deltas under ~10% between
@@ -11,10 +16,15 @@ set -eu
 
 BENCHTIME="${1:-1s}"
 OUT="BENCH_baseline.json"
+PREV="BENCH_baseline.prev.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench . -benchtime "$BENCHTIME" . ./internal/mat | tee "$TMP"
+if [ -f "$OUT" ]; then
+	cp "$OUT" "$PREV"
+fi
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" . ./internal/mat ./internal/par ./internal/obs | tee "$TMP"
 
 {
 	echo '{'
@@ -34,3 +44,17 @@ go test -run '^$' -bench . -benchtime "$BENCHTIME" . ./internal/mat | tee "$TMP"
 } > "$OUT"
 
 echo "bench.sh: wrote $OUT"
+
+if [ -f "$PREV" ]; then
+	echo
+	echo "ns/op vs previous baseline (positive = slower; overhead target < 2%):"
+	awk '
+		/"name":/ {
+			n=$0; sub(/.*"name": "/, "", n); sub(/".*/, "", n)
+			v=$0; sub(/.*"ns_per_op": /, "", v); sub(/,.*/, "", v)
+			if (FNR != NR && n in prev && prev[n] > 0)
+				printf "  %-50s %12.1f -> %12.1f  %+6.2f%%\n", n, prev[n], v, 100 * (v - prev[n]) / prev[n]
+			else if (FNR == NR)
+				prev[n] = v
+		}' "$PREV" "$OUT"
+fi
