@@ -70,6 +70,7 @@ func benchHuawei(b *testing.B) *experiments.Cloud {
 
 func BenchmarkTable1Datasets(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Table1(c)
@@ -78,6 +79,7 @@ func BenchmarkTable1Datasets(b *testing.B) {
 
 func BenchmarkFigure4BatchArrivalsAzure(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure4(c)
@@ -86,6 +88,7 @@ func BenchmarkFigure4BatchArrivalsAzure(b *testing.B) {
 
 func BenchmarkFigure5BatchArrivalsHuawei(b *testing.B) {
 	c := benchHuawei(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure5(c)
@@ -94,6 +97,7 @@ func BenchmarkFigure5BatchArrivalsHuawei(b *testing.B) {
 
 func BenchmarkFigure6NaiveArrivals(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure6(c)
@@ -102,6 +106,7 @@ func BenchmarkFigure6NaiveArrivals(b *testing.B) {
 
 func BenchmarkTable2Flavors(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Table2(c)
@@ -110,6 +115,7 @@ func BenchmarkTable2Flavors(b *testing.B) {
 
 func BenchmarkTable3Lifetimes(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Table3(c)
@@ -118,6 +124,7 @@ func BenchmarkTable3Lifetimes(b *testing.B) {
 
 func BenchmarkTable4SurvivalMSE(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Table4(c)
@@ -126,6 +133,7 @@ func BenchmarkTable4SurvivalMSE(b *testing.B) {
 
 func BenchmarkFigure7CapacityAzure(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure7(c)
@@ -134,6 +142,7 @@ func BenchmarkFigure7CapacityAzure(b *testing.B) {
 
 func BenchmarkFigure8CapacityHuawei(b *testing.B) {
 	c := benchHuawei(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure8(c)
@@ -142,6 +151,7 @@ func BenchmarkFigure8CapacityHuawei(b *testing.B) {
 
 func BenchmarkFigure9ReuseDistance(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Figure9(c)
@@ -150,6 +160,7 @@ func BenchmarkFigure9ReuseDistance(b *testing.B) {
 
 func BenchmarkTable5Packing(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Table5(c)
@@ -158,6 +169,7 @@ func BenchmarkTable5Packing(b *testing.B) {
 
 func BenchmarkTenXScaling(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.TenX(c)
@@ -168,6 +180,7 @@ func BenchmarkTenXScaling(b *testing.B) {
 // Figure 1 rendering.
 func BenchmarkFigure1Visualize(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Test.PeriodBatches()
@@ -176,6 +189,7 @@ func BenchmarkFigure1Visualize(b *testing.B) {
 
 func BenchmarkCensoringAblation(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.CensoringAblation(c)
@@ -187,6 +201,7 @@ func BenchmarkCensoringAblation(b *testing.B) {
 func BenchmarkSynthGenerateDay(b *testing.B) {
 	cfg := synth.AzureLike()
 	cfg.Days = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Generate(int64(i))
@@ -197,6 +212,7 @@ func BenchmarkLSTMStepForward(b *testing.B) {
 	net := nn.NewLSTM(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
 	st := net.NewState(1)
 	x := make([]float64, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.StepForward(x, st)
@@ -222,6 +238,7 @@ func BenchmarkLSTMTrainWindow(b *testing.B) {
 		targets[s] = tg
 	}
 	opt := nn.NewAdam(1e-3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.ZeroGrads()
@@ -254,6 +271,7 @@ func benchMatMul(b *testing.B, procs int) {
 	}
 	dst := mat.NewDense(m, n)
 	b.SetBytes(8 * (m*k + k*n + m*n))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.MulAdd(dst, a, bm)
@@ -288,6 +306,7 @@ func benchLSTMTrain(b *testing.B, procs int) {
 	opt := nn.NewAdam(1e-3)
 	sharded := nn.NewShardedLSTM(net, batch)
 	b.SetBytes(8 * steps * batch * 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := net.NewState(batch)
@@ -308,6 +327,7 @@ func BenchmarkLSTMTrainParallel(b *testing.B) { benchLSTMTrain(b, runtime.NumCPU
 
 func BenchmarkPoissonRegressionIRLS(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.TrainArrival(c.Train, core.ArrivalOptions{Kind: core.BatchArrivals, UseDOH: true}); err != nil {
@@ -320,6 +340,7 @@ func BenchmarkPoissonRegressionIRLS(b *testing.B) {
 // counterpart of the IRLS bench.
 func BenchmarkPoissonRegressionProx(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.TrainArrival(c.Train, core.ArrivalOptions{
@@ -337,6 +358,7 @@ func BenchmarkKaplanMeier(b *testing.B) {
 		obs[i] = survival.Observation{Duration: vm.Duration, Censored: vm.Censored}
 	}
 	bins := survival.PaperBins()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		survival.KaplanMeier(obs, bins)
@@ -347,6 +369,7 @@ func BenchmarkGenerateTraceLSTM(b *testing.B) {
 	c := benchAzure(b)
 	m := c.Model()
 	g := rng.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Generate(g.Split(), c.TestW)
@@ -357,6 +380,7 @@ func BenchmarkGenerateTraceNaive(b *testing.B) {
 	c := benchAzure(b)
 	n := c.Naive()
 	g := rng.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Generate(g.Split(), c.TestW)
@@ -367,6 +391,7 @@ func BenchmarkPackBusiestFit(b *testing.B) {
 	c := benchAzure(b)
 	g := rng.New(1)
 	events := sched.Events(c.Test, g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sched.Pack(c.Test, events, sched.PackOptions{
@@ -377,6 +402,7 @@ func BenchmarkPackBusiestFit(b *testing.B) {
 
 func BenchmarkReuseDistances(b *testing.B) {
 	c := benchAzure(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sched.ReuseDistances(c.Test)
@@ -390,6 +416,7 @@ func BenchmarkReuseDistances(b *testing.B) {
 func BenchmarkCategoricalCDF(b *testing.B) {
 	g := rng.New(1)
 	w := rng.ZipfWeights(260, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Categorical(w)
@@ -399,6 +426,7 @@ func BenchmarkCategoricalCDF(b *testing.B) {
 func BenchmarkCategoricalAlias(b *testing.B) {
 	g := rng.New(1)
 	a := rng.NewAlias(rng.ZipfWeights(260, 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Sample(g)
@@ -427,6 +455,7 @@ func benchForward(b *testing.B, batch int) {
 		}
 		xs[s] = x
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(xs, nil)
@@ -451,6 +480,7 @@ func BenchmarkHazardHead(b *testing.B) {
 			mask.Data[i] = 1
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nn.MaskedBCEWithLogits(logits, targets, mask)
@@ -467,6 +497,7 @@ func BenchmarkPMFHead(b *testing.B) {
 	for i := range targets {
 		targets[i] = g.Intn(47)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nn.SoftmaxCE(logits, targets, nil)
@@ -479,6 +510,7 @@ func BenchmarkGRUStepForward(b *testing.B) {
 	net := nn.NewGRU(nn.Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
 	st := net.NewState(1)
 	x := make([]float64, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.StepForward(x, st)
@@ -496,6 +528,7 @@ func BenchmarkTransformerWindowStep(b *testing.B) {
 	for i := 0; i < 64; i++ {
 		w.Append(x)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Append(x)
@@ -512,6 +545,7 @@ func BenchmarkTransformerForwardSeq(b *testing.B) {
 	for i := range x.Data {
 		x.Data[i] = g.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(x)
@@ -521,6 +555,7 @@ func BenchmarkTransformerForwardSeq(b *testing.B) {
 func BenchmarkTraceSliceCensor(b *testing.B) {
 	c := benchAzure(b)
 	w := trace.Window{Start: 0, End: c.Full.Periods / 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Full.Slice(w, 0)
@@ -538,6 +573,7 @@ func BenchmarkGLMFitLarge(b *testing.B) {
 		}
 		y[i] = float64(g.Poisson(3))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := glm.Fit(x, y, glm.Options{Solver: glm.IRLS, L2: 0.1}); err != nil {

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/survival"
+)
+
+// tinyGenModels builds untrained (randomly initialized) stage-2/3
+// models: allocation behavior and decode mechanics do not depend on
+// the weights.
+func tinyGenModels() (*FlavorModel, *LifetimeModel) {
+	const k, days = 3, 2
+	fm := &FlavorModel{K: k, Temporal: features.Temporal{HistoryDays: days}, HistoryDays: days}
+	fm.Net = nn.NewLSTM(nn.Config{
+		InputDim:  flavorInputDim(k, fm.Temporal),
+		HiddenDim: 8, Layers: 2, OutputDim: k + 1,
+	}, rng.New(1))
+	bins := survival.PaperBins()
+	lm := &LifetimeModel{
+		Bins: bins, K: k,
+		Temporal:    features.Temporal{HistoryDays: days},
+		LifeFeat:    features.LifetimeFeatures{Bins: bins.J()},
+		HistoryDays: days,
+	}
+	lm.Net = nn.NewLSTM(nn.Config{
+		InputDim:  lifetimeInputDim(k, lm.Temporal, lm.LifeFeat),
+		HiddenDim: 8, Layers: 2, OutputDim: bins.J(),
+	}, rng.New(2))
+	return fm, lm
+}
+
+// TestGenerationStepAllocFree pins the generation hot path: after the
+// pooled decoder states exist, one flavor-decode step and one
+// lifetime-hazard step must allocate nothing.
+func TestGenerationStepAllocFree(t *testing.T) {
+	fm, lm := tinyGenModels()
+	fs := fm.acquireFlavorState()
+	defer fm.releaseFlavorState(fs)
+	fs.probs(0, 0) // size the step scratch
+	fs.observe(1)
+	if allocs := testing.AllocsPerRun(100, func() {
+		fs.probs(1, 0)
+		fs.observe(0)
+	}); allocs != 0 {
+		t.Fatalf("flavor decode step allocates %v times, want 0", allocs)
+	}
+	ls := lm.acquireLifetimeState()
+	defer lm.releaseLifetimeState(ls)
+	step := LifetimeStep{Period: 1, Flavor: 1, BatchSize: 2}
+	ls.hazard(step, 0)
+	ls.observe(2, false)
+	if allocs := testing.AllocsPerRun(100, func() {
+		ls.hazard(step, 0)
+		ls.observe(1, false)
+	}); allocs != 0 {
+		t.Fatalf("lifetime hazard step allocates %v times, want 0", allocs)
+	}
+}
+
+// TestPooledStateResetMatchesFresh verifies the sync.Pool recycling is
+// invisible: a reused (reset) decoder state must produce bit-identical
+// probabilities to a freshly constructed one.
+func TestPooledStateResetMatchesFresh(t *testing.T) {
+	fm, lm := tinyGenModels()
+
+	// Dirty a state, release it, and re-acquire (usually the same
+	// object back; either way it must behave like new).
+	dirty := fm.acquireFlavorState()
+	for i := 0; i < 7; i++ {
+		dirty.probs(i%4, 0)
+		dirty.observe(i % (fm.K + 1))
+	}
+	fm.releaseFlavorState(dirty)
+	pooled := fm.acquireFlavorState()
+	defer fm.releaseFlavorState(pooled)
+	fresh := fm.newFlavorState()
+	for i := 0; i < 5; i++ {
+		got := pooled.probs(i, 1)
+		want := fresh.probs(i, 1)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("step %d: pooled probs[%d]=%v, fresh %v", i, j, got[j], want[j])
+			}
+		}
+		pooled.observe(i % (fm.K + 1))
+		fresh.observe(i % (fm.K + 1))
+	}
+
+	ldirty := lm.acquireLifetimeState()
+	ldirty.hazard(LifetimeStep{Period: 0, Flavor: 1, BatchSize: 3}, 1)
+	ldirty.observe(4, true)
+	lm.releaseLifetimeState(ldirty)
+	lpooled := lm.acquireLifetimeState()
+	defer lm.releaseLifetimeState(lpooled)
+	lfresh := lm.newLifetimeState()
+	for i := 0; i < 5; i++ {
+		step := LifetimeStep{Period: i, Flavor: i % lm.K, BatchSize: 2}
+		got := lpooled.hazard(step, 0)
+		want := lfresh.hazard(step, 0)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("step %d: pooled hazard[%d]=%v, fresh %v", i, j, got[j], want[j])
+			}
+		}
+		lpooled.observe(i%3, i%2 == 0)
+		lfresh.observe(i%3, i%2 == 0)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/mat"
@@ -97,6 +98,12 @@ type FlavorModel struct {
 	K           int // number of flavors (EOB token index = K)
 	Temporal    features.Temporal
 	HistoryDays int
+
+	// statePool recycles decoding states across Generate calls (and
+	// concurrent server requests), so steady-state generation performs
+	// no per-call state allocation. Guarded by the pool itself;
+	// FlavorModel must be shared by pointer once generation starts.
+	statePool sync.Pool
 }
 
 // flavorInputDim returns the input feature dimensionality: previous
@@ -163,6 +170,37 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 		return ev.NLL, true
 	}
 	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
+	// Window buffers are allocated once and reused across every window
+	// and epoch: per-step inputs, targets and validity masks, plus one
+	// full-batch gradient slab per step with persistent per-shard row
+	// views handed to the sharded backward pass. Each window rewrites
+	// them completely (inputs are zeroed first, exactly like the fresh
+	// matrices they replace), so training results are unchanged.
+	maxWl := 0
+	for w := 0; w < plan.windows; w++ {
+		if wl := plan.windowLen(w); wl > maxWl {
+			maxWl = wl
+		}
+	}
+	xs := make([]*mat.Dense, maxWl)
+	targets := make([][]int, maxWl)
+	valids := make([][]bool, maxWl)
+	dysFull := make([]*mat.Dense, maxWl)
+	for s := 0; s < maxWl; s++ {
+		xs[s] = mat.NewDense(plan.batch, inDim)
+		targets[s] = make([]int, plan.batch)
+		valids[s] = make([]bool, plan.batch)
+		dysFull[s] = mat.NewDense(plan.batch, k+1)
+	}
+	shardDys := make([][]*mat.Dense, nn.NumShards(plan.batch))
+	for si := range shardDys {
+		lo := si * nn.ShardRows
+		hi := min(lo+nn.ShardRows, plan.batch)
+		shardDys[si] = make([]*mat.Dense, maxWl)
+		for s := 0; s < maxWl; s++ {
+			shardDys[si][s] = dysFull[s].SliceRows(lo, hi)
+		}
+	}
 	ec := newEpochClock(ObsFlavorLSTM, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
@@ -174,14 +212,14 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 		st := m.Net.NewState(plan.batch)
 		for w := 0; w < plan.windows; w++ {
 			wl := plan.windowLen(w)
-			xs := make([]*mat.Dense, wl)
-			targets := make([][]int, wl)
-			valids := make([][]bool, wl)
 			var batchSteps int
 			for s := 0; s < wl; s++ {
-				x := mat.NewDense(plan.batch, inDim)
-				tg := make([]int, plan.batch)
-				vd := make([]bool, plan.batch)
+				x := xs[s]
+				x.Zero()
+				tg := targets[s]
+				vd := valids[s]
+				clear(tg)
+				clear(vd)
 				for row := 0; row < plan.batch; row++ {
 					t, ok := plan.step(row, w, s)
 					if !ok {
@@ -197,9 +235,6 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 					vd[row] = true
 					batchSteps++
 				}
-				xs[s] = x
-				targets[s] = tg
-				valids[s] = vd
 			}
 			// Normalize gradients by the number of contributing steps so
 			// the learning rate is scale-free. The count is known before
@@ -209,15 +244,15 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 			if batchSteps > 0 {
 				norm = 1 / float64(batchSteps)
 			}
-			loss, steps := sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
-				dys := make([]*mat.Dense, len(ys))
+			loss, steps := sharded.RunWindow(xs[:wl], st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+				// Shards write disjoint row ranges of the shared slabs.
+				dys := shardDys[lo/nn.ShardRows][:len(ys)]
 				var shardLoss float64
 				var shardN int
 				for s, y := range ys {
-					l, d, n := nn.SoftmaxCE(y, targets[s][lo:hi], valids[s][lo:hi])
+					l, n := nn.SoftmaxCEInto(y, targets[s][lo:hi], valids[s][lo:hi], dys[s])
 					shardLoss += l
 					shardN += n
-					dys[s] = d
 				}
 				if batchSteps == 0 {
 					return nil, shardLoss, shardN
@@ -260,6 +295,7 @@ type flavorState struct {
 	st    *nn.State
 	prev  int
 	input []float64
+	out   []float64 // probs result buffer, overwritten each step
 }
 
 // newFlavorState returns a fresh decoding state (previous token = EOB).
@@ -269,15 +305,41 @@ func (m *FlavorModel) newFlavorState() *flavorState {
 		st:    m.Net.NewState(1),
 		prev:  EOBToken(m.K),
 		input: make([]float64, flavorInputDim(m.K, m.Temporal)),
+		out:   make([]float64, m.K+1),
 	}
 }
 
+// acquireFlavorState returns a pooled decoding state reset to the
+// fresh-state condition. Pair with releaseFlavorState so generation
+// stops allocating LSTM state per call once the pool is warm.
+func (m *FlavorModel) acquireFlavorState() *flavorState {
+	if s, ok := m.statePool.Get().(*flavorState); ok {
+		s.reset()
+		return s
+	}
+	return m.newFlavorState()
+}
+
+// releaseFlavorState recycles a state obtained from acquireFlavorState.
+// The caller must not use s afterwards.
+func (m *FlavorModel) releaseFlavorState(s *flavorState) { m.statePool.Put(s) }
+
+// reset restores the fresh-state condition: zero LSTM state, previous
+// token = EOB.
+func (s *flavorState) reset() {
+	s.st.Zero()
+	s.prev = EOBToken(s.m.K)
+}
+
 // probs advances the LSTM one step and returns the distribution over the
-// next token given the current period and DOH day.
+// next token given the current period and DOH day. The returned slice is
+// the state's reusable buffer: it is overwritten by the next probs call,
+// and callers may mutate it in place (the what-if tilt does).
 func (s *flavorState) probs(period, dohDay int) []float64 {
 	s.m.encodeFlavorInput(s.input, s.prev, period, dohDay)
 	logits := s.m.Net.StepForward(s.input, s.st)
-	return nn.Softmax(logits)
+	nn.SoftmaxInto(logits, s.out)
+	return s.out
 }
 
 // observe records the realized token (teacher forcing / sampling).

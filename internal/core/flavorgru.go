@@ -129,6 +129,7 @@ type GRUFlavorPredictor struct {
 	st    *nn.GRUState
 	prev  int
 	input []float64
+	out   []float64 // probs buffer, overwritten each step
 }
 
 // NewGRUFlavorPredictor wraps m.
@@ -146,12 +147,15 @@ func (p *GRUFlavorPredictor) Reset() {
 	p.st = p.m.Net.NewState(1)
 	p.prev = EOBToken(p.m.K)
 	p.input = make([]float64, flavorInputDim(p.m.K, p.m.Temporal))
+	p.out = make([]float64, p.m.K+1)
 }
 
-// Probs implements FlavorPredictor.
+// Probs implements FlavorPredictor. The result is the predictor's
+// reusable buffer, overwritten by the next call.
 func (p *GRUFlavorPredictor) Probs(absPeriod int) []float64 {
 	encodeFlavorInputInto(p.input, p.m.K, p.m.Temporal, p.prev, absPeriod, trace.DayOfHistory(absPeriod))
-	return nn.Softmax(p.m.Net.StepForward(p.input, p.st))
+	nn.SoftmaxInto(p.m.Net.StepForward(p.input, p.st), p.out)
+	return p.out
 }
 
 // Predict implements FlavorPredictor (see LSTM wrapper caveat).

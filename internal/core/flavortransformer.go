@@ -157,6 +157,7 @@ type TransformerFlavorPredictor struct {
 	window *nn.TWindow
 	prev   int
 	input  []float64
+	out    []float64 // probs buffer, overwritten each step
 }
 
 // NewTransformerFlavorPredictor wraps m.
@@ -174,12 +175,15 @@ func (p *TransformerFlavorPredictor) Reset() {
 	p.window = p.m.Net.NewWindow()
 	p.prev = EOBToken(p.m.K)
 	p.input = make([]float64, flavorInputDim(p.m.K, p.m.Temporal))
+	p.out = make([]float64, p.m.K+1)
 }
 
-// Probs implements FlavorPredictor.
+// Probs implements FlavorPredictor. The result is the predictor's
+// reusable buffer, overwritten by the next call.
 func (p *TransformerFlavorPredictor) Probs(absPeriod int) []float64 {
 	encodeFlavorInputInto(p.input, p.m.K, p.m.Temporal, p.prev, absPeriod, trace.DayOfHistory(absPeriod))
-	return nn.Softmax(p.window.Append(p.input))
+	nn.SoftmaxInto(p.window.Append(p.input), p.out)
+	return p.out
 }
 
 // Predict implements FlavorPredictor. As with the LSTM wrapper, use

@@ -106,13 +106,23 @@ func (m *Model) maxJobs() int {
 // which reproduces a serial sweep exactly at any worker count.
 func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 	out := &trace.Trace{Flavors: &trace.FlavorSet{Defs: m.flavorDefs()}, Periods: w.Periods()}
-	fs := m.Flavor.newFlavorState()
-	ls := m.Lifetime.newLifetimeState()
+	fs := m.Flavor.acquireFlavorState()
+	defer m.Flavor.releaseFlavorState(fs)
+	ls := m.Lifetime.acquireLifetimeState()
+	defer m.Lifetime.releaseLifetimeState(ls)
 	eob := EOBToken(m.Flavor.K)
 	nextUser := 0
 	id := 0
 	dohDay := m.Arrival.DOH.Sample(g)
 	curDay := -1
+	// Decoded batches are spans over one shared flavor buffer; both are
+	// reused across periods so steady-state decoding allocates nothing
+	// per batch or per job.
+	type batchSpan struct {
+		user, lo, hi int
+	}
+	var spans []batchSpan
+	var flavors []int
 	for p := w.Start; p < w.End; p++ {
 		if d := trace.DayOfHistory(p); d != curDay {
 			curDay = d
@@ -123,12 +133,9 @@ func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 			continue
 		}
 		// Stage 2: decode flavors until nBatches EOB tokens.
-		type pendingBatch struct {
-			user    int
-			flavors []int
-		}
-		var batches []pendingBatch
-		cur := pendingBatch{user: nextUser}
+		spans = spans[:0]
+		flavors = flavors[:0]
+		curUser, curLo := nextUser, 0
 		nextUser++
 		jobs, eobCount := 0, 0
 		for eobCount < nBatches {
@@ -142,7 +149,7 @@ func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 			}
 			fs.observe(tok)
 			if tok != eob {
-				cur.flavors = append(cur.flavors, tok)
+				flavors = append(flavors, tok)
 				jobs++
 				continue
 			}
@@ -150,19 +157,20 @@ func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 			// An EOB with no preceding jobs yields an empty batch, which
 			// is not representable in the trace; it still counts toward
 			// the period's batch total so generation terminates.
-			if len(cur.flavors) > 0 {
-				batches = append(batches, cur)
+			if len(flavors) > curLo {
+				spans = append(spans, batchSpan{user: curUser, lo: curLo, hi: len(flavors)})
 			}
-			cur = pendingBatch{user: nextUser}
+			curUser, curLo = nextUser, len(flavors)
 			nextUser++
 		}
 		// Stage 3: lifetimes for the period's jobs, in order.
-		for _, b := range batches {
-			for _, fl := range b.flavors {
+		for _, b := range spans {
+			size := b.hi - b.lo
+			for _, fl := range flavors[b.lo:b.hi] {
 				step := LifetimeStep{
 					Period:    p,
 					Flavor:    fl,
-					BatchSize: len(b.flavors),
+					BatchSize: size,
 				}
 				hz := ls.hazard(step, dohDay)
 				bin := survival.SampleBin(hz, g)

@@ -163,6 +163,7 @@ func (m *JointModel) GenerateCounts(g *rng.RNG, w trace.Window, doh features.DOH
 	counts := make([]int, w.Periods())
 	st := m.Net.NewState(1)
 	input := make([]float64, m.inputDim())
+	probs := make([]float64, m.Net.Cfg.OutputDim)
 	prev := m.jointEOP()
 	doh.HistoryDays = m.HistoryDays
 	dohDay := doh.Sample(g)
@@ -175,7 +176,7 @@ func (m *JointModel) GenerateCounts(g *rng.RNG, w trace.Window, doh features.DOH
 		jobs, batches := 0, 0
 		for {
 			m.encodeInput(input, prev, p, dohDay)
-			probs := nn.Softmax(m.Net.StepForward(input, st))
+			nn.SoftmaxInto(m.Net.StepForward(input, st), probs)
 			tok := g.Categorical(probs)
 			if jobs >= maxJobs {
 				tok = m.jointEOP()

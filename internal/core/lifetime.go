@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/mat"
@@ -23,6 +24,10 @@ type LifetimeModel struct {
 	Temporal    features.Temporal
 	LifeFeat    features.LifetimeFeatures
 	HistoryDays int
+
+	// statePool recycles decoding states across Generate calls (and
+	// concurrent server requests); see FlavorModel.statePool.
+	statePool sync.Pool
 }
 
 // lifetimeInputDim: temporal + current flavor one-hot + batch-size
@@ -121,6 +126,41 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 		return ev.BCE, true
 	}
 	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
+	// Reused window buffers (see TrainFlavor): per-step input, target and
+	// mask slabs plus a full-batch gradient slab, all with persistent
+	// per-shard row views so the sharded callback allocates nothing.
+	maxWl := 0
+	for w := 0; w < plan.windows; w++ {
+		if wl := plan.windowLen(w); wl > maxWl {
+			maxWl = wl
+		}
+	}
+	xs := make([]*mat.Dense, maxWl)
+	targets := make([]*mat.Dense, maxWl)
+	masks := make([]*mat.Dense, maxWl)
+	dysFull := make([]*mat.Dense, maxWl)
+	for s := 0; s < maxWl; s++ {
+		xs[s] = mat.NewDense(plan.batch, inDim)
+		targets[s] = mat.NewDense(plan.batch, j)
+		masks[s] = mat.NewDense(plan.batch, j)
+		dysFull[s] = mat.NewDense(plan.batch, j)
+	}
+	nShards := nn.NumShards(plan.batch)
+	shardDys := make([][]*mat.Dense, nShards)
+	shardTg := make([][]*mat.Dense, nShards)
+	shardMk := make([][]*mat.Dense, nShards)
+	for si := 0; si < nShards; si++ {
+		lo := si * nn.ShardRows
+		hi := min(lo+nn.ShardRows, plan.batch)
+		shardDys[si] = make([]*mat.Dense, maxWl)
+		shardTg[si] = make([]*mat.Dense, maxWl)
+		shardMk[si] = make([]*mat.Dense, maxWl)
+		for s := 0; s < maxWl; s++ {
+			shardDys[si][s] = dysFull[s].SliceRows(lo, hi)
+			shardTg[si][s] = targets[s].SliceRows(lo, hi)
+			shardMk[si][s] = masks[s].SliceRows(lo, hi)
+		}
+	}
 	ec := newEpochClock(ObsLifetimeHazard, cfg.Progress, cfg.Obs, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
@@ -130,17 +170,15 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 		st := m.Net.NewState(plan.batch)
 		for w := 0; w < plan.windows; w++ {
 			wl := plan.windowLen(w)
-			xs := make([]*mat.Dense, wl)
-			targets := make([]*mat.Dense, wl)
-			masks := make([]*mat.Dense, wl)
 			// The masked-BCE output count is a function of the targets
 			// alone, so tally it while encoding: the gradient scale is
 			// then known before the sharded forward/backward pass.
 			var batchOutputs int
 			for s := 0; s < wl; s++ {
-				x := mat.NewDense(plan.batch, inDim)
-				tg := mat.NewDense(plan.batch, j)
-				mk := mat.NewDense(plan.batch, j)
+				x, tg, mk := xs[s], targets[s], masks[s]
+				x.Zero()
+				tg.Zero()
+				mk.Zero()
 				for row := 0; row < plan.batch; row++ {
 					t, ok := plan.step(row, w, s)
 					if !ok {
@@ -159,23 +197,20 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 						}
 					}
 				}
-				xs[s] = x
-				targets[s] = tg
-				masks[s] = mk
 			}
 			var norm float64
 			if batchOutputs > 0 {
 				norm = 1 / float64(batchOutputs)
 			}
-			loss, outputs := sharded.RunWindow(xs, st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
-				dys := make([]*mat.Dense, len(ys))
+			loss, outputs := sharded.RunWindow(xs[:wl], st, func(lo, hi int, ys []*mat.Dense) ([]*mat.Dense, float64, int) {
+				si := lo / nn.ShardRows
+				dys := shardDys[si][:len(ys)]
 				var shardLoss float64
 				var shardN int
 				for s, y := range ys {
-					l, d, n := nn.MaskedBCEWithLogits(y, targets[s].SliceRows(lo, hi), masks[s].SliceRows(lo, hi))
+					l, n := nn.MaskedBCEWithLogitsInto(y, shardTg[si][s], shardMk[si][s], dys[s])
 					shardLoss += l
 					shardN += n
-					dys[s] = d
 				}
 				if batchOutputs == 0 {
 					return nil, shardLoss, shardN
@@ -219,6 +254,7 @@ type lifetimeState struct {
 	prevBin  int
 	prevCens bool
 	input    []float64
+	out      []float64 // hazard result buffer, overwritten each step
 }
 
 // newLifetimeState returns a fresh state with no previous job.
@@ -228,15 +264,40 @@ func (m *LifetimeModel) newLifetimeState() *lifetimeState {
 		st:      m.Net.NewState(1),
 		prevBin: -1,
 		input:   make([]float64, lifetimeInputDim(m.K, m.Temporal, m.LifeFeat)),
+		out:     make([]float64, m.Bins.J()),
 	}
 }
 
+// acquireLifetimeState returns a pooled decoding state reset to the
+// fresh-state condition. Pair with releaseLifetimeState.
+func (m *LifetimeModel) acquireLifetimeState() *lifetimeState {
+	if s, ok := m.statePool.Get().(*lifetimeState); ok {
+		s.reset()
+		return s
+	}
+	return m.newLifetimeState()
+}
+
+// releaseLifetimeState recycles a state obtained from
+// acquireLifetimeState. The caller must not use s afterwards.
+func (m *LifetimeModel) releaseLifetimeState(s *lifetimeState) { m.statePool.Put(s) }
+
+// reset restores the fresh-state condition: zero LSTM state, no
+// previous job.
+func (s *lifetimeState) reset() {
+	s.st.Zero()
+	s.prevBin, s.prevCens = -1, false
+}
+
 // hazard advances the LSTM one step and returns the per-bin hazard
-// probabilities for the given job.
+// probabilities for the given job. The returned slice is the state's
+// reusable buffer, overwritten by the next hazard call; clone it to
+// keep it across steps.
 func (s *lifetimeState) hazard(step LifetimeStep, dohDay int) []float64 {
 	s.m.encodeLifetimeInput(s.input, step, dohDay, s.prevBin, s.prevCens)
 	logits := s.m.Net.StepForward(s.input, s.st)
-	return nn.Sigmoid(logits)
+	nn.SigmoidInto(logits, s.out)
+	return s.out
 }
 
 // observe records the realized (or sampled) lifetime bin of the job just

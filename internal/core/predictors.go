@@ -154,8 +154,8 @@ func NewLSTMFlavorPredictor(m *FlavorModel) *LSTMFlavorPredictor {
 // Name implements FlavorPredictor.
 func (l *LSTMFlavorPredictor) Name() string { return "LSTM" }
 
-// Reset implements FlavorPredictor.
-func (l *LSTMFlavorPredictor) Reset() { l.st = l.m.newFlavorState() }
+// Reset implements FlavorPredictor (in place; no reallocation).
+func (l *LSTMFlavorPredictor) Reset() { l.st.reset() }
 
 // Probs implements FlavorPredictor. The DOH day is the period's actual
 // day, clamped to the training history (i.e. the last training day for
@@ -390,8 +390,8 @@ func NewLSTMLifetimePredictor(m *LifetimeModel) *LSTMLifetimePredictor {
 // Name implements LifetimePredictor.
 func (l *LSTMLifetimePredictor) Name() string { return "LSTM" }
 
-// Reset implements LifetimePredictor.
-func (l *LSTMLifetimePredictor) Reset() { l.st = l.m.newLifetimeState() }
+// Reset implements LifetimePredictor (in place; no reallocation).
+func (l *LSTMLifetimePredictor) Reset() { l.st.reset() }
 
 // Hazard implements LifetimePredictor. Each call advances the LSTM one
 // step; call exactly once per step, before Observe.
@@ -475,13 +475,15 @@ func EvaluateLifetime(pred LifetimePredictor, steps []LifetimeStep, bins surviva
 // test sequence under teacher forcing — the per-job survival curves used
 // by the Table 4 Survival-MSE evaluation.
 func (m *LifetimeModel) TeacherForcedHazards(steps []LifetimeStep, offset int) [][]float64 {
-	st := m.newLifetimeState()
+	st := m.acquireLifetimeState()
+	defer m.releaseLifetimeState(st)
 	out := make([][]float64, len(steps))
 	for i, step := range steps {
 		abs := offset + step.Period
 		local := step
 		local.Period = abs
-		out[i] = st.hazard(local, trace.DayOfHistory(abs))
+		// hazard reuses one buffer per state; clone to keep every step.
+		out[i] = append([]float64(nil), st.hazard(local, trace.DayOfHistory(abs))...)
 		st.observe(step.Bin, step.Censored)
 	}
 	return out

@@ -261,6 +261,7 @@ type resourceState struct {
 	cpuSt, memSt     *nn.State
 	prevCPU, prevMem int
 	cpuIn, memIn     []float64
+	cpuOut, memOut   []float64 // softmax buffers, overwritten each step
 }
 
 // NewResourceState returns a fresh generation state.
@@ -273,6 +274,8 @@ func (m *ResourceModel) NewResourceState() *resourceState {
 		prevMem: -1,
 		cpuIn:   make([]float64, m.cpuInputDim()),
 		memIn:   make([]float64, m.memInputDim()),
+		cpuOut:  make([]float64, m.CPUNet.Cfg.OutputDim),
+		memOut:  make([]float64, m.MemNet.Cfg.OutputDim),
 	}
 }
 
@@ -281,15 +284,15 @@ func (m *ResourceModel) NewResourceState() *resourceState {
 func (s *resourceState) Next(g *rng.RNG, period, dohDay int) GeneratedResource {
 	m := s.m
 	m.encodeCPUInput(s.cpuIn, s.prevCPU, s.prevMem, period, dohDay)
-	cpuProbs := nn.Softmax(m.CPUNet.StepForward(s.cpuIn, s.cpuSt))
-	cpuClass := g.Categorical(cpuProbs)
+	nn.SoftmaxInto(m.CPUNet.StepForward(s.cpuIn, s.cpuSt), s.cpuOut)
+	cpuClass := g.Categorical(s.cpuOut)
 	if cpuClass == m.cpuEOB() {
 		s.prevCPU, s.prevMem = m.cpuEOB(), -1
 		return GeneratedResource{EOB: true}
 	}
 	m.encodeMemInput(s.memIn, cpuClass, s.prevCPU, s.prevMem, period, dohDay)
-	memProbs := nn.Softmax(m.MemNet.StepForward(s.memIn, s.memSt))
-	memClass := g.Categorical(memProbs)
+	nn.SoftmaxInto(m.MemNet.StepForward(s.memIn, s.memSt), s.memOut)
+	memClass := g.Categorical(s.memOut)
 	s.prevCPU, s.prevMem = cpuClass, memClass
 	return GeneratedResource{CPU: m.CPUVals[cpuClass], MemGB: m.MemVals[memClass]}
 }
@@ -349,10 +352,17 @@ func (m *FactorizedModel) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 	}
 	out := &trace.Trace{Flavors: m.Catalog, Periods: w.Periods()}
 	rs := m.Resource.NewResourceState()
-	ls := m.Lifetime.newLifetimeState()
+	ls := m.Lifetime.acquireLifetimeState()
+	defer m.Lifetime.releaseLifetimeState(ls)
 	nextUser, id := 0, 0
 	dohDay := m.Arrival.DOH.Sample(g)
 	curDay := -1
+	// Span-based batch bookkeeping, as in Model.Generate.
+	type batchSpan struct {
+		user, lo, hi int
+	}
+	var spans []batchSpan
+	var flavors []int
 	for p := w.Start; p < w.End; p++ {
 		if d := trace.DayOfHistory(p); d != curDay {
 			curDay = d
@@ -362,12 +372,9 @@ func (m *FactorizedModel) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 		if nBatches == 0 {
 			continue
 		}
-		type pendingBatch struct {
-			user    int
-			flavors []int
-		}
-		var batches []pendingBatch
-		cur := pendingBatch{user: nextUser}
+		spans = spans[:0]
+		flavors = flavors[:0]
+		curUser, curLo := nextUser, 0
 		nextUser++
 		jobs, eobCount := 0, 0
 		for eobCount < nBatches {
@@ -378,20 +385,21 @@ func (m *FactorizedModel) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 				res = rs.Next(g, p, dohDay)
 			}
 			if !res.EOB {
-				cur.flavors = append(cur.flavors, NearestFlavor(m.Catalog, res.CPU, res.MemGB))
+				flavors = append(flavors, NearestFlavor(m.Catalog, res.CPU, res.MemGB))
 				jobs++
 				continue
 			}
 			eobCount++
-			if len(cur.flavors) > 0 {
-				batches = append(batches, cur)
+			if len(flavors) > curLo {
+				spans = append(spans, batchSpan{user: curUser, lo: curLo, hi: len(flavors)})
 			}
-			cur = pendingBatch{user: nextUser}
+			curUser, curLo = nextUser, len(flavors)
 			nextUser++
 		}
-		for _, b := range batches {
-			for _, fl := range b.flavors {
-				step := LifetimeStep{Period: p, Flavor: fl, BatchSize: len(b.flavors)}
+		for _, b := range spans {
+			size := b.hi - b.lo
+			for _, fl := range flavors[b.lo:b.hi] {
+				step := LifetimeStep{Period: p, Flavor: fl, BatchSize: size}
 				hz := ls.hazard(step, dohDay)
 				bin := survival.SampleBin(hz, g)
 				ls.observe(bin, false)
@@ -427,8 +435,8 @@ func (m *ResourceModel) ConditionalMemoryNLL(tr *trace.Trace, offset int) float6
 		abs := offset + tk.period
 		day := trace.DayOfHistory(abs)
 		m.encodeMemInput(st.memIn, tk.cpuClass, st.prevCPU, st.prevMem, abs, day)
-		probs := nn.Softmax(m.MemNet.StepForward(st.memIn, st.memSt))
-		p := probs[tk.memClass]
+		nn.SoftmaxInto(m.MemNet.StepForward(st.memIn, st.memSt), st.memOut)
+		p := st.memOut[tk.memClass]
 		if p < 1e-300 {
 			p = 1e-300
 		}

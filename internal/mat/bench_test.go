@@ -40,6 +40,7 @@ func benchMulAdd(b *testing.B, a *Dense, kernel func(dst, a, bm *Dense)) {
 	bm := denseRand(a.Cols, 128, 2)
 	dst := NewDense(a.Rows, 128)
 	b.SetBytes(8 * int64(len(a.Data)+len(bm.Data)+len(dst.Data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kernel(dst, a, bm)
@@ -89,6 +90,7 @@ func BenchmarkDotUnrolled(b *testing.B) {
 	y := denseRand(1, vecLen, 2).Data
 	b.SetBytes(8 * 2 * vecLen)
 	var sink float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink += Dot(x, y)
@@ -101,6 +103,7 @@ func BenchmarkDotRef(b *testing.B) {
 	y := denseRand(1, vecLen, 2).Data
 	b.SetBytes(8 * 2 * vecLen)
 	var sink float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink += dotRef(x, y)
@@ -112,6 +115,7 @@ func BenchmarkAxpyUnrolled(b *testing.B) {
 	x := denseRand(1, vecLen, 1).Data
 	y := denseRand(1, vecLen, 2).Data
 	b.SetBytes(8 * 2 * vecLen)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Axpy(1e-9, x, y)
@@ -122,6 +126,7 @@ func BenchmarkAxpyRef(b *testing.B) {
 	x := denseRand(1, vecLen, 1).Data
 	y := denseRand(1, vecLen, 2).Data
 	b.SetBytes(8 * 2 * vecLen)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		axpyRef(1e-9, x, y)

@@ -157,24 +157,30 @@ func MulAddSparse(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulAddSparse shape mismatch %v * %v -> %v", a, b, dst))
 	}
 	rowFlops := a.Cols * b.Cols
-	run := func(lo, hi int) {
-		n := b.Cols
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				axpy(av, b.Data[k*n:k*n+n], drow)
-			}
-		}
-	}
 	if a.Rows*rowFlops < parMinFlops {
-		run(0, a.Rows)
+		mulAddSparseRows(dst, a, b, 0, a.Rows)
 		return
 	}
-	par.For(a.Rows, gemmGrain(rowFlops), run)
+	par.For(a.Rows, gemmGrain(rowFlops), func(lo, hi int) {
+		mulAddSparseRows(dst, a, b, lo, hi)
+	})
+}
+
+// mulAddSparseRows computes dst[lo:hi] += a[lo:hi] * b skipping zero
+// a-elements. Named helper rather than a closure hoisted above the
+// serial/parallel branch, so the serial fast path stays allocation-free.
+func mulAddSparseRows(dst, a, b *Dense, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, b.Data[k*n:k*n+n], drow)
+		}
+	}
 }
 
 // MulATB computes dst += aᵀ * b (a is kxm, b is kxn, dst is mxn).
@@ -235,20 +241,26 @@ func MulABT(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulABT shape mismatch %v * %vᵀ -> %v", a, b, dst))
 	}
 	rowFlops := a.Cols * b.Rows
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				drow[j] += dot(arow, b.Row(j))
-			}
-		}
-	}
 	if a.Rows*rowFlops < parMinFlops {
-		run(0, a.Rows)
+		mulABTRows(dst, a, b, 0, a.Rows)
 		return
 	}
-	par.For(a.Rows, gemmGrain(rowFlops), run)
+	par.For(a.Rows, gemmGrain(rowFlops), func(lo, hi int) {
+		mulABTRows(dst, a, b, lo, hi)
+	})
+}
+
+// mulABTRows computes dst[lo:hi] += a[lo:hi] * bᵀ. Kept as a named
+// helper (not a closure hoisted above the serial/parallel branch) so
+// the serial fast path does not heap-allocate a closure per call.
+func mulABTRows(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] += dot(arow, b.Row(j))
+		}
+	}
 }
 
 // AddBiasRows adds bias vector b to every row of m in place.

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Package-level benches for the recurrent substrates, all reporting
+// allocations: after the workspace/arena rewrite the steady-state
+// numbers here are expected to stay at (or near) zero allocs/op — the
+// allocation-regression tests in alloc_test.go enforce the bound, these
+// benches make the byte volume visible.
+
+func benchNet(b *testing.B) *LSTM {
+	b.Helper()
+	return NewLSTM(Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+}
+
+func benchInputs(steps, batch int) []*mat.Dense {
+	g := rng.New(2)
+	xs := make([]*mat.Dense, steps)
+	for s := range xs {
+		x := mat.NewDense(batch, 64)
+		for i := range x.Data {
+			x.Data[i] = g.NormFloat64()
+		}
+		xs[s] = x
+	}
+	return xs
+}
+
+func BenchmarkLSTMForward(b *testing.B) {
+	net := benchNet(b)
+	xs := benchInputs(32, 8)
+	st := net.NewState(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(xs, st)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	net := benchNet(b)
+	xs := benchInputs(32, 8)
+	st := net.NewState(8)
+	dys := make([]*mat.Dense, len(xs))
+	for s := range dys {
+		dys[s] = mat.NewDense(8, 17)
+		for j := range dys[s].Data {
+			dys[s].Data[j] = 0.01
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		_, cache := net.Forward(xs, st)
+		net.Backward(cache, dys)
+	}
+}
+
+func BenchmarkLSTMStep(b *testing.B) {
+	net := benchNet(b)
+	st := net.NewState(1)
+	x := make([]float64, 64)
+	x[3] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.StepForward(x, st)
+	}
+}
+
+func BenchmarkGRUForwardBackward(b *testing.B) {
+	net := NewGRU(Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	xs := benchInputs(32, 8)
+	st := net.NewState(8)
+	dys := make([]*mat.Dense, len(xs))
+	for s := range dys {
+		dys[s] = mat.NewDense(8, 17)
+		for j := range dys[s].Data {
+			dys[s].Data[j] = 0.01
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		_, cache := net.Forward(xs, st)
+		net.Backward(cache, dys)
+	}
+}
+
+func BenchmarkGRUStep(b *testing.B) {
+	net := NewGRU(Config{InputDim: 64, HiddenDim: 48, Layers: 2, OutputDim: 17}, rng.New(1))
+	st := net.NewState(1)
+	x := make([]float64, 64)
+	x[3] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.StepForward(x, st)
+	}
+}

@@ -51,11 +51,15 @@ func TestGRUStepMatchesForward(t *testing.T) {
 func TestGRUStateCarry(t *testing.T) {
 	n := tinyGRU(4)
 	xs := randInputs(rng.New(5), 4, 2, 3)
-	full, _ := n.Forward(xs, nil)
+	// Forward outputs stay valid only until the next-but-one Forward on
+	// the same network; snapshot each result before the next call.
+	fullView, _ := n.Forward(xs, nil)
+	full := cloneAll(fullView)
 	st := n.NewState(2)
 	a, _ := n.Forward(xs[:2], st)
+	got := cloneAll(a)
 	b, _ := n.Forward(xs[2:], st)
-	got := append(a, b...)
+	got = append(got, cloneAll(b)...)
 	for s := range full {
 		for i := range full[s].Data {
 			if math.Abs(full[s].Data[i]-got[s].Data[i]) > 1e-12 {

@@ -14,6 +14,15 @@ import (
 // all-valid). The gradient is of the summed loss (not mean), matching
 // how the trainer normalizes across a whole minibatch.
 func SoftmaxCE(logits *mat.Dense, targets []int, valid []bool) (loss float64, dLogits *mat.Dense, count int) {
+	dLogits = mat.NewDense(logits.Rows, logits.Cols)
+	loss, count = SoftmaxCEInto(logits, targets, valid, dLogits)
+	return loss, dLogits, count
+}
+
+// SoftmaxCEInto is SoftmaxCE writing the gradient into a caller-provided
+// [B x K] matrix (cleared first), so steady-state training loops can
+// reuse one buffer instead of allocating per minibatch.
+func SoftmaxCEInto(logits *mat.Dense, targets []int, valid []bool, dLogits *mat.Dense) (loss float64, count int) {
 	b, k := logits.Rows, logits.Cols
 	if len(targets) != b {
 		panic(fmt.Sprintf("nn: SoftmaxCE %d targets for %d rows", len(targets), b))
@@ -21,7 +30,10 @@ func SoftmaxCE(logits *mat.Dense, targets []int, valid []bool) (loss float64, dL
 	if valid != nil && len(valid) != b {
 		panic("nn: SoftmaxCE valid length mismatch")
 	}
-	dLogits = mat.NewDense(b, k)
+	if dLogits.Rows != b || dLogits.Cols != k {
+		panic(fmt.Sprintf("nn: SoftmaxCEInto dst %dx%d, want %dx%d", dLogits.Rows, dLogits.Cols, b, k))
+	}
+	dLogits.Zero()
 	for r := 0; r < b; r++ {
 		if valid != nil && !valid[r] {
 			continue
@@ -52,12 +64,22 @@ func SoftmaxCE(logits *mat.Dense, targets []int, valid []bool) (loss float64, dL
 		probs[tgt] -= 1
 		count++
 	}
-	return loss, dLogits, count
+	return loss, count
 }
 
 // LogSoftmax returns the log-probabilities for one logit vector.
 func LogSoftmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
+	LogSoftmaxInto(logits, out)
+	return out
+}
+
+// LogSoftmaxInto writes the log-probabilities into out (same length as
+// logits; aliasing logits is allowed).
+func LogSoftmaxInto(logits, out []float64) {
+	if len(out) != len(logits) {
+		panic(fmt.Sprintf("nn: LogSoftmaxInto dst len %d, want %d", len(out), len(logits)))
+	}
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxv {
@@ -72,16 +94,22 @@ func LogSoftmax(logits []float64) []float64 {
 	for i, v := range logits {
 		out[i] = v - lse
 	}
-	return out
 }
 
 // Softmax returns the probabilities for one logit vector.
 func Softmax(logits []float64) []float64 {
-	out := LogSoftmax(logits)
+	out := make([]float64, len(logits))
+	SoftmaxInto(logits, out)
+	return out
+}
+
+// SoftmaxInto writes the probabilities into out, computed exactly as
+// Softmax does (log-softmax then exponentiation, for the same bits).
+func SoftmaxInto(logits, out []float64) {
+	LogSoftmaxInto(logits, out)
 	for i, v := range out {
 		out[i] = math.Exp(v)
 	}
-	return out
 }
 
 // MaskedBCEWithLogits computes the summed binary cross-entropy with
@@ -91,10 +119,21 @@ func Softmax(logits []float64) []float64 {
 // contribute neither loss nor gradient. Returns (loss, dLogits, count)
 // where count is the number of unmasked outputs.
 func MaskedBCEWithLogits(logits, targets, mask *mat.Dense) (loss float64, dLogits *mat.Dense, count int) {
+	dLogits = mat.NewDense(logits.Rows, logits.Cols)
+	loss, count = MaskedBCEWithLogitsInto(logits, targets, mask, dLogits)
+	return loss, dLogits, count
+}
+
+// MaskedBCEWithLogitsInto is MaskedBCEWithLogits writing the gradient
+// into a caller-provided matrix (cleared first).
+func MaskedBCEWithLogitsInto(logits, targets, mask, dLogits *mat.Dense) (loss float64, count int) {
 	if !logits.SameShape(targets) || !logits.SameShape(mask) {
 		panic("nn: MaskedBCEWithLogits shape mismatch")
 	}
-	dLogits = mat.NewDense(logits.Rows, logits.Cols)
+	if !logits.SameShape(dLogits) {
+		panic("nn: MaskedBCEWithLogitsInto dst shape mismatch")
+	}
+	dLogits.Zero()
 	for i, z := range logits.Data {
 		m := mask.Data[i]
 		if m == 0 {
@@ -107,14 +146,23 @@ func MaskedBCEWithLogits(logits, targets, mask *mat.Dense) (loss float64, dLogit
 		dLogits.Data[i] = m * (sigmoid(z) - t)
 		count++
 	}
-	return loss, dLogits, count
+	return loss, count
 }
 
 // Sigmoid applies the logistic function element-wise to a copy of x.
 func Sigmoid(x []float64) []float64 {
 	out := make([]float64, len(x))
+	SigmoidInto(x, out)
+	return out
+}
+
+// SigmoidInto applies the logistic function element-wise into out (same
+// length as x; aliasing is allowed).
+func SigmoidInto(x, out []float64) {
+	if len(out) != len(x) {
+		panic(fmt.Sprintf("nn: SigmoidInto dst len %d, want %d", len(out), len(x)))
+	}
 	for i, v := range x {
 		out[i] = sigmoid(v)
 	}
-	return out
 }

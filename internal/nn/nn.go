@@ -6,6 +6,12 @@
 // an Adam optimizer with decoupled weight decay. All math is float64 on
 // the stdlib only; gradients are verified against numerical
 // differentiation in the package tests.
+//
+// Forward/Backward scratch comes from a per-network Workspace (see
+// workspace.go), so the steady-state training hot path is
+// allocation-free. Forward and Backward are therefore not reentrant on
+// one network; StepForward keeps its scratch on the State and stays
+// safe to call concurrently with distinct states.
 package nn
 
 import (
@@ -71,6 +77,7 @@ type LSTM struct {
 	wy     *Param // [H x OutputDim]
 	by     *Param // [1 x OutputDim]
 	params []*Param
+	ws     *Workspace // Forward/Backward scratch arenas, lazily acquired
 }
 
 // NewLSTM constructs a network with Xavier-uniform weights (forget-gate
@@ -134,9 +141,18 @@ func (n *LSTM) ZeroGrads() {
 
 // State holds per-layer hidden and cell activations for a batch, used
 // both to carry state across Forward calls and for stepwise generation.
+// After a Forward call the H/C entries are views into the network's
+// workspace, valid until the next-but-one Forward on that network
+// (Clone them to keep longer). StepForward updates H/C in place.
 type State struct {
 	H []*mat.Dense // per layer, [B x H]
 	C []*mat.Dense // per layer, [B x H]
+
+	// StepForward scratch, lazily sized. It lives on the state rather
+	// than the network so concurrent generation with distinct states
+	// stays race-free.
+	z, y *mat.Dense
+	xh   mat.Dense
 }
 
 // NewState returns a zero state for batch size b.
@@ -149,7 +165,7 @@ func (n *LSTM) NewState(b int) *State {
 	return s
 }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state (scratch buffers are not carried over).
 func (s *State) Clone() *State {
 	out := &State{}
 	for i := range s.H {
@@ -167,26 +183,45 @@ func (s *State) Zero() {
 	}
 }
 
-// stepCache stores activations from one time step of one layer that the
-// backward pass needs.
-type stepCache struct {
-	x          *mat.Dense // layer input [B x in]
-	hPrev      *mat.Dense // [B x H]
-	cPrev      *mat.Dense // [B x H]
-	i, f, g, o *mat.Dense // gate activations [B x H]
-	c          *mat.Dense // new cell [B x H]
-	tanhC      *mat.Dense // tanh(c) [B x H]
-}
-
-// Cache stores everything Forward computed that Backward consumes.
+// Cache stores everything Forward computed that Backward consumes. All
+// matrices are slabs in (or views into) the arena of the Forward call
+// that produced it, so a Cache is valid until the next-but-one Forward
+// on the same network. Activations are stored sequence-fused: each slab
+// holds T (or T+1) row-blocks of B rows, block t covering step t.
 type Cache struct {
-	steps  [][]*stepCache // [T][layer]
-	hidden []*mat.Dense   // top-layer h per step [B x H]
-	batch  int
+	steps int
+	batch int
+	ar    *arena
+
+	x                 *mat.Dense   // packed layer-0 input [T·B x InputDim]
+	h, c              []*mat.Dense // per layer [(T+1)·B x H]; block 0 is the initial state
+	i, f, g, o, tanhC []*mat.Dense // per layer gate activations [T·B x H]
+	ys                []*mat.Dense // per-step output views returned by Forward
 }
 
 // T returns the number of time steps in the cached forward pass.
-func (c *Cache) T() int { return len(c.steps) }
+func (c *Cache) T() int { return c.steps }
+
+// lstmCache returns the arena's embedded Cache, resized for nl layers.
+func (a *arena) lstmCache(nl int) *Cache {
+	c := &a.cache
+	c.ar = a
+	c.x = nil
+	if cap(c.h) < nl {
+		c.h = make([]*mat.Dense, nl)
+		c.c = make([]*mat.Dense, nl)
+		c.i = make([]*mat.Dense, nl)
+		c.f = make([]*mat.Dense, nl)
+		c.g = make([]*mat.Dense, nl)
+		c.o = make([]*mat.Dense, nl)
+		c.tanhC = make([]*mat.Dense, nl)
+	}
+	c.h, c.c = c.h[:nl], c.c[:nl]
+	c.i, c.f = c.i[:nl], c.f[:nl]
+	c.g, c.o = c.g[:nl], c.o[:nl]
+	c.tanhC = c.tanhC[:nl]
+	return c
+}
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
@@ -210,88 +245,125 @@ func sparseEnough(m *mat.Dense) bool {
 // inputs), starting from state st (zero state if nil; st is updated in
 // place to the final state). It returns per-step output logits
 // [B x OutputDim] and a cache for Backward.
+//
+// The returned slices, the cache, and the updated state alias the
+// network's workspace; they stay valid until the next-but-one Forward
+// call on this network. Forward is not safe for concurrent use on one
+// network (use StepForward with distinct states for that).
 func (n *LSTM) Forward(xs []*mat.Dense, st *State) ([]*mat.Dense, *Cache) {
 	if len(xs) == 0 {
 		return nil, &Cache{}
 	}
+	T := len(xs)
 	b := xs[0].Rows
-	if st == nil {
-		st = n.NewState(b)
-	}
 	h := n.Cfg.HiddenDim
-	cache := &Cache{batch: b}
-	ys := make([]*mat.Dense, len(xs))
+	id := n.Cfg.InputDim
+	nl := len(n.layers)
+	ar := n.workspace().flip()
+	cache := ar.lstmCache(nl)
+	cache.steps, cache.batch = T, b
+
+	// Pack the step inputs into one [T·B x InputDim] slab so layer 0's
+	// input projection runs as a single sequence-fused GEMM.
+	X := ar.slab(T*b, id, false)
 	for t, x := range xs {
-		if x.Rows != b || x.Cols != n.Cfg.InputDim {
-			panic(fmt.Sprintf("nn: step %d input %v, want %dx%d", t, x, b, n.Cfg.InputDim))
+		if x.Rows != b || x.Cols != id {
+			panic(fmt.Sprintf("nn: step %d input %v, want %dx%d", t, x, b, id))
 		}
-		layerIn := x
-		stepCaches := make([]*stepCache, len(n.layers))
-		for l, layer := range n.layers {
-			sc := layer.forward(layerIn, st.H[l], st.C[l])
-			stepCaches[l] = sc
-			st.H[l] = sc.hOut(h)
-			st.C[l] = sc.c
-			layerIn = st.H[l]
-		}
-		cache.steps = append(cache.steps, stepCaches)
-		cache.hidden = append(cache.hidden, layerIn)
-		// Output head: y = h*Wy + by.
-		y := mat.NewDense(b, n.Cfg.OutputDim)
-		mat.MulAdd(y, layerIn, n.wy.Value)
-		mat.AddBiasRows(y, n.by.Value.Row(0))
-		ys[t] = y
+		copy(X.Data[t*b*id:(t+1)*b*id], x.Data)
 	}
+	cache.x = X
+
+	layerX := X
+	for l, layer := range n.layers {
+		// H and C hold blocks 0..T; block 0 is the incoming state,
+		// copied before anything else is written because the incoming
+		// views may alias this very slab (a state carried from two
+		// Forward calls ago lands back on the same arena).
+		H := ar.slab((T+1)*b, h, false)
+		C := ar.slab((T+1)*b, h, false)
+		if st != nil {
+			if st.H[l].Rows != b || st.H[l].Cols != h {
+				panic(fmt.Sprintf("nn: state layer %d is %dx%d, want %dx%d", l, st.H[l].Rows, st.H[l].Cols, b, h))
+			}
+			copy(H.Data[:b*h], st.H[l].Data)
+			copy(C.Data[:b*h], st.C[l].Data)
+		} else {
+			clear(H.Data[:b*h])
+			clear(C.Data[:b*h])
+		}
+		I := ar.slab(T*b, h, false)
+		F := ar.slab(T*b, h, false)
+		G := ar.slab(T*b, h, false)
+		O := ar.slab(T*b, h, false)
+		TC := ar.slab(T*b, h, false)
+		// Sequence-fused input projection: all T steps' x·Wx in one
+		// GEMM. The recurrent term and bias are added per step below,
+		// preserving the per-element accumulation order (x-terms,
+		// h-terms, bias) of the per-step formulation bit for bit.
+		Z := ar.slab(T*b, 4*h, true)
+		if layer.first && sparseEnough(layerX) {
+			mat.MulAddSparse(Z, layerX, layer.wx.Value)
+		} else {
+			mat.MulAdd(Z, layerX, layer.wx.Value)
+		}
+		bias := layer.b.Value.Row(0)
+		for t := 0; t < T; t++ {
+			zt := ar.view(Z, t*b, (t+1)*b)
+			hPrev := ar.view(H, t*b, (t+1)*b)
+			mat.MulAdd(zt, hPrev, layer.wh.Value)
+			mat.AddBiasRows(zt, bias)
+			for r := 0; r < b; r++ {
+				row := t*b + r
+				zrow := zt.Row(r)
+				irow, frow := I.Row(row), F.Row(row)
+				grow, orow := G.Row(row), O.Row(row)
+				cprow := C.Row(row) // block t: previous cell
+				crow := C.Row(row + b)
+				hrow := H.Row(row + b)
+				tcrow := TC.Row(row)
+				for j := 0; j < h; j++ {
+					irow[j] = sigmoid(zrow[j])
+					frow[j] = sigmoid(zrow[h+j])
+					grow[j] = math.Tanh(zrow[2*h+j])
+					orow[j] = sigmoid(zrow[3*h+j])
+					crow[j] = frow[j]*cprow[j] + irow[j]*grow[j]
+					tcrow[j] = math.Tanh(crow[j])
+					hrow[j] = orow[j] * tcrow[j]
+				}
+			}
+		}
+		cache.h[l], cache.c[l] = H, C
+		cache.i[l], cache.f[l] = I, F
+		cache.g[l], cache.o[l] = G, O
+		cache.tanhC[l] = TC
+		if st != nil {
+			st.H[l] = ar.view(H, T*b, (T+1)*b)
+			st.C[l] = ar.view(C, T*b, (T+1)*b)
+		}
+		layerX = ar.view(H, b, (T+1)*b)
+	}
+
+	// Output head, fused across the sequence: Y = H_top·Wy + by.
+	Y := ar.slab(T*b, n.Cfg.OutputDim, true)
+	mat.MulAdd(Y, layerX, n.wy.Value)
+	mat.AddBiasRows(Y, n.by.Value.Row(0))
+	ys := cache.ys[:0]
+	for t := 0; t < T; t++ {
+		ys = append(ys, ar.view(Y, t*b, (t+1)*b))
+	}
+	cache.ys = ys
 	return ys, cache
-}
-
-// hOut recomputes h = o ⊙ tanh(c) from the cached gates; stored as a
-// method so forward only materializes it once.
-func (sc *stepCache) hOut(h int) *mat.Dense {
-	out := mat.NewDense(sc.c.Rows, h)
-	for i := range out.Data {
-		out.Data[i] = sc.o.Data[i] * sc.tanhC.Data[i]
-	}
-	return out
-}
-
-func (l *lstmLayer) forward(x, hPrev, cPrev *mat.Dense) *stepCache {
-	b := x.Rows
-	h := l.hidden
-	z := mat.NewDense(b, 4*h)
-	if l.first && sparseEnough(x) {
-		mat.MulAddSparse(z, x, l.wx.Value)
-	} else {
-		mat.MulAdd(z, x, l.wx.Value)
-	}
-	mat.MulAdd(z, hPrev, l.wh.Value)
-	mat.AddBiasRows(z, l.b.Value.Row(0))
-	sc := &stepCache{
-		x: x, hPrev: hPrev, cPrev: cPrev,
-		i: mat.NewDense(b, h), f: mat.NewDense(b, h),
-		g: mat.NewDense(b, h), o: mat.NewDense(b, h),
-		c: mat.NewDense(b, h), tanhC: mat.NewDense(b, h),
-	}
-	for r := 0; r < b; r++ {
-		zrow := z.Row(r)
-		irow, frow, grow, orow := sc.i.Row(r), sc.f.Row(r), sc.g.Row(r), sc.o.Row(r)
-		crow, cprow, tcrow := sc.c.Row(r), cPrev.Row(r), sc.tanhC.Row(r)
-		for j := 0; j < h; j++ {
-			irow[j] = sigmoid(zrow[j])
-			frow[j] = sigmoid(zrow[h+j])
-			grow[j] = math.Tanh(zrow[2*h+j])
-			orow[j] = sigmoid(zrow[3*h+j])
-			crow[j] = frow[j]*cprow[j] + irow[j]*grow[j]
-			tcrow[j] = math.Tanh(crow[j])
-		}
-	}
-	return sc
 }
 
 // Backward runs backpropagation-through-time. dys holds the gradient of
 // the loss with respect to each step's output logits (same shapes as the
 // Forward outputs). Gradients are accumulated into the parameters; call
 // ZeroGrads first for a fresh minibatch.
+//
+// Scratch bump-continues on the arena holding the cache, and parameter
+// gradients for Wx, Wh and the head accumulate via sequence-fused GEMMs
+// over the whole window rather than one small GEMM per step.
 func (n *LSTM) Backward(cache *Cache, dys []*mat.Dense) {
 	if len(dys) != cache.T() {
 		panic(fmt.Sprintf("nn: Backward got %d grads for %d steps", len(dys), cache.T()))
@@ -299,43 +371,54 @@ func (n *LSTM) Backward(cache *Cache, dys []*mat.Dense) {
 	if cache.T() == 0 {
 		return
 	}
+	T := cache.steps
 	b := cache.batch
 	h := n.Cfg.HiddenDim
+	od := n.Cfg.OutputDim
 	nl := len(n.layers)
-	// Running gradients flowing backward in time, per layer.
-	dh := make([]*mat.Dense, nl)
-	dc := make([]*mat.Dense, nl)
-	for l := 0; l < nl; l++ {
-		dh[l] = mat.NewDense(b, h)
-		dc[l] = mat.NewDense(b, h)
-	}
-	dz := mat.NewDense(b, 4*h)
-	for t := cache.T() - 1; t >= 0; t-- {
-		// Head gradient: y = h_top*Wy + by.
-		dy := dys[t]
-		if dy.Rows != b || dy.Cols != n.Cfg.OutputDim {
+	ar := cache.ar
+
+	// Pack the head gradients and run the head backward fused.
+	DY := ar.slab(T*b, od, false)
+	for t, dy := range dys {
+		if dy.Rows != b || dy.Cols != od {
 			panic(fmt.Sprintf("nn: Backward step %d grad %v", t, dy))
 		}
-		hTop := cache.hidden[t]
-		mat.MulATB(n.wy.Grad, hTop, dy)
-		mat.SumRows(n.by.Grad.Row(0), dy)
-		// dh_top += dy * Wyᵀ
-		mat.MulABT(dh[nl-1], dy, n.wy.Value)
-		// Backward through layers, top to bottom.
-		for l := nl - 1; l >= 0; l-- {
-			sc := cache.steps[t][l]
-			layer := n.layers[l]
-			dhl, dcl := dh[l], dc[l]
-			// Through h = o*tanh(c) and cell update.
-			dz.Zero()
+		copy(DY.Data[t*b*od:(t+1)*b*od], dy.Data)
+	}
+	hTop := ar.view(cache.h[nl-1], b, (T+1)*b)
+	mat.MulATB(n.wy.Grad, hTop, DY)
+	mat.SumRows(n.by.Grad.Row(0), DY)
+
+	// DH holds, for the layer currently being processed, the gradient
+	// arriving from above at every step: from the head for the top
+	// layer, then from layer l's input projection for layer l-1.
+	DH := ar.slab(T*b, h, true)
+	mat.MulABT(DH, DY, n.wy.Value)
+
+	DZ := ar.slab(T*b, 4*h, false)  // pre-activation grads, fully written per layer
+	dc := ar.slab(b, h, false)      // carried cell gradient
+	dhrec := ar.slab(b, h, false)   // carried recurrent hidden gradient
+	for l := nl - 1; l >= 0; l-- {
+		layer := n.layers[l]
+		C := cache.c[l]
+		I, F := cache.i[l], cache.f[l]
+		G, O := cache.g[l], cache.o[l]
+		TC := cache.tanhC[l]
+		dc.Zero()
+		dhrec.Zero()
+		for t := T - 1; t >= 0; t-- {
 			for r := 0; r < b; r++ {
-				dhRow, dcRow := dhl.Row(r), dcl.Row(r)
-				iRow, fRow, gRow, oRow := sc.i.Row(r), sc.f.Row(r), sc.g.Row(r), sc.o.Row(r)
-				tcRow, cpRow := sc.tanhC.Row(r), sc.cPrev.Row(r)
-				dzRow := dz.Row(r)
+				row := t*b + r
+				dhRow, recRow, dcRow := DH.Row(row), dhrec.Row(r), dc.Row(r)
+				iRow, fRow := I.Row(row), F.Row(row)
+				gRow, oRow := G.Row(row), O.Row(row)
+				tcRow, cpRow := TC.Row(row), C.Row(row) // block t: previous cell
+				dzRow := DZ.Row(row)
 				for j := 0; j < h; j++ {
-					doj := dhRow[j] * tcRow[j]
-					dcj := dcRow[j] + dhRow[j]*oRow[j]*(1-tcRow[j]*tcRow[j])
+					dH := dhRow[j] + recRow[j]
+					doj := dH * tcRow[j]
+					dcj := dcRow[j] + dH*oRow[j]*(1-tcRow[j]*tcRow[j])
 					dij := dcj * gRow[j]
 					dfj := dcj * cpRow[j]
 					dgj := dcj * iRow[j]
@@ -348,42 +431,77 @@ func (n *LSTM) Backward(cache *Cache, dys []*mat.Dense) {
 					dcRow[j] = dcj * fRow[j]
 				}
 			}
-			// Parameter gradients.
-			if layer.first && sparseEnough(sc.x) {
-				mat.MulATBSparse(layer.wx.Grad, sc.x, dz)
-			} else {
-				mat.MulATB(layer.wx.Grad, sc.x, dz)
+			// Recurrent gradient into step t-1.
+			if t > 0 {
+				dzt := ar.view(DZ, t*b, (t+1)*b)
+				dhrec.Zero()
+				mat.MulABT(dhrec, dzt, layer.wh.Value)
 			}
-			mat.MulATB(layer.wh.Grad, sc.hPrev, dz)
-			mat.SumRows(layer.b.Grad.Row(0), dz)
-			// Gradient to previous h (same layer, previous step).
-			dhl.Zero()
-			mat.MulABT(dhl, dz, layer.wh.Value)
-			// Gradient to layer input: flows into dh of layer below at
-			// this same time step.
-			if l > 0 {
-				mat.MulABT(dh[l-1], dz, n.layers[l].wx.Value)
-			}
+		}
+		// Parameter gradients, sequence-fused over all T steps.
+		var xl *mat.Dense
+		if l == 0 {
+			xl = cache.x
+		} else {
+			xl = ar.view(cache.h[l-1], b, (T+1)*b)
+		}
+		if layer.first && sparseEnough(xl) {
+			mat.MulATBSparse(layer.wx.Grad, xl, DZ)
+		} else {
+			mat.MulATB(layer.wx.Grad, xl, DZ)
+		}
+		mat.MulATB(layer.wh.Grad, ar.view(cache.h[l], 0, T*b), DZ)
+		mat.SumRows(layer.b.Grad.Row(0), DZ)
+		// Gradient to the layer below's hidden state at every step.
+		if l > 0 {
+			DH.Zero()
+			mat.MulABT(DH, DZ, layer.wx.Value)
 		}
 	}
 }
 
 // StepForward runs a single step for batch size 1 during generation:
 // x is one input vector, st is updated in place, and the output logits
-// are returned. No cache is kept (inference only).
+// are returned (valid until the next StepForward on the same state).
+// All scratch lives on the state, so concurrent StepForward calls on one
+// network are safe as long as each goroutine uses its own state.
 func (n *LSTM) StepForward(x []float64, st *State) []float64 {
 	if len(x) != n.Cfg.InputDim {
 		panic(fmt.Sprintf("nn: StepForward input len %d, want %d", len(x), n.Cfg.InputDim))
 	}
-	in := mat.FromSlice(1, len(x), x)
+	h := n.Cfg.HiddenDim
+	if st.z == nil || st.z.Cols != 4*h {
+		st.z = mat.NewDense(1, 4*h)
+	}
+	if st.y == nil || st.y.Cols != n.Cfg.OutputDim {
+		st.y = mat.NewDense(1, n.Cfg.OutputDim)
+	}
+	st.xh.Rows, st.xh.Cols, st.xh.Data = 1, len(x), x
+	in := &st.xh
 	for l, layer := range n.layers {
-		sc := layer.forward(in, st.H[l], st.C[l])
-		st.H[l] = sc.hOut(n.Cfg.HiddenDim)
-		st.C[l] = sc.c
+		z := st.z
+		z.Zero()
+		if layer.first && sparseEnough(in) {
+			mat.MulAddSparse(z, in, layer.wx.Value)
+		} else {
+			mat.MulAdd(z, in, layer.wx.Value)
+		}
+		mat.MulAdd(z, st.H[l], layer.wh.Value)
+		mat.AddBiasRows(z, layer.b.Value.Row(0))
+		zrow := z.Row(0)
+		hrow, crow := st.H[l].Row(0), st.C[l].Row(0)
+		for j := 0; j < h; j++ {
+			ij := sigmoid(zrow[j])
+			fj := sigmoid(zrow[h+j])
+			gj := math.Tanh(zrow[2*h+j])
+			oj := sigmoid(zrow[3*h+j])
+			crow[j] = fj*crow[j] + ij*gj
+			hrow[j] = oj * math.Tanh(crow[j])
+		}
 		in = st.H[l]
 	}
-	y := mat.NewDense(1, n.Cfg.OutputDim)
-	mat.MulAdd(y, in, n.wy.Value)
-	mat.AddBiasRows(y, n.by.Value.Row(0))
-	return y.Row(0)
+	st.y.Zero()
+	mat.MulAdd(st.y, in, n.wy.Value)
+	mat.AddBiasRows(st.y, n.by.Value.Row(0))
+	return st.y.Row(0)
 }

@@ -25,6 +25,16 @@ func randInputs(g *rng.RNG, steps, b, dim int) []*mat.Dense {
 	return xs
 }
 
+// cloneAll snapshots Forward outputs that would otherwise be
+// invalidated by the next-but-one Forward on the same network.
+func cloneAll(ms []*mat.Dense) []*mat.Dense {
+	out := make([]*mat.Dense, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.Clone())
+	}
+	return out
+}
+
 func TestNewLSTMShapes(t *testing.T) {
 	n := tinyNet(t, 5, 7, 2, 3, 1)
 	if len(n.layers) != 2 {
@@ -84,12 +94,16 @@ func TestForwardShapesAndDeterminism(t *testing.T) {
 func TestForwardStateCarries(t *testing.T) {
 	n := tinyNet(t, 3, 4, 1, 2, 4)
 	xs := randInputs(rng.New(5), 4, 1, 3)
-	// Full sequence in one call vs two calls with carried state.
-	ysAll, _ := n.Forward(xs, nil)
+	// Full sequence in one call vs two calls with carried state. Forward
+	// outputs alias the workspace and stay valid only until the
+	// next-but-one Forward, so snapshot each result before moving on.
+	ysAllView, _ := n.Forward(xs, nil)
+	ysAll := cloneAll(ysAllView)
 	st := n.NewState(1)
 	ysA, _ := n.Forward(xs[:2], st)
+	got := cloneAll(ysA)
 	ysB, _ := n.Forward(xs[2:], st)
-	got := append(ysA, ysB...)
+	got = append(got, cloneAll(ysB)...)
 	for t2 := range ysAll {
 		for i := range ysAll[t2].Data {
 			if math.Abs(ysAll[t2].Data[i]-got[t2].Data[i]) > 1e-12 {

@@ -3,12 +3,18 @@
 // A minibatch of B independent sequences is split into fixed row-shards
 // (ShardRows rows each — a constant, never a function of the worker
 // count). Each shard runs Forward/Backward on a shadow of the network
-// that shares the weight tensors but owns private gradient buffers, so
-// shards never race. When every shard has finished, the per-shard
-// gradients and losses are reduced into the real network in ascending
-// shard order. Because the shard layout and the reduction order are
-// both fixed, every Adam update — and therefore every trained weight
-// and every generated trace — is bit-identical for any REPRO_PROCS.
+// that shares the weight tensors but owns private gradient buffers (and
+// its own Workspace), so shards never race. When every shard has
+// finished, the per-shard gradients and losses are reduced into the
+// real network in ascending shard order. Because the shard layout and
+// the reduction order are both fixed, every Adam update — and therefore
+// every trained weight and every generated trace — is bit-identical for
+// any REPRO_PROCS.
+//
+// All per-window bookkeeping (row-view headers for shard inputs and
+// states, loss/count accumulators) is allocated once per trainer and
+// rebound each window, keeping the steady-state sharded training loop
+// allocation-free outside the networks' own workspaces.
 package nn
 
 import (
@@ -40,6 +46,7 @@ func shadowParam(p *Param) *Param {
 
 // ShadowGrads returns a network sharing n's weight tensors but with
 // private gradient buffers, for race-free per-shard backward passes.
+// The shadow acquires its own Workspace on first use.
 func (n *LSTM) ShadowGrads() *LSTM {
 	s := &LSTM{Cfg: n.Cfg}
 	for _, l := range n.layers {
@@ -85,8 +92,10 @@ func (s *State) SliceRows(lo, hi int) *State {
 // CopyRows copies the (hi-lo)-row state src into rows [lo, hi) of s.
 func (s *State) CopyRows(lo, hi int, src *State) {
 	for i := range s.H {
-		copy(s.H[i].SliceRows(lo, hi).Data, src.H[i].Data)
-		copy(s.C[i].SliceRows(lo, hi).Data, src.C[i].Data)
+		c := s.H[i].Cols
+		copy(s.H[i].Data[lo*c:hi*c], src.H[i].Data)
+		c = s.C[i].Cols
+		copy(s.C[i].Data[lo*c:hi*c], src.C[i].Data)
 	}
 }
 
@@ -102,7 +111,8 @@ func (s *GRUState) SliceRows(lo, hi int) *GRUState {
 // CopyRows copies the (hi-lo)-row state src into rows [lo, hi) of s.
 func (s *GRUState) CopyRows(lo, hi int, src *GRUState) {
 	for i := range s.H {
-		copy(s.H[i].SliceRows(lo, hi).Data, src.H[i].Data)
+		c := s.H[i].Cols
+		copy(s.H[i].Data[lo*c:hi*c], src.H[i].Data)
 	}
 }
 
@@ -114,29 +124,101 @@ func (s *GRUState) CopyRows(lo, hi int, src *GRUState) {
 // row-[lo,hi) slices of caller state.
 type ShardDys func(lo, hi int, ys []*mat.Dense) (dys []*mat.Dense, loss float64, count int)
 
-// sliceRowsSeq views rows [lo, hi) of every step input.
-func sliceRowsSeq(xs []*mat.Dense, lo, hi int) []*mat.Dense {
-	out := make([]*mat.Dense, len(xs))
-	for i, x := range xs {
-		out[i] = x.SliceRows(lo, hi)
-	}
-	return out
+// shardViews is one shard's reusable row-view bookkeeping: persistent
+// matrix headers that are re-pointed at the current window's inputs and
+// state rows, so the per-window fan-out performs no allocation. Each
+// shard owns its views exclusively, preserving race freedom.
+type shardViews struct {
+	hv, cv []mat.Dense  // per-layer headers over the batch state's shard rows
+	sH, sC []*mat.Dense // pointer slices backing the shard state
+	sst    State        // shard state handed to Forward (GRU use leaves C empty)
+	gst    GRUState
+	xv     []mat.Dense  // per-step headers over the window inputs' shard rows
+	xs     []*mat.Dense // pointer slice handed to Forward
 }
 
-// ShardedLSTM drives sharded minibatch training of an LSTM. Shadows are
-// allocated once and reused across windows and epochs.
+// bindInputs re-points the shard's input views at rows [lo, hi) of xs.
+func (sv *shardViews) bindInputs(xs []*mat.Dense, lo, hi int) []*mat.Dense {
+	T := len(xs)
+	if cap(sv.xv) < T {
+		sv.xv = make([]mat.Dense, T)
+		sv.xs = make([]*mat.Dense, T)
+	}
+	sv.xv, sv.xs = sv.xv[:T], sv.xs[:T]
+	for i, x := range xs {
+		c := x.Cols
+		sv.xv[i].Rows, sv.xv[i].Cols = hi-lo, c
+		sv.xv[i].Data = x.Data[lo*c : hi*c]
+		sv.xs[i] = &sv.xv[i]
+	}
+	return sv.xs
+}
+
+// bindState re-points the shard's state views at rows [lo, hi) of st.
+// Forward replaces the pointer entries with workspace views, so the
+// headers themselves stay owned by the shard and are rebound next
+// window.
+func (sv *shardViews) bindState(st *State, lo, hi int) *State {
+	nl := len(st.H)
+	if cap(sv.hv) < nl {
+		sv.hv = make([]mat.Dense, nl)
+		sv.cv = make([]mat.Dense, nl)
+		sv.sH = make([]*mat.Dense, nl)
+		sv.sC = make([]*mat.Dense, nl)
+	}
+	sv.hv, sv.cv = sv.hv[:nl], sv.cv[:nl]
+	sv.sH, sv.sC = sv.sH[:nl], sv.sC[:nl]
+	for l := 0; l < nl; l++ {
+		c := st.H[l].Cols
+		sv.hv[l].Rows, sv.hv[l].Cols = hi-lo, c
+		sv.hv[l].Data = st.H[l].Data[lo*c : hi*c]
+		sv.cv[l].Rows, sv.cv[l].Cols = hi-lo, c
+		sv.cv[l].Data = st.C[l].Data[lo*c : hi*c]
+		sv.sH[l], sv.sC[l] = &sv.hv[l], &sv.cv[l]
+	}
+	sv.sst.H, sv.sst.C = sv.sH, sv.sC
+	return &sv.sst
+}
+
+// bindGRUState is the GRU counterpart of bindState.
+func (sv *shardViews) bindGRUState(st *GRUState, lo, hi int) *GRUState {
+	nl := len(st.H)
+	if cap(sv.hv) < nl {
+		sv.hv = make([]mat.Dense, nl)
+		sv.sH = make([]*mat.Dense, nl)
+	}
+	sv.hv, sv.sH = sv.hv[:nl], sv.sH[:nl]
+	for l := 0; l < nl; l++ {
+		c := st.H[l].Cols
+		sv.hv[l].Rows, sv.hv[l].Cols = hi-lo, c
+		sv.hv[l].Data = st.H[l].Data[lo*c : hi*c]
+		sv.sH[l] = &sv.hv[l]
+	}
+	sv.gst.H = sv.sH
+	return &sv.gst
+}
+
+// ShardedLSTM drives sharded minibatch training of an LSTM. Shadows and
+// shard scratch are allocated once and reused across windows and epochs.
 type ShardedLSTM struct {
 	Net     *LSTM
 	shadows []*LSTM
+	views   []*shardViews
+	losses  []float64
+	counts  []int
 }
 
 // NewShardedLSTM prepares a sharded trainer for batches of up to
 // maxBatch rows.
 func NewShardedLSTM(net *LSTM, maxBatch int) *ShardedLSTM {
 	s := &ShardedLSTM{Net: net}
-	for i := 0; i < NumShards(maxBatch); i++ {
+	ns := NumShards(maxBatch)
+	for i := 0; i < ns; i++ {
 		s.shadows = append(s.shadows, net.ShadowGrads())
+		s.views = append(s.views, &shardViews{})
 	}
+	s.losses = make([]float64, ns)
+	s.counts = make([]int, ns)
 	return s
 }
 
@@ -156,8 +238,6 @@ func (s *ShardedLSTM) RunWindow(xs []*mat.Dense, st *State, dys ShardDys) (loss 
 	if ns > len(s.shadows) {
 		panic(fmt.Sprintf("nn: RunWindow batch %d exceeds prepared shards %d", b, len(s.shadows)))
 	}
-	losses := make([]float64, ns)
-	counts := make([]int, ns)
 	par.Do(ns, func(si int) {
 		lo := si * ShardRows
 		hi := lo + ShardRows
@@ -165,21 +245,22 @@ func (s *ShardedLSTM) RunWindow(xs []*mat.Dense, st *State, dys ShardDys) (loss 
 			hi = b
 		}
 		shadow := s.shadows[si]
+		sv := s.views[si]
 		shadow.ZeroGrads()
-		sst := st.SliceRows(lo, hi)
-		ys, cache := shadow.Forward(sliceRowsSeq(xs, lo, hi), sst)
+		sst := sv.bindState(st, lo, hi)
+		ys, cache := shadow.Forward(sv.bindInputs(xs, lo, hi), sst)
 		d, l, n := dys(lo, hi, ys)
 		if d != nil {
 			shadow.Backward(cache, d)
 		}
 		st.CopyRows(lo, hi, sst)
-		losses[si], counts[si] = l, n
+		s.losses[si], s.counts[si] = l, n
 	})
 	s.Net.ZeroGrads()
 	reduceGrads(s.Net.params, ns, func(i int) []*Param { return s.shadows[i].params })
 	for si := 0; si < ns; si++ {
-		loss += losses[si]
-		count += counts[si]
+		loss += s.losses[si]
+		count += s.counts[si]
 	}
 	return loss, count
 }
@@ -188,15 +269,22 @@ func (s *ShardedLSTM) RunWindow(xs []*mat.Dense, st *State, dys ShardDys) (loss 
 type ShardedGRU struct {
 	Net     *GRU
 	shadows []*GRU
+	views   []*shardViews
+	losses  []float64
+	counts  []int
 }
 
 // NewShardedGRU prepares a sharded trainer for batches of up to
 // maxBatch rows.
 func NewShardedGRU(net *GRU, maxBatch int) *ShardedGRU {
 	s := &ShardedGRU{Net: net}
-	for i := 0; i < NumShards(maxBatch); i++ {
+	ns := NumShards(maxBatch)
+	for i := 0; i < ns; i++ {
 		s.shadows = append(s.shadows, net.ShadowGrads())
+		s.views = append(s.views, &shardViews{})
 	}
+	s.losses = make([]float64, ns)
+	s.counts = make([]int, ns)
 	return s
 }
 
@@ -210,8 +298,6 @@ func (s *ShardedGRU) RunWindow(xs []*mat.Dense, st *GRUState, dys ShardDys) (los
 	if ns > len(s.shadows) {
 		panic(fmt.Sprintf("nn: RunWindow batch %d exceeds prepared shards %d", b, len(s.shadows)))
 	}
-	losses := make([]float64, ns)
-	counts := make([]int, ns)
 	par.Do(ns, func(si int) {
 		lo := si * ShardRows
 		hi := lo + ShardRows
@@ -219,21 +305,22 @@ func (s *ShardedGRU) RunWindow(xs []*mat.Dense, st *GRUState, dys ShardDys) (los
 			hi = b
 		}
 		shadow := s.shadows[si]
+		sv := s.views[si]
 		shadow.ZeroGrads()
-		sst := st.SliceRows(lo, hi)
-		ys, cache := shadow.Forward(sliceRowsSeq(xs, lo, hi), sst)
+		sst := sv.bindGRUState(st, lo, hi)
+		ys, cache := shadow.Forward(sv.bindInputs(xs, lo, hi), sst)
 		d, l, n := dys(lo, hi, ys)
 		if d != nil {
 			shadow.Backward(cache, d)
 		}
 		st.CopyRows(lo, hi, sst)
-		losses[si], counts[si] = l, n
+		s.losses[si], s.counts[si] = l, n
 	})
 	s.Net.ZeroGrads()
 	reduceGrads(s.Net.params, ns, func(i int) []*Param { return s.shadows[i].params })
 	for si := 0; si < ns; si++ {
-		loss += losses[si]
-		count += counts[si]
+		loss += s.losses[si]
+		count += s.counts[si]
 	}
 	return loss, count
 }

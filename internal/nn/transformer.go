@@ -15,7 +15,8 @@ import (
 // embeddings, a stack of pre-LayerNorm attention+FFN blocks with
 // residual connections, and a linear output head. Backpropagation is
 // implemented by hand and verified against numerical gradients in the
-// package tests.
+// package tests. Forward/Backward scratch comes from a per-network
+// Workspace with the same validity/reentrancy rules as the LSTM.
 type Transformer struct {
 	Cfg TransformerConfig
 
@@ -30,6 +31,7 @@ type Transformer struct {
 	bOut       *Param // [1 x OutputDim]
 
 	params []*Param
+	ws     *Workspace // Forward/Backward scratch arenas, lazily acquired
 }
 
 // TransformerConfig sizes the network. ModelDim must be divisible by
@@ -137,16 +139,19 @@ func (t *Transformer) ZeroGrads() {
 
 const lnEps = 1e-5
 
-// lnCache stores what LayerNorm backward needs.
+// lnCache stores what LayerNorm backward needs. Its buffers live in the
+// workspace arena of the Forward call that filled it.
 type lnCache struct {
 	xhat   *mat.Dense
 	invStd []float64
 }
 
-// layerNorm applies per-row layer normalization with gain g and bias b.
-func layerNorm(x *mat.Dense, g, b []float64) (*mat.Dense, *lnCache) {
-	out := mat.NewDense(x.Rows, x.Cols)
-	c := &lnCache{xhat: mat.NewDense(x.Rows, x.Cols), invStd: make([]float64, x.Rows)}
+// layerNorm applies per-row layer normalization with gain g and bias b,
+// drawing the output, xhat and invStd buffers from the arena.
+func layerNorm(ar *arena, x *mat.Dense, g, b []float64, c *lnCache) *mat.Dense {
+	out := ar.slab(x.Rows, x.Cols, false)
+	c.xhat = ar.slab(x.Rows, x.Cols, false)
+	c.invStd = ar.fslice(x.Rows)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		var mean float64
@@ -168,12 +173,13 @@ func layerNorm(x *mat.Dense, g, b []float64) (*mat.Dense, *lnCache) {
 			o[j] = xh[j]*g[j] + b[j]
 		}
 	}
-	return out, c
+	return out
 }
 
-// layerNormBackward accumulates dG, dB and returns dX given dY.
-func layerNormBackward(dy *mat.Dense, c *lnCache, g []float64, dg, db []float64) *mat.Dense {
-	dx := mat.NewDense(dy.Rows, dy.Cols)
+// layerNormBackward accumulates dG, dB and returns dX given dY, drawing
+// dX from the arena.
+func layerNormBackward(ar *arena, dy *mat.Dense, c *lnCache, g []float64, dg, db []float64) *mat.Dense {
+	dx := ar.slab(dy.Rows, dy.Cols, false)
 	n := float64(dy.Cols)
 	for i := 0; i < dy.Rows; i++ {
 		dyr := dy.Row(i)
@@ -196,14 +202,15 @@ func layerNormBackward(dy *mat.Dense, c *lnCache, g []float64, dg, db []float64)
 	return dx
 }
 
-// attnCache stores per-block activations for backward.
+// attnCache stores per-block activations for backward; everything in it
+// is arena-backed.
 type attnCache struct {
-	lnIn    *lnCache
+	lnIn    lnCache
 	xNorm   *mat.Dense
 	q, k, v *mat.Dense
 	attn    []*mat.Dense // per head, [T x T] softmax weights
 	concat  *mat.Dense   // [T x D] pre-Wo
-	lnMid   *lnCache
+	lnMid   lnCache
 	hNorm   *mat.Dense
 	ff1     *mat.Dense // post-ReLU [T x F]
 	ffPre   *mat.Dense // pre-ReLU [T x F]
@@ -211,18 +218,34 @@ type attnCache struct {
 	h       *mat.Dense // after attention residual
 }
 
-// tCache is the full forward cache.
+// tCache is the full forward cache, embedded in (and valid as long as)
+// the workspace arena of the Forward call that filled it.
 type tCache struct {
 	T      int
-	input  *mat.Dense // raw input features [T x InputDim]
+	ar     *arena
+	input  *mat.Dense // raw input features [T x InputDim] (caller-owned)
 	emb    *mat.Dense // after embedding+pos
 	blocks []*attnCache
-	lnF    *lnCache
+	lnF    lnCache
 	final  *mat.Dense // after final LN [T x D]
 }
 
+// tCacheFor returns the arena's embedded tCache, resized for nb blocks.
+func (a *arena) tCacheFor(nb int) *tCache {
+	c := &a.tCache
+	c.ar = a
+	for len(c.blocks) < nb {
+		c.blocks = append(c.blocks, &attnCache{})
+	}
+	c.blocks = c.blocks[:nb]
+	return c
+}
+
 // Forward runs the model over one sequence x of shape [T x InputDim]
-// with T <= MaxLen, returning [T x OutputDim] logits and a cache.
+// with T <= MaxLen, returning [T x OutputDim] logits and a cache. Both
+// alias the network's workspace and stay valid until the next-but-one
+// Forward on this network; x itself is retained by the cache until
+// Backward runs.
 func (t *Transformer) Forward(x *mat.Dense) (*mat.Dense, *tCache) {
 	T := x.Rows
 	if T > t.Cfg.MaxLen {
@@ -232,8 +255,10 @@ func (t *Transformer) Forward(x *mat.Dense) (*mat.Dense, *tCache) {
 		panic(fmt.Sprintf("nn: input dim %d, want %d", x.Cols, t.Cfg.InputDim))
 	}
 	d := t.Cfg.ModelDim
-	cache := &tCache{T: T, input: x}
-	h := mat.NewDense(T, d)
+	ar := t.workspace().flip()
+	cache := ar.tCacheFor(len(t.blocks))
+	cache.T, cache.input = T, x
+	h := ar.slab(T, d, true)
 	if sparseEnough(x) {
 		mat.MulAddSparse(h, x, t.wEmb.Value)
 	} else {
@@ -245,44 +270,41 @@ func (t *Transformer) Forward(x *mat.Dense) (*mat.Dense, *tCache) {
 	}
 	cache.emb = h
 	cur := h
-	for _, blk := range t.blocks {
-		var bc *attnCache
-		cur, bc = t.blockForward(blk, cur)
-		cache.blocks = append(cache.blocks, bc)
+	for l, blk := range t.blocks {
+		cur = t.blockForward(ar, blk, cur, cache.blocks[l])
 	}
-	final, lnF := layerNorm(cur, t.lnFg.Value.Row(0), t.lnFb.Value.Row(0))
-	cache.lnF = lnF
-	cache.final = final
-	out := mat.NewDense(T, t.Cfg.OutputDim)
-	mat.MulAdd(out, final, t.wOut.Value)
+	cache.final = layerNorm(ar, cur, t.lnFg.Value.Row(0), t.lnFb.Value.Row(0), &cache.lnF)
+	out := ar.slab(T, t.Cfg.OutputDim, true)
+	mat.MulAdd(out, cache.final, t.wOut.Value)
 	mat.AddBiasRows(out, t.bOut.Value.Row(0))
 	return out, cache
 }
 
-func (t *Transformer) blockForward(blk *tblock, x *mat.Dense) (*mat.Dense, *attnCache) {
+func (t *Transformer) blockForward(ar *arena, blk *tblock, x *mat.Dense, bc *attnCache) *mat.Dense {
 	T := x.Rows
 	d := t.Cfg.ModelDim
 	heads := t.Cfg.Heads
 	dk := d / heads
 	scale := 1 / math.Sqrt(float64(dk))
 
-	bc := &attnCache{x: x}
-	xNorm, lnIn := layerNorm(x, blk.ln1g.Value.Row(0), blk.ln1b.Value.Row(0))
-	bc.lnIn, bc.xNorm = lnIn, xNorm
+	bc.x = x
+	bc.xNorm = layerNorm(ar, x, blk.ln1g.Value.Row(0), blk.ln1b.Value.Row(0), &bc.lnIn)
+	xNorm := bc.xNorm
 
-	q := mat.NewDense(T, d)
+	q := ar.slab(T, d, true)
 	mat.MulAdd(q, xNorm, blk.wq.Value)
-	k := mat.NewDense(T, d)
+	k := ar.slab(T, d, true)
 	mat.MulAdd(k, xNorm, blk.wk.Value)
-	v := mat.NewDense(T, d)
+	v := ar.slab(T, d, true)
 	mat.MulAdd(v, xNorm, blk.wv.Value)
 	bc.q, bc.k, bc.v = q, k, v
 
-	concat := mat.NewDense(T, d)
-	bc.attn = make([]*mat.Dense, heads)
+	concat := ar.slab(T, d, true)
+	bc.attn = bc.attn[:0]
 	for hd := 0; hd < heads; hd++ {
 		off := hd * dk
-		a := mat.NewDense(T, T)
+		// Zeroed so the causal mask holds: a.Row(i)[j] stays 0 for j > i.
+		a := ar.slab(T, T, true)
 		for i := 0; i < T; i++ {
 			qi := q.Row(i)[off : off+dk]
 			arow := a.Row(i)
@@ -303,57 +325,58 @@ func (t *Transformer) blockForward(blk *tblock, x *mat.Dense) (*mat.Dense, *attn
 			for j := 0; j <= i; j++ {
 				arow[j] *= inv
 			}
-			// Causal mask: arow[j] stays 0 for j > i.
 			crow := concat.Row(i)[off : off+dk]
 			for j := 0; j <= i; j++ {
 				mat.Axpy(arow[j], v.Row(j)[off:off+dk], crow)
 			}
 		}
-		bc.attn[hd] = a
+		bc.attn = append(bc.attn, a)
 	}
 	bc.concat = concat
 
-	attnOut := mat.NewDense(T, d)
+	attnOut := ar.slab(T, d, true)
 	mat.MulAdd(attnOut, concat, blk.wo.Value)
-	h := mat.NewDense(T, d)
+	h := ar.slab(T, d, false)
 	mat.AddTo(h, x, attnOut)
 	bc.h = h
 
-	hNorm, lnMid := layerNorm(h, blk.ln2g.Value.Row(0), blk.ln2b.Value.Row(0))
-	bc.lnMid, bc.hNorm = lnMid, hNorm
-	ffPre := mat.NewDense(T, t.Cfg.FFDim)
-	mat.MulAdd(ffPre, hNorm, blk.w1.Value)
+	bc.hNorm = layerNorm(ar, h, blk.ln2g.Value.Row(0), blk.ln2b.Value.Row(0), &bc.lnMid)
+	ffPre := ar.slab(T, t.Cfg.FFDim, true)
+	mat.MulAdd(ffPre, bc.hNorm, blk.w1.Value)
 	mat.AddBiasRows(ffPre, blk.b1.Value.Row(0))
 	bc.ffPre = ffPre
-	ff1 := ffPre.Clone()
+	ff1 := ar.slab(T, t.Cfg.FFDim, false)
+	copy(ff1.Data, ffPre.Data)
 	for i, vv := range ff1.Data {
 		if vv < 0 {
 			ff1.Data[i] = 0
 		}
 	}
 	bc.ff1 = ff1
-	ffOut := mat.NewDense(T, d)
+	ffOut := ar.slab(T, d, true)
 	mat.MulAdd(ffOut, ff1, blk.w2.Value)
 	mat.AddBiasRows(ffOut, blk.b2.Value.Row(0))
-	out := mat.NewDense(T, d)
+	out := ar.slab(T, d, false)
 	mat.AddTo(out, h, ffOut)
-	return out, bc
+	return out
 }
 
 // Backward accumulates parameter gradients given dOut (the gradient of
-// the loss with respect to the Forward output logits).
+// the loss with respect to the Forward output logits). Scratch
+// bump-continues on the arena holding the cache.
 func (t *Transformer) Backward(cache *tCache, dOut *mat.Dense) {
 	T := cache.T
 	d := t.Cfg.ModelDim
+	ar := cache.ar
 	// Head.
 	mat.MulATB(t.wOut.Grad, cache.final, dOut)
 	mat.SumRows(t.bOut.Grad.Row(0), dOut)
-	dFinal := mat.NewDense(T, d)
+	dFinal := ar.slab(T, d, true)
 	mat.MulABT(dFinal, dOut, t.wOut.Value)
-	dCur := layerNormBackward(dFinal, cache.lnF, t.lnFg.Value.Row(0),
+	dCur := layerNormBackward(ar, dFinal, &cache.lnF, t.lnFg.Value.Row(0),
 		t.lnFg.Grad.Row(0), t.lnFb.Grad.Row(0))
 	for l := len(t.blocks) - 1; l >= 0; l-- {
-		dCur = t.blockBackward(t.blocks[l], cache.blocks[l], dCur)
+		dCur = t.blockBackward(ar, t.blocks[l], cache.blocks[l], dCur)
 	}
 	// Embedding.
 	if sparseEnough(cache.input) {
@@ -367,7 +390,7 @@ func (t *Transformer) Backward(cache *tCache, dOut *mat.Dense) {
 	}
 }
 
-func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense) *mat.Dense {
+func (t *Transformer) blockBackward(ar *arena, blk *tblock, bc *attnCache, dOut *mat.Dense) *mat.Dense {
 	T := dOut.Rows
 	d := t.Cfg.ModelDim
 	heads := t.Cfg.Heads
@@ -379,7 +402,7 @@ func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense)
 	// FFN backward.
 	mat.MulATB(blk.w2.Grad, bc.ff1, dFF)
 	mat.SumRows(blk.b2.Grad.Row(0), dFF)
-	dFF1 := mat.NewDense(T, t.Cfg.FFDim)
+	dFF1 := ar.slab(T, t.Cfg.FFDim, true)
 	mat.MulABT(dFF1, dFF, blk.w2.Value)
 	for i, v := range bc.ffPre.Data {
 		if v < 0 {
@@ -388,9 +411,9 @@ func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense)
 	}
 	mat.MulATB(blk.w1.Grad, bc.hNorm, dFF1)
 	mat.SumRows(blk.b1.Grad.Row(0), dFF1)
-	dHNorm := mat.NewDense(T, d)
+	dHNorm := ar.slab(T, d, true)
 	mat.MulABT(dHNorm, dFF1, blk.w1.Value)
-	dH := layerNormBackward(dHNorm, bc.lnMid, blk.ln2g.Value.Row(0),
+	dH := layerNormBackward(ar, dHNorm, &bc.lnMid, blk.ln2g.Value.Row(0),
 		blk.ln2g.Grad.Row(0), blk.ln2b.Grad.Row(0))
 	// Residual: dH += dOut.
 	for i := range dH.Data {
@@ -400,12 +423,13 @@ func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense)
 	// h = x + attnOut.
 	dAttnOut := dH
 	mat.MulATB(blk.wo.Grad, bc.concat, dAttnOut)
-	dConcat := mat.NewDense(T, d)
+	dConcat := ar.slab(T, d, true)
 	mat.MulABT(dConcat, dAttnOut, blk.wo.Value)
 
-	dQ := mat.NewDense(T, d)
-	dK := mat.NewDense(T, d)
-	dV := mat.NewDense(T, d)
+	dQ := ar.slab(T, d, true)
+	dK := ar.slab(T, d, true)
+	dV := ar.slab(T, d, true)
+	dAbuf := ar.fslice(T)
 	for hd := 0; hd < heads; hd++ {
 		off := hd * dk
 		a := bc.attn[hd]
@@ -414,7 +438,7 @@ func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense)
 			arow := a.Row(i)
 			// dA and dV.
 			var sumDAA float64
-			dArow := make([]float64, i+1)
+			dArow := dAbuf[:i+1]
 			for j := 0; j <= i; j++ {
 				dArow[j] = mat.Dot(dci, bc.v.Row(j)[off:off+dk])
 				mat.Axpy(arow[j], dci, dV.Row(j)[off:off+dk])
@@ -433,11 +457,11 @@ func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense)
 	mat.MulATB(blk.wq.Grad, bc.xNorm, dQ)
 	mat.MulATB(blk.wk.Grad, bc.xNorm, dK)
 	mat.MulATB(blk.wv.Grad, bc.xNorm, dV)
-	dXNorm := mat.NewDense(T, d)
+	dXNorm := ar.slab(T, d, true)
 	mat.MulABT(dXNorm, dQ, blk.wq.Value)
 	mat.MulABT(dXNorm, dK, blk.wk.Value)
 	mat.MulABT(dXNorm, dV, blk.wv.Value)
-	dX := layerNormBackward(dXNorm, bc.lnIn, blk.ln1g.Value.Row(0),
+	dX := layerNormBackward(ar, dXNorm, &bc.lnIn, blk.ln1g.Value.Row(0),
 		blk.ln1g.Grad.Row(0), blk.ln1b.Grad.Row(0))
 	// Residual: dX += dH.
 	for i := range dX.Data {
@@ -449,35 +473,47 @@ func (t *Transformer) blockBackward(blk *tblock, bc *attnCache, dOut *mat.Dense)
 // TWindow is the sliding generation context for a Transformer: it keeps
 // the last up-to-MaxLen input feature rows and recomputes the forward
 // pass over the window at each step (O(L²) per step, acceptable at the
-// window sizes this repository uses).
+// window sizes this repository uses). Storage is a fixed ring buffer, so
+// steady-state Append calls allocate nothing.
 type TWindow struct {
-	t    *Transformer
-	rows [][]float64
+	t        *Transformer
+	ring     *mat.Dense // [MaxLen x InputDim] circular store of feature rows
+	xm       *mat.Dense // [MaxLen x InputDim] packed window, oldest first
+	win      mat.Dense  // header over xm's first Len rows
+	start, n int
 }
 
 // NewWindow returns an empty generation context.
-func (t *Transformer) NewWindow() *TWindow { return &TWindow{t: t} }
+func (t *Transformer) NewWindow() *TWindow {
+	return &TWindow{
+		t:    t,
+		ring: mat.NewDense(t.Cfg.MaxLen, t.Cfg.InputDim),
+		xm:   mat.NewDense(t.Cfg.MaxLen, t.Cfg.InputDim),
+	}
+}
 
 // Append adds one input feature row and returns the output logits for
-// the newest position.
+// the newest position (valid until the next-but-one Append).
 func (w *TWindow) Append(x []float64) []float64 {
 	if len(x) != w.t.Cfg.InputDim {
 		panic(fmt.Sprintf("nn: window input len %d, want %d", len(x), w.t.Cfg.InputDim))
 	}
-	cp := make([]float64, len(x))
-	copy(cp, x)
-	w.rows = append(w.rows, cp)
-	if len(w.rows) > w.t.Cfg.MaxLen {
-		w.rows = w.rows[1:]
+	L := w.t.Cfg.MaxLen
+	copy(w.ring.Row((w.start+w.n)%L), x)
+	if w.n < L {
+		w.n++
+	} else {
+		w.start = (w.start + 1) % L
 	}
-	T := len(w.rows)
-	xm := mat.NewDense(T, w.t.Cfg.InputDim)
-	for i, r := range w.rows {
-		copy(xm.Row(i), r)
+	T := w.n
+	for i := 0; i < T; i++ {
+		copy(w.xm.Row(i), w.ring.Row((w.start+i)%L))
 	}
-	out, _ := w.t.Forward(xm)
+	w.win.Rows, w.win.Cols = T, w.t.Cfg.InputDim
+	w.win.Data = w.xm.Data[:T*w.t.Cfg.InputDim]
+	out, _ := w.t.Forward(&w.win)
 	return out.Row(T - 1)
 }
 
 // Len returns the current window length.
-func (w *TWindow) Len() int { return len(w.rows) }
+func (w *TWindow) Len() int { return w.n }

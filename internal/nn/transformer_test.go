@@ -172,7 +172,10 @@ func TestTransformerWindowMatchesForward(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = g.NormFloat64()
 	}
-	full, _ := tr.Forward(x)
+	// Forward output aliases the workspace and the window's Appends run
+	// more Forwards on the same network, so snapshot it first.
+	fullView, _ := tr.Forward(x)
+	full := fullView.Clone()
 	w := tr.NewWindow()
 	for s := 0; s < T; s++ {
 		got := w.Append(x.Row(s))

@@ -1,0 +1,61 @@
+package obs
+
+import "runtime"
+
+// MemSnapshot is a compact JSON-marshalable view of the Go runtime's
+// memory statistics — the fields that matter for watching the
+// allocation discipline of the hot paths (heap in use, cumulative
+// allocation churn, GC frequency and pause totals).
+type MemSnapshot struct {
+	// HeapAllocBytes is the live heap (bytes of allocated, reachable
+	// or not-yet-swept objects).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapInUseBytes is the heap memory in in-use spans.
+	HeapInUseBytes uint64 `json:"heap_in_use_bytes"`
+	// SysBytes is the total virtual memory obtained from the OS.
+	SysBytes uint64 `json:"sys_bytes"`
+	// TotalAllocBytes is cumulative bytes allocated since process
+	// start (never decreases; its growth rate is allocation churn).
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs and Frees are cumulative object counts; Mallocs-Frees is
+	// the live object count.
+	Mallocs uint64 `json:"mallocs"`
+	Frees   uint64 `json:"frees"`
+	// GCCount is the number of completed GC cycles.
+	GCCount uint32 `json:"gc_count"`
+	// GCPauseTotalMs is the cumulative stop-the-world pause time.
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	// LastGCPauseMs is the most recent cycle's pause (0 before the
+	// first cycle).
+	LastGCPauseMs float64 `json:"last_gc_pause_ms"`
+	// NextGCBytes is the heap size at which the next GC triggers.
+	NextGCBytes uint64 `json:"next_gc_bytes"`
+	// Goroutines is the current goroutine count.
+	Goroutines int `json:"goroutines"`
+}
+
+// ReadMemStats snapshots the runtime memory statistics. It calls
+// runtime.ReadMemStats, which briefly stops the world — suitable for
+// debug endpoints and periodic telemetry, not for per-step hot paths.
+// Like everything in obs it is strictly read-only: it cannot perturb
+// model state, RNG streams, or generated traces.
+func ReadMemStats() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := MemSnapshot{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapInUseBytes:  ms.HeapInuse,
+		SysBytes:        ms.Sys,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		GCCount:         ms.NumGC,
+		GCPauseTotalMs:  float64(ms.PauseTotalNs) / 1e6,
+		NextGCBytes:     ms.NextGC,
+		Goroutines:      runtime.NumGoroutine(),
+	}
+	if ms.NumGC > 0 {
+		snap.LastGCPauseMs = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return snap
+}

@@ -265,3 +265,31 @@ func TestSinkFunc(t *testing.T) {
 		t.Fatalf("got: %+v", got)
 	}
 }
+
+func TestReadMemStats(t *testing.T) {
+	s := ReadMemStats()
+	if s.HeapInUseBytes == 0 || s.SysBytes == 0 || s.Mallocs == 0 {
+		t.Fatalf("implausible memory snapshot: %+v", s)
+	}
+	if s.Mallocs < s.Frees {
+		t.Fatalf("mallocs %d < frees %d", s.Mallocs, s.Frees)
+	}
+	if s.Goroutines < 1 {
+		t.Fatalf("goroutines %d", s.Goroutines)
+	}
+	// Allocation churn must move the cumulative counters but the
+	// snapshot itself must stay cheap and side-effect free.
+	before := ReadMemStats()
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	_ = sink
+	after := ReadMemStats()
+	if after.TotalAllocBytes < before.TotalAllocBytes {
+		t.Fatalf("total_alloc went backwards: %d -> %d", before.TotalAllocBytes, after.TotalAllocBytes)
+	}
+	if b, err := json.Marshal(s); err != nil || len(b) == 0 {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}

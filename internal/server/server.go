@@ -172,8 +172,8 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics serves the JSON observability snapshot: the HTTP and
-// generation metrics, the parallel-layer counters, and the model /
-// training-run metadata.
+// generation metrics, the parallel-layer counters, the runtime memory
+// statistics, and the model / training-run metadata.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	served := s.served
@@ -183,6 +183,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"served":   served,
 		"metrics":  s.reg.Snapshot(),
 		"par":      par.Snapshot(),
+		"mem":      obs.ReadMemStats(),
 		"model":    s.modelMeta(),
 		"train":    s.TrainInfo,
 	})

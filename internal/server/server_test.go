@@ -181,8 +181,9 @@ func TestMetricsEndpoint(t *testing.T) {
 				Counts []int64   `json:"counts"`
 			} `json:"histograms"`
 		} `json:"metrics"`
-		Par   map[string]int64 `json:"par"`
-		Model map[string]any   `json:"model"`
+		Par   map[string]int64   `json:"par"`
+		Mem   map[string]float64 `json:"mem"`
+		Model map[string]any     `json:"model"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("metrics response is not valid JSON: %v", err)
@@ -195,6 +196,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if _, ok := resp.Par["tasks"]; !ok {
 		t.Errorf("par stats missing from /metrics: %v", resp.Par)
+	}
+	if v, ok := resp.Mem["heap_in_use_bytes"]; !ok || v <= 0 {
+		t.Errorf("mem stats missing from /metrics: %v", resp.Mem)
 	}
 	// The snapshot is taken while the /metrics request itself is still
 	// in flight, so the gauge reads exactly 1 in its own response.

@@ -1,17 +1,19 @@
 #!/bin/sh
 # Runs the cross-PR benchmark suite and snapshots the results to
-# BENCH_baseline.json so ns/op and MB/s are comparable across PRs.
-# When a previous baseline exists it is preserved as
-# BENCH_baseline.prev.json and a per-benchmark ns/op delta table is
-# printed — the instrumentation layer (internal/obs, par counters,
-# server middleware) budgets < 2% overhead on the kernel and
-# generation benchmarks.
+# BENCH_baseline.json so ns/op, MB/s, B/op and allocs/op are comparable
+# across PRs. When a previous baseline exists it is preserved as
+# BENCH_baseline.prev.json and per-benchmark delta tables are printed:
+# ns/op (the instrumentation layer budgets < 2% overhead on the kernel
+# and generation benchmarks) and allocs/op (the memory-discipline layer
+# targets steady-state-zero hot paths; see DESIGN.md "Memory
+# discipline").
 # Run from the repository root: scripts/bench.sh [benchtime]
 #
-# Caveat: on hosts with unstable clocks, deltas under ~10% between
+# Caveat: on hosts with unstable clocks, ns/op deltas under ~10% between
 # separate benchmark blocks are noise; for kernel-level decisions use
 # the paired measurement instead:
 #   go test ./internal/mat -run TestPairedKernelMeasure -v
+# allocs/op deltas are exact counts and carry no such noise.
 set -eu
 
 BENCHTIME="${1:-1s}"
@@ -24,7 +26,8 @@ if [ -f "$OUT" ]; then
 	cp "$OUT" "$PREV"
 fi
 
-go test -run '^$' -bench . -benchtime "$BENCHTIME" . ./internal/mat ./internal/par ./internal/obs | tee "$TMP"
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+	. ./internal/mat ./internal/nn ./internal/par ./internal/obs | tee "$TMP"
 
 {
 	echo '{'
@@ -34,10 +37,15 @@ go test -run '^$' -bench . -benchtime "$BENCHTIME" . ./internal/mat ./internal/p
 	echo '  "benchmarks": ['
 	awk '/^Benchmark/ {
 		name=$1; iters=$2; nsop=$3
-		mbs="null"
-		for (i=4; i<=NF; i++) if ($i == "MB/s") mbs=$(i-1)
+		mbs="null"; bop="null"; allocs="null"
+		for (i=4; i<=NF; i++) {
+			if ($i == "MB/s") mbs=$(i-1)
+			if ($i == "B/op") bop=$(i-1)
+			if ($i == "allocs/op") allocs=$(i-1)
+		}
 		if (n++) printf ",\n"
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s}", name, iters, nsop, mbs
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, iters, nsop, mbs, bop, allocs
 	} END { print "" }' "$TMP"
 	echo '  ]'
 	echo '}'
@@ -47,14 +55,24 @@ echo "bench.sh: wrote $OUT"
 
 if [ -f "$PREV" ]; then
 	echo
-	echo "ns/op vs previous baseline (positive = slower; overhead target < 2%):"
+	echo "vs previous baseline (ns/op: positive = slower; allocs/op: positive = more allocation):"
 	awk '
 		/"name":/ {
 			n=$0; sub(/.*"name": "/, "", n); sub(/".*/, "", n)
 			v=$0; sub(/.*"ns_per_op": /, "", v); sub(/,.*/, "", v)
-			if (FNR != NR && n in prev && prev[n] > 0)
-				printf "  %-50s %12.1f -> %12.1f  %+6.2f%%\n", n, prev[n], v, 100 * (v - prev[n]) / prev[n]
-			else if (FNR == NR)
+			a="n/a"
+			if ($0 ~ /"allocs_per_op":/) {
+				a=$0; sub(/.*"allocs_per_op": /, "", a); sub(/[,}].*/, "", a)
+			}
+			if (FNR != NR && n in prev && prev[n] > 0) {
+				da = "      n/a"
+				if (a != "null" && a != "n/a" && palloc[n] != "null" && palloc[n] != "n/a" && palloc[n] != "")
+					da = sprintf("%8s -> %8s", palloc[n], a)
+				printf "  %-50s %12.1f -> %12.1f ns/op %+6.2f%%   allocs %s\n", \
+					n, prev[n], v, 100 * (v - prev[n]) / prev[n], da
+			} else if (FNR == NR) {
 				prev[n] = v
+				palloc[n] = a
+			}
 		}' "$PREV" "$OUT"
 fi
