@@ -374,7 +374,32 @@ func BenchmarkGenerateTraceLSTM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Generate(g.Split(), c.TestW)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "streams/s")
 }
+
+// benchGenerateBatch times the continuous-batching decode engine at a
+// fixed concurrent stream count; compare streams/s against the serial
+// BenchmarkGenerateTraceLSTM baseline (the ISSUE 4 acceptance bar is
+// ≥2× at 8 streams).
+func benchGenerateBatch(b *testing.B, streams int) {
+	c := benchAzure(b)
+	m := c.Model()
+	g := rng.New(1)
+	gs := make([]*rng.RNG, streams)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range gs {
+			gs[j] = g.Split()
+		}
+		m.GenerateBatch(gs, c.TestW)
+	}
+	b.ReportMetric(float64(b.N*streams)/b.Elapsed().Seconds(), "streams/s")
+}
+
+func BenchmarkGenerateBatchLSTM1(b *testing.B)  { benchGenerateBatch(b, 1) }
+func BenchmarkGenerateBatchLSTM8(b *testing.B)  { benchGenerateBatch(b, 8) }
+func BenchmarkGenerateBatchLSTM64(b *testing.B) { benchGenerateBatch(b, 64) }
 
 func BenchmarkGenerateTraceNaive(b *testing.B) {
 	c := benchAzure(b)

@@ -7,6 +7,13 @@
 //	traced [-addr :8080] [-cloud azure|huawei] [-days 9] [-seed 1]
 //	traced -model model.bin -flavors azure
 //	traced -journal run.jsonl -debug-addr :6060
+//	traced -batch-window 2ms -max-batch 64
+//
+// Concurrent POST /generate requests are coalesced into shared decode
+// batches (continuous batching, DESIGN.md §6.2): -batch-window is how
+// long a request waits for others to join its batch, -max-batch caps
+// the streams decoded together. Responses stay byte-identical to
+// serial decodes of the same seed regardless of batching.
 //
 // Endpoints: GET /healthz, GET /model, GET /metrics, POST /generate
 // (see internal/server for the request schema). -journal writes a JSONL
@@ -46,6 +53,8 @@ func main() {
 	modelPath := flag.String("model", "", "load a serialized model instead of training")
 	hidden := flag.Int("hidden", 24, "LSTM hidden units")
 	epochs := flag.Int("epochs", 40, "training epochs")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long /generate waits to coalesce concurrent requests into one decode batch")
+	maxBatch := flag.Int("max-batch", 64, "max concurrent streams per decode batch")
 	journalPath := flag.String("journal", "", "write a JSONL telemetry journal (training epochs, phase spans) to this path")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener with /debug/pprof/ and /debug/vars")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
@@ -124,6 +133,9 @@ func main() {
 
 	s := server.New(model, cfg.Flavors)
 	s.TrainInfo = trainInfo
+	s.BatchWindow = *batchWindow
+	s.MaxBatch = *maxBatch
+	defer s.Close()
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {

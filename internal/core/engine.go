@@ -1,0 +1,588 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/survival"
+	"repro/internal/trace"
+)
+
+// This file is the continuous-batching decode engine (DESIGN.md §6.2):
+// Model.Generate's sequential three-stage loop, unrolled into an
+// explicit per-stream state machine (genStream) so many independent
+// generations advance together through shared batched LSTM step GEMMs
+// (nn.Fleet). The scheduler admits newly arrived streams and retires
+// finished ones every fleet-step instead of padding to the longest
+// sequence or decoding one stream at a time.
+//
+// Determinism contract: each stream owns its RNG and consumes draws in
+// exactly the order Model.Generate does, and a Fleet step is
+// bit-identical per row to the serial StepForward, so every batched
+// trace is byte-identical to m.Generate(g, w) regardless of batch
+// composition, admission order, or worker count.
+
+// BatchGenerator is implemented by generators that can decode many
+// independent traces through shared batched step GEMMs. Results must
+// be element-wise identical to calling Generate(gs[i], w) serially.
+type BatchGenerator interface {
+	GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace
+}
+
+// streamPhase is the kind of NN step a stream needs next.
+type streamPhase uint8
+
+const (
+	phaseFlavor   streamPhase = iota // next step: flavor token
+	phaseLifetime                    // next step: lifetime hazard
+	phaseDone                        // trace complete (or aborted)
+)
+
+// genSpan mirrors Generate's batchSpan: one non-empty batch as a span
+// over the period's shared flavor buffer.
+type genSpan struct {
+	user, lo, hi int
+}
+
+// genStream is one in-flight Generate call unrolled into resumable
+// state: everything the serial loop keeps on its stack, plus the
+// fleet rows holding its LSTM state. All RNG draws happen in consume*
+// and startPeriod in exactly the serial order.
+type genStream struct {
+	m     *Model
+	g     *rng.RNG
+	w     trace.Window
+	scale float64
+	out   *trace.Trace
+	ctx   context.Context // optional; non-nil only for served streams
+	err   error           // context error on aborted streams
+
+	phase streamPhase
+	frow  int // flavor fleet row
+	lrow  int // lifetime fleet row
+
+	// Period loop state (Generate's locals).
+	p        int // current period
+	dohDay   int
+	curDay   int
+	nextUser int
+	id       int
+
+	// Flavor stage state.
+	nBatches int
+	eobCount int
+	jobs     int
+	curUser  int
+	curLo    int
+	prevTok  int
+	spans    []genSpan
+	flavors  []int
+
+	// Lifetime stage state.
+	si, ji   int // span / job-in-span cursors
+	prevBin  int
+	prevCens bool
+
+	// Delivery: GenerateBatch indexes by slot; Engine replies on done.
+	slot int
+	done chan engineResult
+}
+
+// newGenStream starts one generation: it performs the serial loop's
+// up-front draws (initial DOH day) and advances to the first period
+// with work, so the stream is immediately steppable (or already done).
+func (m *Model) newGenStream(g *rng.RNG, w trace.Window, scale float64, ctx context.Context) *genStream {
+	s := &genStream{
+		m:       m,
+		g:       g,
+		w:       w,
+		scale:   scale,
+		ctx:     ctx,
+		out:     &trace.Trace{Flavors: &trace.FlavorSet{Defs: m.flavorDefs()}, Periods: w.Periods()},
+		prevTok: EOBToken(m.Flavor.K),
+		prevBin: -1,
+	}
+	s.dohDay = m.Arrival.DOH.Sample(g)
+	s.curDay = -1
+	s.p = w.Start - 1
+	s.startPeriod()
+	return s
+}
+
+// startPeriod advances to the next period with at least one batch,
+// drawing DOH days and batch counts exactly as the serial loop does;
+// it parks the stream in phaseDone when the window is exhausted.
+func (s *genStream) startPeriod() {
+	m := s.m
+	for s.p++; s.p < s.w.End; s.p++ {
+		if d := trace.DayOfHistory(s.p); d != s.curDay {
+			s.curDay = d
+			s.dohDay = m.Arrival.DOH.Sample(s.g)
+		}
+		nBatches := s.g.Poisson(m.Arrival.Rate(s.p, s.dohDay) * s.scale)
+		if nBatches == 0 {
+			continue
+		}
+		s.nBatches = nBatches
+		s.spans = s.spans[:0]
+		s.flavors = s.flavors[:0]
+		s.curUser, s.curLo = s.nextUser, 0
+		s.nextUser++
+		s.jobs, s.eobCount = 0, 0
+		s.phase = phaseFlavor
+		return
+	}
+	s.phase = phaseDone
+}
+
+// encodeFlavor writes the next flavor-step input (the flavorState
+// encoding with this stream's previous token).
+func (s *genStream) encodeFlavor(dst []float64) {
+	s.m.Flavor.encodeFlavorInput(dst, s.prevTok, s.p, s.dohDay)
+}
+
+// consumeFlavor finishes one flavor step from the head logits: sample
+// the token (serial draw order: softmax, tilt, Categorical, then the
+// max-jobs override), record it, and roll the period machine forward.
+func (s *genStream) consumeFlavor(logits, probs []float64) {
+	m := s.m
+	// Vectorized but bit-identical to the serial path's SoftmaxInto.
+	nn.SoftmaxIntoVec(logits, probs)
+	if !m.Tilt.isZero() {
+		m.Tilt.apply(probs, m.Flavor.K)
+	}
+	tok := s.g.Categorical(probs)
+	eob := EOBToken(m.Flavor.K)
+	if s.jobs >= m.maxJobs() {
+		tok = eob
+	}
+	s.prevTok = tok
+	if tok != eob {
+		s.flavors = append(s.flavors, tok)
+		s.jobs++
+		return
+	}
+	s.eobCount++
+	// An EOB with no preceding jobs yields an empty batch, which is not
+	// representable in the trace; it still counts toward the period's
+	// batch total so generation terminates (same as the serial loop).
+	if len(s.flavors) > s.curLo {
+		s.spans = append(s.spans, genSpan{user: s.curUser, lo: s.curLo, hi: len(s.flavors)})
+	}
+	s.curUser, s.curLo = s.nextUser, len(s.flavors)
+	s.nextUser++
+	if s.eobCount < s.nBatches {
+		return
+	}
+	if len(s.spans) == 0 {
+		s.startPeriod()
+		return
+	}
+	s.si, s.ji = 0, 0
+	s.phase = phaseLifetime
+}
+
+// lifetimeStep returns the current job's step features.
+func (s *genStream) lifetimeStep() LifetimeStep {
+	b := s.spans[s.si]
+	return LifetimeStep{
+		Period:    s.p,
+		Flavor:    s.flavors[b.lo+s.ji],
+		BatchSize: b.hi - b.lo,
+	}
+}
+
+// encodeLifetime writes the next lifetime-step input.
+func (s *genStream) encodeLifetime(dst []float64) {
+	s.m.Lifetime.encodeLifetimeInput(dst, s.lifetimeStep(), s.dohDay, s.prevBin, s.prevCens)
+}
+
+// consumeLifetime finishes one lifetime step: sample the bin and
+// duration (serial draw order), emit the VM, and advance the span
+// cursors, returning to the period machine when the period's jobs are
+// done.
+func (s *genStream) consumeLifetime(logits, hz []float64) {
+	m := s.m
+	// Vectorized but bit-identical to the serial path's SigmoidInto.
+	nn.SigmoidIntoVec(logits, hz)
+	bin := survival.SampleBin(hz, s.g)
+	s.prevBin, s.prevCens = bin, false
+	var dur float64
+	if m.Interp == survival.Stepped {
+		dur = m.Lifetime.Bins.Hi(bin)
+	} else {
+		dur = s.g.Uniform(m.Lifetime.Bins.Lo(bin), m.Lifetime.Bins.Hi(bin))
+	}
+	b := s.spans[s.si]
+	s.out.VMs = append(s.out.VMs, trace.VM{
+		ID:       s.id,
+		User:     b.user,
+		Flavor:   s.flavors[b.lo+s.ji],
+		Start:    s.p - s.w.Start,
+		Duration: dur,
+	})
+	s.id++
+	s.ji++
+	if b.lo+s.ji >= b.hi {
+		s.si++
+		s.ji = 0
+	}
+	if s.si >= len(s.spans) {
+		s.startPeriod()
+	}
+}
+
+// fleetEngine advances a set of genStreams through shared batched
+// fleet steps. Invariants: every live stream owns exactly one row in
+// each fleet; each round steps every non-done stream exactly once
+// (flavor and lifetime streams in two batched GEMM groups); done
+// streams are retired at the end of the round with swap-remove row
+// compaction mirrored into the owner tables.
+type fleetEngine struct {
+	m      *Model
+	ff, lf *nn.Fleet
+
+	streams []*genStream
+	fOwner  []*genStream // flavor fleet row -> stream
+	lOwner  []*genStream // lifetime fleet row -> stream
+
+	// Per-round scratch.
+	fReq, lReq, retired []*genStream
+	rows                []int
+	probs               []float64 // flavor softmax buffer, reused per stream
+	hz                  []float64 // lifetime hazard buffer, reused per stream
+}
+
+func newFleetEngine(m *Model, capacity int) *fleetEngine {
+	return &fleetEngine{
+		m:     m,
+		ff:    m.Flavor.Net.NewFleet(capacity),
+		lf:    m.Lifetime.Net.NewFleet(capacity),
+		probs: make([]float64, m.Flavor.K+1),
+		hz:    make([]float64, m.Lifetime.Bins.J()),
+	}
+}
+
+func (e *fleetEngine) active() int { return len(e.streams) }
+
+// admit registers a stream and assigns its fleet rows (zero state, the
+// fresh-state condition of the pooled serial decoders).
+func (e *fleetEngine) admit(s *genStream) {
+	s.frow = e.ff.Admit()
+	s.lrow = e.lf.Admit()
+	e.streams = append(e.streams, s)
+	e.fOwner = append(e.fOwner, nil)
+	e.lOwner = append(e.lOwner, nil)
+	e.fOwner[s.frow] = s
+	e.lOwner[s.lrow] = s
+}
+
+// round advances every live stream by exactly one LSTM step and
+// retires the ones that finished (or whose context was cancelled),
+// returning them. The returned slice is reused by the next round.
+func (e *fleetEngine) round() []*genStream {
+	// Abort served streams whose client has gone away before spending
+	// a step on them.
+	for _, s := range e.streams {
+		if s.phase != phaseDone && s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				s.phase = phaseDone
+			}
+		}
+	}
+	e.fReq, e.lReq = e.fReq[:0], e.lReq[:0]
+	for _, s := range e.streams {
+		switch s.phase {
+		case phaseFlavor:
+			e.fReq = append(e.fReq, s)
+		case phaseLifetime:
+			e.lReq = append(e.lReq, s)
+		}
+	}
+	// A stream that transitions phase mid-round waits for the next
+	// round's batch of the other kind: group membership is fixed up
+	// front, which keeps the step count per stream independent of the
+	// batch's composition.
+	if len(e.fReq) > 0 {
+		e.rows = e.rows[:0]
+		for i, s := range e.fReq {
+			e.rows = append(e.rows, s.frow)
+			s.encodeFlavor(e.ff.InputRow(i))
+		}
+		y := e.ff.Step(e.rows)
+		for i, s := range e.fReq {
+			s.consumeFlavor(y.Row(i), e.probs)
+		}
+	}
+	if len(e.lReq) > 0 {
+		e.rows = e.rows[:0]
+		for i, s := range e.lReq {
+			e.rows = append(e.rows, s.lrow)
+			s.encodeLifetime(e.lf.InputRow(i))
+		}
+		y := e.lf.Step(e.rows)
+		for i, s := range e.lReq {
+			s.consumeLifetime(y.Row(i), e.hz)
+		}
+	}
+	// Retire finished streams, compacting both fleets and the owner
+	// tables in lockstep with the fleets' swap-remove.
+	e.retired = e.retired[:0]
+	for i := 0; i < len(e.streams); {
+		s := e.streams[i]
+		if s.phase != phaseDone {
+			i++
+			continue
+		}
+		if moved := e.ff.Retire(s.frow); moved >= 0 {
+			o := e.fOwner[moved]
+			o.frow = s.frow
+			e.fOwner[s.frow] = o
+		}
+		e.fOwner = e.fOwner[:len(e.fOwner)-1]
+		if moved := e.lf.Retire(s.lrow); moved >= 0 {
+			o := e.lOwner[moved]
+			o.lrow = s.lrow
+			e.lOwner[s.lrow] = o
+		}
+		e.lOwner = e.lOwner[:len(e.lOwner)-1]
+		last := len(e.streams) - 1
+		e.streams[i] = e.streams[last]
+		e.streams = e.streams[:last]
+		e.retired = append(e.retired, s)
+	}
+	return e.retired
+}
+
+// defaultMaxStreams bounds how many streams decode concurrently in one
+// fleet; past ~64 rows the step GEMMs stop gaining from extra batch
+// and the admission wave just delays first results.
+const defaultMaxStreams = 64
+
+// GenerateBatch decodes one trace per RNG through the continuous
+// -batching engine. Each returned trace is byte-identical to
+// m.Generate(gs[i], w): streams are admitted in order up to the fleet
+// cap, retired as they finish, and replaced from the remaining queue
+// every step. Implements BatchGenerator.
+func (m *Model) GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace {
+	out := make([]*trace.Trace, len(gs))
+	if len(gs) == 0 {
+		return out
+	}
+	capacity := defaultMaxStreams
+	if len(gs) < capacity {
+		capacity = len(gs)
+	}
+	e := newFleetEngine(m, capacity)
+	next, done := 0, 0
+	for done < len(gs) {
+		for e.active() < capacity && next < len(gs) {
+			s := m.newGenStream(gs[next], w, m.rateScale(), nil)
+			s.slot = next
+			e.admit(s)
+			next++
+		}
+		for _, s := range e.round() {
+			out[s.slot] = s.out
+			done++
+		}
+	}
+	return out
+}
+
+// ErrEngineClosed is returned for requests submitted to (or queued on)
+// an Engine that has been Closed.
+var ErrEngineClosed = errors.New("core: decode engine closed")
+
+type engineResult struct {
+	tr  *trace.Trace
+	err error
+}
+
+type engineReq struct {
+	g     *rng.RNG
+	w     trace.Window
+	scale float64
+	ctx   context.Context
+	done  chan engineResult
+}
+
+// Engine is the continuous-batching front door for serving: concurrent
+// Generate calls coalesce into one shared fleet, each stream advancing
+// through the same batched step GEMMs while keeping its own RNG (so
+// every response is byte-identical to the serial path). New requests
+// join the running batch between steps; an idle engine waits up to
+// Window for more arrivals before stepping a fresh batch.
+type Engine struct {
+	m        *Model
+	window   time.Duration
+	maxBatch int
+
+	reqs chan *engineReq
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewEngine starts the engine's scheduler goroutine. window is how
+// long an idle engine waits for more requests before stepping (0:
+// step immediately; overlapping requests still coalesce); maxBatch
+// caps concurrent streams (0: a default of 64).
+func NewEngine(m *Model, window time.Duration, maxBatch int) *Engine {
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxStreams
+	}
+	e := &Engine{
+		m:        m,
+		window:   window,
+		maxBatch: maxBatch,
+		reqs:     make(chan *engineReq, 4*maxBatch),
+		quit:     make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// Generate decodes one trace through the shared batch, blocking until
+// its stream retires. scale multiplies the arrival rate (0 means 1,
+// matching Model.RateScale). It is safe for concurrent use; the
+// result for a given (g, w, scale) is byte-identical to the serial
+// m.Generate with Model.RateScale = scale. On context cancellation
+// the stream is aborted at the next fleet step and ctx.Err() is
+// returned.
+func (e *Engine) Generate(ctx context.Context, g *rng.RNG, w trace.Window, scale float64) (*trace.Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := &engineReq{g: g, w: w, scale: scale, ctx: ctx, done: make(chan engineResult, 1)}
+	e.mu.RLock()
+	closed := e.closed
+	if !closed {
+		// Submitting under the read lock orders every send before
+		// Close's drain: a request either gets a result or
+		// ErrEngineClosed, never silence.
+		select {
+		case e.reqs <- req:
+		case <-ctx.Done():
+			e.mu.RUnlock()
+			return nil, ctx.Err()
+		}
+	}
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrEngineClosed
+	}
+	res := <-req.done
+	return res.tr, res.err
+}
+
+// Close stops admitting, finishes the in-flight streams, fails any
+// queued requests with ErrEngineClosed, and waits for the scheduler
+// to exit.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !already {
+		close(e.quit)
+	}
+	e.wg.Wait()
+}
+
+func (e *Engine) isClosed() bool {
+	select {
+	case <-e.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) admitReq(fe *fleetEngine, r *engineReq) {
+	if r.ctx != nil && r.ctx.Err() != nil {
+		r.done <- engineResult{err: r.ctx.Err()}
+		return
+	}
+	scale := r.scale
+	if scale == 0 {
+		scale = 1
+	}
+	s := e.m.newGenStream(r.g, r.w, scale, r.ctx)
+	s.done = r.done
+	fe.admit(s)
+}
+
+// waitWindow collects arrivals for up to the configured window after
+// the first request lands on an idle engine, so near-simultaneous
+// requests share one batch from their very first step.
+func (e *Engine) waitWindow(fe *fleetEngine) {
+	if e.window <= 0 {
+		return
+	}
+	timer := time.NewTimer(e.window)
+	defer timer.Stop()
+	for fe.active() < e.maxBatch {
+		select {
+		case r := <-e.reqs:
+			e.admitReq(fe, r)
+		case <-timer.C:
+			return
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// loop is the scheduler: admit whatever has arrived (blocking only
+// when idle), run one fleet round, deliver retirements, repeat.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	fe := newFleetEngine(e.m, e.maxBatch)
+	for {
+		if fe.active() == 0 {
+			select {
+			case <-e.quit:
+				e.drainQueue()
+				return
+			case r := <-e.reqs:
+				e.admitReq(fe, r)
+				e.waitWindow(fe)
+			}
+		} else if !e.isClosed() {
+			// Continuous admission: latecomers join between steps.
+			admitting := true
+			for admitting && fe.active() < e.maxBatch {
+				select {
+				case r := <-e.reqs:
+					e.admitReq(fe, r)
+				default:
+					admitting = false
+				}
+			}
+		}
+		for _, s := range fe.round() {
+			s.done <- engineResult{tr: s.out, err: s.err}
+		}
+	}
+}
+
+// drainQueue fails every queued request after shutdown.
+func (e *Engine) drainQueue() {
+	for {
+		select {
+		case r := <-e.reqs:
+			r.done <- engineResult{err: ErrEngineClosed}
+		default:
+			return
+		}
+	}
+}

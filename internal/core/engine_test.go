@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/glm"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// traceBytes serializes a trace for byte-level comparison.
+func traceBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testArrivalModel builds an untrained constant-rate arrival model
+// (all feature weights zero, intercept = log rate): decode mechanics
+// and draw order do not depend on the fitted values.
+func testArrivalModel(rate float64) *ArrivalModel {
+	m := &ArrivalModel{
+		Kind:        BatchArrivals,
+		UseDOH:      true,
+		HistoryDays: 2,
+		DOH:         features.DOHSampler{Mode: features.DOHGeometric, GeomP: 0.5, HistoryDays: 2},
+	}
+	m.Reg = &glm.PoissonRegression{W: make([]float64, m.featureDim()), Intercept: math.Log(rate)}
+	return m
+}
+
+// TestGenerateBatchMatchesSerial pins the tentpole determinism claim
+// on the trained integration fixture: batched decode at sizes 1, 8 and
+// 64 is byte-identical to the serial per-stream path, at 1 worker and
+// at 8.
+func TestGenerateBatchMatchesSerial(t *testing.T) {
+	f := getFixture(t)
+	m := f.model
+	const maxStreams = 64
+	serial := make([][]byte, maxStreams)
+	// Serial reference at 1 worker.
+	func() {
+		defer par.SetProcs(par.SetProcs(1))
+		src := rng.New(123)
+		for i := 0; i < maxStreams; i++ {
+			serial[i] = traceBytes(t, m.Generate(src.Split(), f.testW))
+		}
+	}()
+	for _, procs := range []int{1, 8} {
+		for _, size := range []int{1, 8, 64} {
+			func() {
+				defer par.SetProcs(par.SetProcs(procs))
+				src := rng.New(123)
+				streams := make([]*rng.RNG, maxStreams)
+				for i := range streams {
+					streams[i] = src.Split()
+				}
+				for lo := 0; lo < maxStreams; lo += size {
+					hi := min(lo+size, maxStreams)
+					out := m.GenerateBatch(streams[lo:hi], f.testW)
+					for i, tr := range out {
+						if got := traceBytes(t, tr); !bytes.Equal(got, serial[lo+i]) {
+							t.Fatalf("procs=%d size=%d stream %d: batched trace differs from serial", procs, size, lo+i)
+						}
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestGenerateBatchUntrained runs the same equivalence on untrained
+// tiny models (fast path, no fixture training) including a tilt and a
+// max-jobs cap so the override and what-if draw order is covered.
+func TestGenerateBatchUntrained(t *testing.T) {
+	fm, lm := tinyGenModels()
+	arr := testArrivalModel(1.5)
+	m := &Model{Arrival: arr, Flavor: fm, Lifetime: lm, MaxJobsPerPeriod: 5,
+		Tilt: WhatIf{EOBFactor: 0.8, FlavorFactors: []float64{1.2, 0.9, 1}}}
+	w := trace.Window{Start: 0, End: 2 * trace.PeriodsPerDay}
+	const n = 9
+	serial := make([][]byte, n)
+	src := rng.New(5)
+	for i := range serial {
+		serial[i] = traceBytes(t, m.Generate(src.Split(), w))
+	}
+	src = rng.New(5)
+	gs := make([]*rng.RNG, n)
+	for i := range gs {
+		gs[i] = src.Split()
+	}
+	for i, tr := range m.GenerateBatch(gs, w) {
+		if !bytes.Equal(traceBytes(t, tr), serial[i]) {
+			t.Fatalf("stream %d: batched trace differs from serial", i)
+		}
+	}
+}
+
+// TestEngineConcurrentMatchesSerial fires concurrent Engine.Generate
+// calls (more than maxBatch, to exercise queueing and continuous
+// admission) and checks every response against its serial decode. Run
+// under -race via scripts/check.sh.
+func TestEngineConcurrentMatchesSerial(t *testing.T) {
+	fm, lm := tinyGenModels()
+	m := &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	e := NewEngine(m, time.Millisecond, 4)
+	defer e.Close()
+	const n = 16
+	var wg sync.WaitGroup
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := e.Generate(context.Background(), rng.New(int64(100+i)), w, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			_ = tr.WriteJSON(&buf)
+			got[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		want := traceBytes(t, m.Generate(rng.New(int64(100+i)), w))
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("request %d: coalesced trace differs from serial", i)
+		}
+	}
+}
+
+// TestEngineScale checks the per-request scale knob matches the serial
+// RateScale semantics (0 means 1).
+func TestEngineScale(t *testing.T) {
+	fm, lm := tinyGenModels()
+	m := &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	e := NewEngine(m, 0, 8)
+	defer e.Close()
+	tr, err := e.Generate(context.Background(), rng.New(42), w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := *m
+	ms.RateScale = 3
+	if !bytes.Equal(traceBytes(t, tr), traceBytes(t, ms.Generate(rng.New(42), w))) {
+		t.Fatal("scaled engine trace differs from serial RateScale path")
+	}
+}
+
+// TestEngineCancellation submits a request with an already-cancelled
+// context plus one cancelled mid-flight; both must return ctx errors
+// while other streams complete normally.
+func TestEngineCancellation(t *testing.T) {
+	fm, lm := tinyGenModels()
+	m := &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
+	w := trace.Window{Start: 0, End: 4 * trace.PeriodsPerDay}
+	e := NewEngine(m, 0, 4)
+	defer e.Close()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Generate(dead, rng.New(1), w, 0); err != context.Canceled {
+		t.Fatalf("pre-cancelled request: err = %v, want context.Canceled", err)
+	}
+
+	midCtx, midCancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var midErr error
+	var okTr *trace.Trace
+	var okErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, midErr = e.Generate(midCtx, rng.New(2), w, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		okTr, okErr = e.Generate(context.Background(), rng.New(3), w, 0)
+	}()
+	time.Sleep(2 * time.Millisecond) // let both streams admit
+	midCancel()
+	wg.Wait()
+	if midErr != context.Canceled {
+		t.Fatalf("mid-flight cancel: err = %v, want context.Canceled", midErr)
+	}
+	if okErr != nil {
+		t.Fatalf("unaffected stream: %v", okErr)
+	}
+	if !bytes.Equal(traceBytes(t, okTr), traceBytes(t, m.Generate(rng.New(3), w))) {
+		t.Fatal("stream sharing a batch with a cancelled one diverged from serial")
+	}
+}
+
+// TestEngineClose checks queued and post-Close requests fail with
+// ErrEngineClosed and Close is idempotent.
+func TestEngineClose(t *testing.T) {
+	fm, lm := tinyGenModels()
+	m := &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	e := NewEngine(m, 0, 2)
+	if _, err := e.Generate(context.Background(), rng.New(1), w, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Generate(context.Background(), rng.New(2), w, 0); err != ErrEngineClosed {
+		t.Fatalf("post-close: err = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestFleetEngineSteadyStateAllocs pins the per-round allocation
+// behavior of a warm fleet round: only the trace VM append and the
+// unavoidable per-stream result growth may allocate, so a round over
+// warmed streams with preallocated outputs must stay at zero.
+func TestFleetEngineSteadyStateAllocs(t *testing.T) {
+	defer par.SetProcs(par.SetProcs(1))
+	fm, lm := tinyGenModels()
+	m := &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
+	w := trace.Window{Start: 0, End: 400 * trace.PeriodsPerDay} // long-lived streams
+	e := newFleetEngine(m, 8)
+	src := rng.New(77)
+	for i := 0; i < 8; i++ {
+		s := m.newGenStream(src.Split(), w, 1, nil)
+		if s.phase == phaseDone {
+			t.Fatal("stream finished before admission; widen the window")
+		}
+		// Pre-grow the per-stream buffers so steady-state appends don't
+		// reallocate under AllocsPerRun.
+		s.out.VMs = make([]trace.VM, 0, 1<<20)
+		s.spans = make([]genSpan, 0, 4096)
+		s.flavors = make([]int, 0, 4096)
+		e.admit(s)
+	}
+	for i := 0; i < 50; i++ { // warm scratch and pools
+		e.round()
+	}
+	if e.active() != 8 {
+		t.Skip("streams retired during warmup; window too short for alloc pin")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { e.round() }); allocs != 0 {
+		t.Fatalf("warm fleet round allocates %v times, want 0", allocs)
+	}
+}

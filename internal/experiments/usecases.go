@@ -31,11 +31,20 @@ type CapacityResult struct {
 }
 
 // sampleCPUSeries generates n traces and returns their total-CPU
-// series. Samples are generated in parallel from pre-split RNG streams,
-// so the result matches a serial run sample for sample.
+// series. Generators that support continuous batching decode all n
+// streams through shared step GEMMs; the rest sample in parallel from
+// pre-split RNG streams. Both paths produce the same traces as a
+// serial run, sample for sample.
 func sampleCPUSeries(c *Cloud, gen core.Generator, n int, seed int64) [][]float64 {
 	gs := splitStreams(rng.New(seed), n)
 	out := make([][]float64, n)
+	if bg, ok := gen.(core.BatchGenerator); ok {
+		trs := bg.GenerateBatch(gs, c.TestW)
+		for i, tr := range trs {
+			out[i] = capacity.TotalCPUSeries(core.WithCatalog(tr, c.Full.Flavors))
+		}
+		return out
+	}
 	par.Do(n, func(i int) {
 		tr := core.WithCatalog(gen.Generate(gs[i], c.TestW), c.Full.Flavors)
 		out[i] = capacity.TotalCPUSeries(tr)
@@ -100,10 +109,18 @@ func Figure9(c *Cloud) (actual []float64, results []ReuseResult) {
 		n := c.Scale.Samples/5 + 1
 		gs := splitStreams(rng.New(c.Scale.Seed+int64(2000+gi)), n)
 		hists := make([][]float64, n)
-		par.Do(n, func(s int) {
-			tr := gen.Generate(gs[s], c.TestW)
-			hists[s] = sched.ReuseHistogram(sched.ReuseDistances(tr))
-		})
+		if bg, ok := gen.(core.BatchGenerator); ok {
+			// Batched decode through shared step GEMMs; per-stream
+			// results are identical to the serial path below.
+			for s, tr := range bg.GenerateBatch(gs, c.TestW) {
+				hists[s] = sched.ReuseHistogram(sched.ReuseDistances(tr))
+			}
+		} else {
+			par.Do(n, func(s int) {
+				tr := gen.Generate(gs[s], c.TestW)
+				hists[s] = sched.ReuseHistogram(sched.ReuseDistances(tr))
+			})
+		}
 		minH := make([]float64, sched.ReuseBuckets)
 		maxH := make([]float64, sched.ReuseBuckets)
 		sumH := make([]float64, sched.ReuseBuckets)

@@ -1,0 +1,99 @@
+package mat
+
+import "math"
+
+// Batched-decode kernels (DESIGN.md §6.2). The continuous-batching
+// fleet in internal/nn drives many concurrent streams through shared
+// step GEMMs and elementwise transcendentals from a single goroutine,
+// so unlike MulAdd these entry points never fan out to the parallel
+// layer; they instead vectorize within one core (AVX2 on amd64, with a
+// register-blocked pure-Go fallback elsewhere). Every kernel here is
+// bit-identical to its reference counterpart — MulAdd for the GEMM,
+// math.Exp for ExpSlice — which is what lets the batched decode path
+// promise byte-identical traces to serial decode (see the exactness
+// tests in batch_test.go).
+
+// useBatchASM gates the assembly kernels. It is a variable (not a
+// const) so exactness tests can force the fallback path; outside tests
+// it is written once at init.
+var useBatchASM = haveBatchASM()
+
+// MulAddBatched computes dst += a * b, bit-identically to MulAdd: each
+// dst element accumulates its k terms in ascending order, so blocking,
+// vectorization, and the fallback all produce the same bits. It stays
+// on the calling goroutine regardless of size — the batched decode
+// scheduler owns its own concurrency — and is tuned for the decode
+// shapes (tens of rows, gate panels a few hundred columns wide).
+func MulAddBatched(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulAddBatched shape mismatch")
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	n4 := n &^ 3
+	if useBatchASM && n4 > 0 {
+		gemmAVX2(&dst.Data[0], &a.Data[0], &b.Data[0], m, k, n)
+	} else {
+		mulAddJTiles(dst, a, b, n4)
+	}
+	// Column tail the 4-wide kernels do not cover. Ascending k keeps it
+	// bit-identical to the reference kernel.
+	for j := n4; j < n; j++ {
+		for i := 0; i < m; i++ {
+			arow := a.Row(i)
+			s := dst.Data[i*n+j]
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * b.Data[kk*n+j]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// mulAddJTiles is the portable batched GEMM kernel: per dst row,
+// 4-column tiles held in registers across the k sweep (the same
+// schedule the assembly kernel vectorizes). Covers columns [0, n4).
+func mulAddJTiles(dst, a, b *Dense, n4 int) {
+	n := b.Cols
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j+4 <= n4; j += 4 {
+			s0, s1, s2, s3 := drow[j], drow[j+1], drow[j+2], drow[j+3]
+			for kk := 0; kk < k; kk++ {
+				al := arow[kk]
+				brow := b.Data[kk*n+j : kk*n+j+4]
+				s0 += al * brow[0]
+				s1 += al * brow[1]
+				s2 += al * brow[2]
+				s3 += al * brow[3]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+	}
+}
+
+// ExpSlice sets dst[i] = math.Exp(x[i]) for every i, bit-for-bit —
+// including overflow to +Inf, denormal and underflow results, and the
+// NaN/±Inf special cases. dst and x may alias exactly. On amd64 with
+// AVX2+FMA the bulk runs four lanes at a time through a vector
+// transcription of math.Exp's FMA path; everywhere else (and for the
+// length tail) it calls math.Exp.
+func ExpSlice(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("mat: ExpSlice length mismatch")
+	}
+	i := 0
+	if useBatchASM {
+		if n4 := len(x) &^ 3; n4 > 0 {
+			expAVX2(&dst[0], &x[0], n4)
+			i = n4
+		}
+	}
+	for ; i < len(x); i++ {
+		dst[i] = math.Exp(x[i])
+	}
+}

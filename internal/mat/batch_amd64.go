@@ -1,0 +1,30 @@
+package mat
+
+// haveBatchASM reports whether the AVX2 batched-decode kernels may be
+// used. The gate requires AVX, AVX2, FMA, and OS-enabled YMM state:
+// AVX2 for the 256-bit integer ops in the vector ldexp, and AVX+FMA
+// because expAVX2 transcribes math.Exp's FMA path — math's own
+// useFMA flag is exactly HasAVX && HasFMA, so whenever our kernels are
+// enabled the scalar math.Exp they must match bit-for-bit is on that
+// same path.
+func haveBatchASM() bool { return cpuHasAVX2FMA() }
+
+// cpuHasAVX2FMA reports AVX+AVX2+FMA with OS-enabled YMM state
+// (CPUID leaves 1 and 7, XGETBV). Implemented in batch_amd64.s.
+func cpuHasAVX2FMA() bool
+
+// gemmAVX2 computes dst[i*n+j] += Σ_k a[i*k+j′]·b[j′*n+j] for all m
+// rows and columns [0, n&^3), accumulating each element's k terms in
+// ascending order with separate VMULPD+VADDPD (no FMA — the reference
+// scalar kernel rounds the product and the sum separately, and fusing
+// them would change bits). Columns n&^3..n-1 are the caller's job.
+//
+//go:noescape
+func gemmAVX2(dst, a, b *float64, m, k, n int)
+
+// expAVX2 sets dst[i] = math.Exp(x[i]) for i in [0, n), n a positive
+// multiple of 4, bit-identically to math.Exp's amd64 FMA path. dst and
+// x may alias exactly. Implemented in batch_amd64.s.
+//
+//go:noescape
+func expAVX2(dst, x *float64, n int)

@@ -1,0 +1,324 @@
+// AVX2 kernels for the continuous-batching decode path (DESIGN.md
+// §6.2). Both kernels are bit-identical to their portable references
+// and are verified against them element-for-element in batch_test.go:
+//
+//   - gemmAVX2 accumulates each dst element's k terms in ascending
+//     order with separate VMULPD+VADDPD. No FMA: the scalar reference
+//     rounds the product and the sum separately, and fusing them would
+//     change low bits.
+//
+//   - expAVX2 is a four-lane transcription of math.Exp's amd64 FMA
+//     path (exp_amd64.s, the Shibata/SLEEF reduction): the same FMA
+//     reduction, polynomial, squaring chain, and two-step denormal
+//     ldexp, instruction for instruction, with the scalar code's
+//     branches (overflow, underflow, denormal, NaN, ±Inf) turned into
+//     masked blends. It is used only when the CPU also makes math.Exp
+//     take that path (see haveBatchASM), so the two always agree.
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	// CPUID.1:ECX — FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<12 | 1<<27 | 1<<28), BX
+	CMPL BX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  nosupport
+
+	// XGETBV(0) — OS enabled XMM (bit 1) and YMM (bit 2) state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  nosupport
+
+	// CPUID.(7,0):EBX — AVX2 (bit 5).
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   nosupport
+
+	MOVB $1, ret+0(FP)
+	RET
+
+nosupport:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmAVX2(dst, a, b *float64, m, k, n int)
+//
+// dst[i][j] += sum_k a[i][k]*b[k][j] over columns [0, n&^3), with
+// 16-column register tiles and a 4-column cleanup tile. The k loop is
+// innermost and ascending, and every product feeds a separate add.
+TEXT ·gemmAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+
+	TESTQ CX, CX
+	JLE   gdone
+	TESTQ R9, R9
+	JLE   gdone
+
+	MOVQ R10, R11 // R11 = (n &^ 3) * 8: 4-wide column limit, bytes
+	ANDQ $-4, R11
+	SHLQ $3, R11
+	MOVQ R10, R12 // R12 = (n &^ 15) * 8: 16-wide column limit, bytes
+	ANDQ $-16, R12
+	SHLQ $3, R12
+	SHLQ $3, R10  // R10 = n*8: dst/b row stride, bytes
+
+growi:
+	XORQ BX, BX // j, bytes
+
+gj16:
+	CMPQ BX, R12
+	JGE  gj4
+	VMOVUPD (DI)(BX*1), Y0
+	VMOVUPD 32(DI)(BX*1), Y1
+	VMOVUPD 64(DI)(BX*1), Y2
+	VMOVUPD 96(DI)(BX*1), Y3
+	LEAQ    (DX)(BX*1), R13 // &b[0][j]
+	MOVQ    SI, AX          // &a[i][0]
+	MOVQ    R9, R8          // k countdown
+
+gk16:
+	VBROADCASTSD (AX), Y4
+	VMULPD       (R13), Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	VMULPD       32(R13), Y4, Y6
+	VADDPD       Y6, Y1, Y1
+	VMULPD       64(R13), Y4, Y7
+	VADDPD       Y7, Y2, Y2
+	VMULPD       96(R13), Y4, Y8
+	VADDPD       Y8, Y3, Y3
+	ADDQ         $8, AX
+	ADDQ         R10, R13
+	DECQ         R8
+	JNZ          gk16
+	VMOVUPD      Y0, (DI)(BX*1)
+	VMOVUPD      Y1, 32(DI)(BX*1)
+	VMOVUPD      Y2, 64(DI)(BX*1)
+	VMOVUPD      Y3, 96(DI)(BX*1)
+	ADDQ         $128, BX
+	JMP          gj16
+
+gj4:
+	CMPQ BX, R11
+	JGE  growiend
+	VMOVUPD (DI)(BX*1), Y0
+	LEAQ    (DX)(BX*1), R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+gk4:
+	VBROADCASTSD (AX), Y4
+	VMULPD       (R13), Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	ADDQ         $8, AX
+	ADDQ         R10, R13
+	DECQ         R8
+	JNZ          gk4
+	VMOVUPD      Y0, (DI)(BX*1)
+	ADDQ         $32, BX
+	JMP          gj4
+
+growiend:
+	ADDQ R10, DI        // next dst row
+	LEAQ (SI)(R9*8), SI // next a row
+	DECQ CX
+	JNZ  growi
+
+gdone:
+	VZEROUPPER
+	RET
+
+// Broadcast constant table for expAVX2: each 32-byte row is one
+// float64 (or int64) replicated four times. The float values are the
+// exact constants of math's exp_amd64.s.
+DATA expc<>+0(SB)/8, $1.4426950408889634073599246810018920    // LOG2E
+DATA expc<>+8(SB)/8, $1.4426950408889634073599246810018920
+DATA expc<>+16(SB)/8, $1.4426950408889634073599246810018920
+DATA expc<>+24(SB)/8, $1.4426950408889634073599246810018920
+DATA expc<>+32(SB)/8, $7.09782712893384e+02                   // Overflow
+DATA expc<>+40(SB)/8, $7.09782712893384e+02
+DATA expc<>+48(SB)/8, $7.09782712893384e+02
+DATA expc<>+56(SB)/8, $7.09782712893384e+02
+DATA expc<>+64(SB)/8, $0.69314718055966295651160180568695068359375 // LN2U
+DATA expc<>+72(SB)/8, $0.69314718055966295651160180568695068359375
+DATA expc<>+80(SB)/8, $0.69314718055966295651160180568695068359375
+DATA expc<>+88(SB)/8, $0.69314718055966295651160180568695068359375
+DATA expc<>+96(SB)/8, $0.28235290563031577122588448175013436025525412068e-12 // LN2L
+DATA expc<>+104(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA expc<>+112(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA expc<>+120(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA expc<>+128(SB)/8, $0.0625
+DATA expc<>+136(SB)/8, $0.0625
+DATA expc<>+144(SB)/8, $0.0625
+DATA expc<>+152(SB)/8, $0.0625
+DATA expc<>+160(SB)/8, $2.4801587301587301587e-5
+DATA expc<>+168(SB)/8, $2.4801587301587301587e-5
+DATA expc<>+176(SB)/8, $2.4801587301587301587e-5
+DATA expc<>+184(SB)/8, $2.4801587301587301587e-5
+DATA expc<>+192(SB)/8, $1.9841269841269841270e-4
+DATA expc<>+200(SB)/8, $1.9841269841269841270e-4
+DATA expc<>+208(SB)/8, $1.9841269841269841270e-4
+DATA expc<>+216(SB)/8, $1.9841269841269841270e-4
+DATA expc<>+224(SB)/8, $1.3888888888888888889e-3
+DATA expc<>+232(SB)/8, $1.3888888888888888889e-3
+DATA expc<>+240(SB)/8, $1.3888888888888888889e-3
+DATA expc<>+248(SB)/8, $1.3888888888888888889e-3
+DATA expc<>+256(SB)/8, $8.3333333333333333333e-3
+DATA expc<>+264(SB)/8, $8.3333333333333333333e-3
+DATA expc<>+272(SB)/8, $8.3333333333333333333e-3
+DATA expc<>+280(SB)/8, $8.3333333333333333333e-3
+DATA expc<>+288(SB)/8, $4.1666666666666666667e-2
+DATA expc<>+296(SB)/8, $4.1666666666666666667e-2
+DATA expc<>+304(SB)/8, $4.1666666666666666667e-2
+DATA expc<>+312(SB)/8, $4.1666666666666666667e-2
+DATA expc<>+320(SB)/8, $1.6666666666666666667e-1
+DATA expc<>+328(SB)/8, $1.6666666666666666667e-1
+DATA expc<>+336(SB)/8, $1.6666666666666666667e-1
+DATA expc<>+344(SB)/8, $1.6666666666666666667e-1
+DATA expc<>+352(SB)/8, $0.5
+DATA expc<>+360(SB)/8, $0.5
+DATA expc<>+368(SB)/8, $0.5
+DATA expc<>+376(SB)/8, $0.5
+DATA expc<>+384(SB)/8, $1.0
+DATA expc<>+392(SB)/8, $1.0
+DATA expc<>+400(SB)/8, $1.0
+DATA expc<>+408(SB)/8, $1.0
+DATA expc<>+416(SB)/8, $2.0
+DATA expc<>+424(SB)/8, $2.0
+DATA expc<>+432(SB)/8, $2.0
+DATA expc<>+440(SB)/8, $2.0
+DATA expc<>+448(SB)/8, $0x3FF // exponent bias
+DATA expc<>+456(SB)/8, $0x3FF
+DATA expc<>+464(SB)/8, $0x3FF
+DATA expc<>+472(SB)/8, $0x3FF
+DATA expc<>+480(SB)/8, $1 // for biased <= 0 as 1 > biased
+DATA expc<>+488(SB)/8, $1
+DATA expc<>+496(SB)/8, $1
+DATA expc<>+504(SB)/8, $1
+DATA expc<>+512(SB)/8, $-52 // deepest representable denormal shift
+DATA expc<>+520(SB)/8, $-52
+DATA expc<>+528(SB)/8, $-52
+DATA expc<>+536(SB)/8, $-52
+DATA expc<>+544(SB)/8, $0x7FE // for biased >= 0x7FF as biased > 0x7FE
+DATA expc<>+552(SB)/8, $0x7FE
+DATA expc<>+560(SB)/8, $0x7FE
+DATA expc<>+568(SB)/8, $0x7FE
+DATA expc<>+576(SB)/8, $0x3FE // bias-1 for the denormal two-step
+DATA expc<>+584(SB)/8, $0x3FE
+DATA expc<>+592(SB)/8, $0x3FE
+DATA expc<>+600(SB)/8, $0x3FE
+DATA expc<>+608(SB)/8, $0x0010000000000000 // bits of 2^-1022
+DATA expc<>+616(SB)/8, $0x0010000000000000
+DATA expc<>+624(SB)/8, $0x0010000000000000
+DATA expc<>+632(SB)/8, $0x0010000000000000
+DATA expc<>+640(SB)/8, $0x7FF0000000000000 // +Inf
+DATA expc<>+648(SB)/8, $0x7FF0000000000000
+DATA expc<>+656(SB)/8, $0x7FF0000000000000
+DATA expc<>+664(SB)/8, $0x7FF0000000000000
+DATA expc<>+672(SB)/4, $0x00000000 // -Inf (split to fit the int range)
+DATA expc<>+676(SB)/4, $0xFFF00000
+DATA expc<>+680(SB)/4, $0x00000000
+DATA expc<>+684(SB)/4, $0xFFF00000
+DATA expc<>+688(SB)/4, $0x00000000
+DATA expc<>+692(SB)/4, $0xFFF00000
+DATA expc<>+696(SB)/4, $0x00000000
+DATA expc<>+700(SB)/4, $0xFFF00000
+GLOBL expc<>+0(SB), RODATA, $704
+
+// func expAVX2(dst, x *float64, n int)
+//
+// dst[i] = Exp(x[i]) for i in [0, n), n a positive multiple of 4.
+// Four-lane transcription of archExp's FMA path; see the file comment.
+TEXT ·expAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+
+eloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD Y0, Y12 // original bits for the NaN lanes
+
+	// Special-case masks, from the unmodified input: NaN (return x),
+	// -Inf (return 0), and x > Overflow (return +Inf; also catches
+	// +Inf itself, which the scalar code returns unchanged).
+	VCMPPD $3, Y0, Y0, Y5            // unordered: NaN lanes
+	VCMPPD $0, expc<>+672(SB), Y0, Y6 // x == -Inf
+	VCMPPD $30, expc<>+32(SB), Y0, Y4 // x > Overflow (GT_OQ: false for NaN)
+
+	// Argument reduction: k = round(x*log2(e)); r = x - k*ln2 via the
+	// split-constant FNMAs; r /= 16.
+	VMULPD       expc<>+0(SB), Y0, Y1
+	VCVTPD2DQY   Y1, X13
+	VCVTDQ2PD    X13, Y3
+	VFNMADD231PD expc<>+64(SB), Y3, Y0
+	VFNMADD231PD expc<>+96(SB), Y3, Y0
+	VMULPD       expc<>+128(SB), Y0, Y0
+
+	// Taylor polynomial, FMA Horner, then exp(r)-1 via the squaring
+	// chain f = f*(f+2) four times (last fused with the final +1).
+	VMOVUPD     expc<>+160(SB), Y1
+	VFMADD213PD expc<>+192(SB), Y0, Y1
+	VFMADD213PD expc<>+224(SB), Y0, Y1
+	VFMADD213PD expc<>+256(SB), Y0, Y1
+	VFMADD213PD expc<>+288(SB), Y0, Y1
+	VFMADD213PD expc<>+320(SB), Y0, Y1
+	VFMADD213PD expc<>+352(SB), Y0, Y1
+	VFMADD213PD expc<>+384(SB), Y0, Y1
+	VMULPD      Y1, Y0, Y0
+	VADDPD      expc<>+416(SB), Y0, Y2
+	VMULPD      Y2, Y0, Y0
+	VADDPD      expc<>+416(SB), Y0, Y2
+	VMULPD      Y2, Y0, Y0
+	VADDPD      expc<>+416(SB), Y0, Y2
+	VMULPD      Y2, Y0, Y0
+	VADDPD      expc<>+416(SB), Y0, Y2
+	VFMADD213PD expc<>+384(SB), Y2, Y0
+
+	// Vector ldexp: biased = k + 1023. Lanes with biased > 0x7FE
+	// overflow to +Inf; lanes with biased <= 0 rescale through the
+	// scalar code's two-step denormal product (underflowing to 0 below
+	// biased = -52); the rest scale by 2^k directly.
+	VPMOVSXDQ X13, Y7
+	VPADDQ    expc<>+448(SB), Y7, Y7
+	VMOVDQU   expc<>+480(SB), Y8
+	VPCMPGTQ  Y7, Y8, Y8               // biased <= 0: denormal lanes
+	VMOVDQU   expc<>+512(SB), Y9
+	VPCMPGTQ  Y7, Y9, Y9               // biased < -52: underflow lanes
+	VPCMPGTQ  expc<>+544(SB), Y7, Y10  // biased > 0x7FE: overflow lanes
+	VPSLLQ    $52, Y7, Y11
+	VMULPD    Y11, Y0, Y11             // normal lanes: f * 2^k
+	VPADDQ    expc<>+576(SB), Y7, Y7
+	VPSLLQ    $52, Y7, Y7
+	VMULPD    Y7, Y0, Y7
+	VMULPD    expc<>+608(SB), Y7, Y7   // denormal lanes: (f*2^(k+2045)) * 2^-1022
+
+	// Compose, in the scalar code's precedence order (NaN last).
+	VBLENDVPD Y8, Y7, Y11, Y0
+	VXORPD    Y2, Y2, Y2
+	VBLENDVPD Y9, Y2, Y0, Y0
+	VMOVUPD   expc<>+640(SB), Y3
+	VBLENDVPD Y10, Y3, Y0, Y0
+	VBLENDVPD Y4, Y3, Y0, Y0
+	VBLENDVPD Y6, Y2, Y0, Y0
+	VBLENDVPD Y5, Y12, Y0, Y0
+
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     eloop
+	VZEROUPPER
+	RET

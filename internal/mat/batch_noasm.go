@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package mat
+
+// haveBatchASM reports whether assembly batched-decode kernels exist
+// for this architecture. Without them MulAddBatched and ExpSlice use
+// the portable fallbacks in batch.go, which are bit-identical (and the
+// reference the assembly is tested against).
+func haveBatchASM() bool { return false }
+
+func gemmAVX2(dst, a, b *float64, m, k, n int) {
+	panic("mat: gemmAVX2 without assembly kernel")
+}
+
+func expAVX2(dst, x *float64, n int) {
+	panic("mat: expAVX2 without assembly kernel")
+}

@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Fleet is the batched stateful counterpart of StepForward: it owns
+// per-layer hidden/cell state for many concurrent decode streams as
+// row slices of shared slabs and advances any subset of them through
+// one set of batched step GEMMs (DESIGN.md §6.2). Streams are admitted
+// with Admit (a row index) and retired with Retire, which compacts the
+// slabs by swap-remove so every batched GEMM runs over contiguous
+// rows.
+//
+// Per stream, a Fleet step is bit-identical to StepForward on a
+// dedicated State: every GEMM kernel — including the vectorized
+// MulAddBatched — accumulates each output element's k-terms in
+// ascending order regardless of batch size, blocking, or worker count;
+// the vectorized gate activations compute exactly the scalar loop's
+// operations (vecact.go); and layer 0 re-applies StepForward's
+// sparse-row dispatch so skip-zero kernel choices match row for row.
+//
+// A Fleet is not safe for concurrent use; the decode scheduler in
+// internal/core drives it from one goroutine. Steady-state Step calls
+// allocate nothing (scratch grows only when Admit outgrows capacity).
+type Fleet struct {
+	net *LSTM
+	n   int // live streams (rows 0..n-1 of h/c)
+	cap int // slab capacity in rows
+
+	// Persistent per-stream state, one row per stream, per layer.
+	h, c []*mat.Dense // [cap x H]
+
+	// Step scratch: gathered inputs/state for the stepping subset, all
+	// sized to cap and viewed down to the subset size per call.
+	x      *mat.Dense   // gathered step inputs [cap x InputDim]
+	gh, gc []*mat.Dense // gathered per-layer state [cap x H]
+	z      *mat.Dense   // gate pre-activations [cap x 4H]
+	y      *mat.Dense   // head output [cap x OutputDim]
+
+	// Preallocated view headers so Step performs no allocation: k-row
+	// prefixes of the scratch slabs plus 1-row cursors for the layer-0
+	// per-row dispatch.
+	xv, zv, yv mat.Dense
+	ghv, gcv   []mat.Dense
+	rx, rz     mat.Dense
+
+	// Gate-loop scratch for the vectorized activations: tanh exp
+	// arguments and the tanh(c) output, one hidden row each.
+	ts, tc []float64
+}
+
+// NewFleet returns an empty fleet with initial capacity for the given
+// number of streams (it grows as needed).
+func (n *LSTM) NewFleet(capacity int) *Fleet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	f := &Fleet{net: n}
+	f.alloc(capacity)
+	return f
+}
+
+// alloc (re)creates the slabs at the given row capacity, preserving
+// the first f.n rows of the persistent state.
+func (f *Fleet) alloc(capacity int) {
+	cfg := f.net.Cfg
+	nl := len(f.net.layers)
+	h := make([]*mat.Dense, nl)
+	c := make([]*mat.Dense, nl)
+	for l := 0; l < nl; l++ {
+		h[l] = mat.NewDense(capacity, cfg.HiddenDim)
+		c[l] = mat.NewDense(capacity, cfg.HiddenDim)
+		if f.n > 0 {
+			copy(h[l].Data, f.h[l].Data[:f.n*cfg.HiddenDim])
+			copy(c[l].Data, f.c[l].Data[:f.n*cfg.HiddenDim])
+		}
+	}
+	f.h, f.c = h, c
+	f.cap = capacity
+	f.x = mat.NewDense(capacity, cfg.InputDim)
+	f.gh = make([]*mat.Dense, nl)
+	f.gc = make([]*mat.Dense, nl)
+	for l := 0; l < nl; l++ {
+		f.gh[l] = mat.NewDense(capacity, cfg.HiddenDim)
+		f.gc[l] = mat.NewDense(capacity, cfg.HiddenDim)
+	}
+	f.z = mat.NewDense(capacity, 4*cfg.HiddenDim)
+	f.y = mat.NewDense(capacity, cfg.OutputDim)
+	f.ghv = make([]mat.Dense, nl)
+	f.gcv = make([]mat.Dense, nl)
+	f.ts = make([]float64, cfg.HiddenDim)
+	f.tc = make([]float64, cfg.HiddenDim)
+}
+
+// Rows returns the number of live streams.
+func (f *Fleet) Rows() int { return f.n }
+
+// Admit adds a stream with zero initial state and returns its row
+// index. The index stays valid until the stream retires or a later
+// Retire moves it (see Retire's return value).
+func (f *Fleet) Admit() int {
+	if f.n == f.cap {
+		f.alloc(2 * f.cap)
+	}
+	row := f.n
+	f.n++
+	hd := f.net.Cfg.HiddenDim
+	for l := range f.h {
+		clear(f.h[l].Row(row)[:hd])
+		clear(f.c[l].Row(row)[:hd])
+	}
+	return row
+}
+
+// Retire removes the stream in the given row. To keep the live rows
+// contiguous it moves the last live row into the freed slot
+// (swap-remove compaction) and returns that row's previous index so
+// the caller can re-point whichever stream owned it; -1 means nothing
+// moved. State copies are exact, so compaction never perturbs decode
+// results.
+func (f *Fleet) Retire(row int) (moved int) {
+	if row < 0 || row >= f.n {
+		panic(fmt.Sprintf("nn: Fleet.Retire row %d of %d", row, f.n))
+	}
+	last := f.n - 1
+	moved = -1
+	if row != last {
+		for l := range f.h {
+			copy(f.h[l].Row(row), f.h[l].Row(last))
+			copy(f.c[l].Row(row), f.c[l].Row(last))
+		}
+		moved = last
+	}
+	f.n = last
+	return moved
+}
+
+// InputRow returns the i-th input buffer for the next Step call (slot
+// i feeds rows[i]). The caller must fully overwrite it before Step.
+func (f *Fleet) InputRow(i int) []float64 { return f.x.Row(i) }
+
+// viewRows points header v at the first k rows of m.
+func viewRows(v *mat.Dense, m *mat.Dense, k int) *mat.Dense {
+	v.Rows, v.Cols = k, m.Cols
+	v.Data = m.Data[:k*m.Cols]
+	return v
+}
+
+// viewRow points header v at row i of m.
+func viewRow(v *mat.Dense, m *mat.Dense, i int) *mat.Dense {
+	v.Rows, v.Cols = 1, m.Cols
+	v.Data = m.Data[i*m.Cols : (i+1)*m.Cols]
+	return v
+}
+
+// Step advances the streams in rows[i] (i = 0..len(rows)-1) by one
+// LSTM step, consuming input slot i for rows[i], and returns the
+// [len(rows) x OutputDim] logits (row i for rows[i]; valid until the
+// next Step). Rows not listed are untouched. The subset is gathered
+// into contiguous scratch, advanced through shared batched GEMMs, and
+// scattered back; per stream the result is bit-identical to
+// StepForward.
+func (f *Fleet) Step(rows []int) *mat.Dense {
+	k := len(rows)
+	if k == 0 {
+		return viewRows(&f.yv, f.y, 0)
+	}
+	net := f.net
+	hd := net.Cfg.HiddenDim
+
+	// Gather the subset's state into contiguous rows.
+	for l := range f.h {
+		gh, gc := f.gh[l], f.gc[l]
+		hl, cl := f.h[l], f.c[l]
+		for i, r := range rows {
+			copy(gh.Row(i), hl.Row(r))
+			copy(gc.Row(i), cl.Row(r))
+		}
+	}
+
+	in := viewRows(&f.xv, f.x, k)
+	Z := viewRows(&f.zv, f.z, k)
+	for l, layer := range net.layers {
+		Z.Zero()
+		if layer.first {
+			// Replicate StepForward's per-row kernel dispatch: each
+			// stream's input chooses sparse vs dense exactly as its
+			// serial step would.
+			for i := 0; i < k; i++ {
+				xr := viewRow(&f.rx, in, i)
+				zr := viewRow(&f.rz, Z, i)
+				if sparseEnough(xr) {
+					mat.MulAddSparse(zr, xr, layer.wx.Value)
+				} else {
+					mat.MulAddBatched(zr, xr, layer.wx.Value)
+				}
+			}
+		} else {
+			mat.MulAddBatched(Z, in, layer.wx.Value)
+		}
+		H := viewRows(&f.ghv[l], f.gh[l], k)
+		C := viewRows(&f.gcv[l], f.gc[l], k)
+		mat.MulAddBatched(Z, H, layer.wh.Value)
+		mat.AddBiasRows(Z, layer.b.Value.Row(0))
+		// Gate nonlinearities via the vectorized activations. Per
+		// element these compute exactly what StepForward's scalar loop
+		// computes — i/f/o sigmoids, g and cell tanhs, and the same
+		// mul/add order in the c and h updates — see vecact.go.
+		for i := 0; i < k; i++ {
+			zrow := Z.Row(i)
+			hrow, crow := H.Row(i), C.Row(i)
+			vecSigmoid(zrow[:2*hd])                             // i and f gates
+			vecTanhInto(zrow[2*hd:3*hd], zrow[2*hd:3*hd], f.ts) // g gate
+			vecSigmoid(zrow[3*hd:])                             // o gate
+			for j := 0; j < hd; j++ {
+				crow[j] = zrow[hd+j]*crow[j] + zrow[j]*zrow[2*hd+j]
+			}
+			vecTanhInto(f.tc, crow, f.ts)
+			for j := 0; j < hd; j++ {
+				hrow[j] = zrow[3*hd+j] * f.tc[j]
+			}
+		}
+		in = H
+	}
+	Y := viewRows(&f.yv, f.y, k)
+	Y.Zero()
+	mat.MulAddBatched(Y, in, net.wy.Value)
+	mat.AddBiasRows(Y, net.by.Value.Row(0))
+
+	// Scatter the advanced state back to the streams' home rows.
+	for l := range f.h {
+		gh, gc := f.gh[l], f.gc[l]
+		hl, cl := f.h[l], f.c[l]
+		for i, r := range rows {
+			copy(hl.Row(r), gh.Row(i))
+			copy(cl.Row(r), gc.Row(i))
+		}
+	}
+	return Y
+}

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func fleetTestNet() *LSTM {
+	return NewLSTM(Config{InputDim: 9, HiddenDim: 8, Layers: 2, OutputDim: 5}, rng.New(7))
+}
+
+// fleetInput writes a deterministic step input for stream s at step t.
+// Odd streams get one-hot rows (sparse kernel dispatch), even streams
+// dense rows, so both layer-0 paths are exercised in one batch.
+func fleetInput(dst []float64, s, t int) {
+	clear(dst)
+	if s%2 == 1 {
+		dst[(s+t)%len(dst)] = 1
+		return
+	}
+	g := rng.New(int64(1000*s + t))
+	for i := range dst {
+		dst[i] = g.NormFloat64()
+	}
+}
+
+// TestFleetMatchesStepForward drives interleaved subsets of streams
+// through Fleet.Step and asserts every logit is bit-identical to the
+// same stream advanced alone via StepForward.
+func TestFleetMatchesStepForward(t *testing.T) {
+	net := fleetTestNet()
+	const streams = 6
+	f := net.NewFleet(streams)
+	refs := make([]*State, streams)
+	rows := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		rows[s] = f.Admit()
+		refs[s] = net.NewState(1)
+	}
+	steps := make([]int, streams) // per-stream step counter
+	ref := make([]float64, net.Cfg.InputDim)
+	pick := rng.New(99)
+	for round := 0; round < 60; round++ {
+		// A deterministic, varying subset: stream s steps when the
+		// round's draw admits it; every stream steps in round 0.
+		var sub []int
+		for s := 0; s < streams; s++ {
+			if round == 0 || pick.Float64() < 0.6 {
+				sub = append(sub, s)
+			}
+		}
+		batch := make([]int, len(sub))
+		for i, s := range sub {
+			batch[i] = rows[s]
+			fleetInput(f.InputRow(i), s, steps[s])
+		}
+		y := f.Step(batch)
+		for i, s := range sub {
+			fleetInput(ref, s, steps[s])
+			want := net.StepForward(ref, refs[s])
+			got := y.Row(i)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("round %d stream %d logit %d: fleet %v, serial %v", round, s, j, got[j], want[j])
+				}
+			}
+			steps[s]++
+		}
+	}
+}
+
+// TestFleetRetireCompaction retires streams mid-decode (first, middle,
+// last rows) and checks the swap-remove bookkeeping: surviving streams
+// keep producing StepForward-identical logits from their moved rows.
+func TestFleetRetireCompaction(t *testing.T) {
+	net := fleetTestNet()
+	const streams = 5
+	f := net.NewFleet(2) // force growth too
+	refs := make([]*State, streams)
+	rows := make([]int, streams)
+	owner := make(map[int]int) // fleet row -> stream
+	for s := 0; s < streams; s++ {
+		rows[s] = f.Admit()
+		owner[rows[s]] = s
+		refs[s] = net.NewState(1)
+	}
+	live := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	steps := make([]int, streams)
+	ref := make([]float64, net.Cfg.InputDim)
+
+	stepAll := func() {
+		t.Helper()
+		var sub []int
+		for s := 0; s < streams; s++ {
+			if live[s] {
+				sub = append(sub, s)
+			}
+		}
+		batch := make([]int, len(sub))
+		for i, s := range sub {
+			batch[i] = rows[s]
+			fleetInput(f.InputRow(i), s, steps[s])
+		}
+		y := f.Step(batch)
+		for i, s := range sub {
+			fleetInput(ref, s, steps[s])
+			want := net.StepForward(ref, refs[s])
+			for j := range want {
+				if y.Row(i)[j] != want[j] {
+					t.Fatalf("stream %d logit %d: fleet %v, serial %v", s, j, y.Row(i)[j], want[j])
+				}
+			}
+			steps[s]++
+		}
+	}
+	retire := func(s int) {
+		t.Helper()
+		moved := f.Retire(rows[s])
+		if moved >= 0 {
+			o := owner[moved]
+			rows[o] = rows[s]
+			owner[rows[s]] = o
+			delete(owner, moved)
+		} else {
+			delete(owner, rows[s])
+		}
+		live[s] = false
+	}
+
+	stepAll()
+	retire(0) // first row: moves the last row down
+	stepAll()
+	retire(2) // middle
+	stepAll()
+	// Retire the stream holding the last row: nothing moves.
+	lastRow := f.Rows() - 1
+	retire(owner[lastRow])
+	stepAll()
+	if f.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", f.Rows())
+	}
+}
+
+// TestFleetStepAllocFree pins the batched decode step at zero
+// steady-state allocations (serial kernels; the parallel fan-out
+// allocates its bounded per-region scratch like every par path).
+func TestFleetStepAllocFree(t *testing.T) {
+	defer par.SetProcs(par.SetProcs(1))
+	net := fleetTestNet()
+	const streams = 8
+	f := net.NewFleet(streams)
+	batch := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		batch[s] = f.Admit()
+	}
+	for i := range batch {
+		fleetInput(f.InputRow(i), i, 0)
+	}
+	f.Step(batch) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := range batch {
+			// Alloc-free input refresh (fleetInput's dense branch seeds
+			// an RNG, which allocates); half one-hot, half dense.
+			in := f.InputRow(i)
+			clear(in)
+			if i%2 == 1 {
+				in[i%len(in)] = 1
+			} else {
+				for j := range in {
+					in[j] = float64(i*7+j) * 0.125
+				}
+			}
+		}
+		f.Step(batch)
+	}); allocs != 0 {
+		t.Fatalf("fleet step allocates %v times, want 0", allocs)
+	}
+}
+
+// TestFleetAdmitZeroState checks a freshly admitted stream behaves as
+// if it had a zero State even when its row previously held another
+// stream's state.
+func TestFleetAdmitZeroState(t *testing.T) {
+	net := fleetTestNet()
+	f := net.NewFleet(2)
+	r0 := f.Admit()
+	in := make([]float64, net.Cfg.InputDim)
+	for step := 0; step < 3; step++ {
+		fleetInput(f.InputRow(0), 3, step)
+		f.Step([]int{r0})
+	}
+	f.Retire(r0)
+	r1 := f.Admit() // same slab row as r0
+	ref := net.NewState(1)
+	fleetInput(f.InputRow(0), 4, 0)
+	y := f.Step([]int{r1})
+	fleetInput(in, 4, 0)
+	want := net.StepForward(in, ref)
+	for j := range want {
+		if y.Row(0)[j] != want[j] {
+			t.Fatalf("logit %d: %v vs %v", j, y.Row(0)[j], want[j])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// actCases covers every branch of the scalar activations: ordinary
+// gate pre-activations, the tanh poly/exp/saturation regions and their
+// boundaries, signed zeros, saturating magnitudes, and non-finites.
+func actCases() []float64 {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1e-300, -1e-300,
+		0.1, -0.1, 0.624999, -0.624999, 0.625, -0.625, 0.626, -0.626,
+		1, -1, 5, -5, 20, -20,
+		44.014, -44.014, 44.0149, -44.0149, 44.015, -44.015, 50, -50,
+		700, -700, 710, -710, 745.2, -745.2,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	g := rng.New(7)
+	for i := 0; i < 5000; i++ {
+		cases = append(cases, (g.Float64()-0.5)*30)
+	}
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, (g.Float64()-0.5)*1600)
+	}
+	return cases
+}
+
+func TestVecSigmoidBitExact(t *testing.T) {
+	x := actCases()
+	v := append([]float64(nil), x...)
+	vecSigmoid(v)
+	for i, xv := range x {
+		want := sigmoid(xv)
+		if math.Float64bits(v[i]) != math.Float64bits(want) {
+			t.Fatalf("sigmoid(%v) = %x, want %x", xv, math.Float64bits(v[i]), math.Float64bits(want))
+		}
+	}
+}
+
+func TestVecTanhBitExact(t *testing.T) {
+	x := actCases()
+	dst := make([]float64, len(x))
+	scratch := make([]float64, len(x))
+	vecTanhInto(dst, x, scratch)
+	for i, xv := range x {
+		want := math.Tanh(xv)
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Fatalf("tanh(%v) = %x, want %x", xv, math.Float64bits(dst[i]), math.Float64bits(want))
+		}
+	}
+	// Exact-alias form, as the fleet gate loop uses it.
+	v := append([]float64(nil), x...)
+	vecTanhInto(v, v, scratch)
+	for i, xv := range x {
+		if math.Float64bits(v[i]) != math.Float64bits(math.Tanh(xv)) {
+			t.Fatalf("aliased tanh(%v) = %v, want %v", xv, v[i], math.Tanh(xv))
+		}
+	}
+}
+
+func TestSoftmaxIntoVecBitExact(t *testing.T) {
+	g := rng.New(11)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + g.Intn(40)
+		logits := make([]float64, n)
+		for i := range logits {
+			logits[i] = (g.Float64() - 0.5) * 20
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		SoftmaxInto(logits, want)
+		SoftmaxIntoVec(logits, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d elem %d: got %x want %x",
+					trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+func TestSigmoidIntoVecBitExact(t *testing.T) {
+	logits := actCases()
+	want := make([]float64, len(logits))
+	got := make([]float64, len(logits))
+	SigmoidInto(logits, want)
+	SigmoidIntoVec(logits, got)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("elem %d (x=%v): got %x want %x",
+				i, logits[i], math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestVecActNoAlloc(t *testing.T) {
+	v := make([]float64, 96)
+	scratch := make([]float64, 96)
+	logits := make([]float64, 47)
+	out := make([]float64, 47)
+	g := rng.New(3)
+	for i := range v {
+		v[i] = (g.Float64() - 0.5) * 10
+	}
+	for i := range logits {
+		logits[i] = (g.Float64() - 0.5) * 10
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		vecSigmoid(v)
+		vecTanhInto(v, v, scratch)
+		SoftmaxIntoVec(logits, out)
+		SigmoidIntoVec(logits, out)
+	}); n != 0 {
+		t.Fatalf("vector activations allocated %v per run", n)
+	}
+}

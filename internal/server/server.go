@@ -47,25 +47,35 @@ type GenerateRequest struct {
 }
 
 // Server wraps a trained model with HTTP handlers. It is safe for
-// concurrent use: generation state is created per request and the model
-// weights are read-only after construction.
+// concurrent use: the model weights are read-only after construction
+// and concurrent /generate requests are coalesced into shared decode
+// batches by a core.Engine (DESIGN.md §6.2); per-request seeded RNGs
+// keep every response byte-identical to a serial decode of that seed.
 type Server struct {
 	model   *core.Model
 	catalog *trace.FlavorSet
 	// MaxPeriods bounds a single request (default: 4 weeks).
 	MaxPeriods int
+	// BatchWindow is how long /generate waits for more requests to join
+	// its decode batch (default 2ms; set before the first request).
+	BatchWindow time.Duration
+	// MaxBatch caps concurrent streams in one decode batch (default 64;
+	// set before the first request).
+	MaxBatch int
 	// TrainInfo optionally carries training-run metadata (cloud, epochs,
 	// seed, wall time, journal path) surfaced under "train" at /metrics.
 	TrainInfo map[string]any
 
 	mu    sync.Mutex
 	seeds *rng.RNG // fresh-seed source for requests without a seed
+	eng   *core.Engine
 
 	started time.Time
 	served  int64
 
 	reg       *obs.Registry
 	inflight  *obs.Gauge
+	cancelled *obs.Counter   // requests abandoned via context cancellation
 	sampleLat *obs.Histogram // model sampling phase of /generate
 	encodeLat *obs.Histogram // serialization phase of /generate
 }
@@ -74,21 +84,47 @@ type Server struct {
 func New(model *core.Model, catalog *trace.FlavorSet) *Server {
 	reg := obs.NewRegistry()
 	return &Server{
-		model:      model,
-		catalog:    catalog,
-		MaxPeriods: 28 * trace.PeriodsPerDay,
-		seeds:      rng.New(time.Now().UnixNano()),
-		started:    time.Now(),
-		reg:        reg,
-		inflight:   reg.Gauge("http.inflight"),
-		sampleLat:  reg.Histogram("generate.sample.seconds", obs.LatencyBuckets),
-		encodeLat:  reg.Histogram("generate.encode.seconds", obs.LatencyBuckets),
+		model:       model,
+		catalog:     catalog,
+		MaxPeriods:  28 * trace.PeriodsPerDay,
+		BatchWindow: 2 * time.Millisecond,
+		MaxBatch:    64,
+		seeds:       rng.New(time.Now().UnixNano()),
+		started:     time.Now(),
+		reg:         reg,
+		inflight:    reg.Gauge("http.inflight"),
+		cancelled:   reg.Counter("http.cancelled"),
+		sampleLat:   reg.Histogram("generate.sample.seconds", obs.LatencyBuckets),
+		encodeLat:   reg.Histogram("generate.encode.seconds", obs.LatencyBuckets),
 	}
 }
 
 // Metrics exposes the server's registry (for expvar publication and
 // tests).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// engine lazily starts the shared continuous-batching decode engine on
+// the first /generate, so BatchWindow/MaxBatch can be tuned after New.
+func (s *Server) engine() *core.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		s.eng = core.NewEngine(s.model, s.BatchWindow, s.MaxBatch)
+	}
+	return s.eng
+}
+
+// Close shuts down the decode engine (if one was started), failing any
+// queued requests with core.ErrEngineClosed. Safe to call more than
+// once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	if eng != nil {
+		eng.Close()
+	}
+}
 
 // Handler returns the HTTP mux for the service.
 func (s *Server) Handler() http.Handler {
@@ -224,13 +260,24 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown format %q", req.Format)
 		return
 	}
-	// Copy the model so per-request knobs do not race.
-	m := *s.model
-	m.RateScale = req.Scale
+	// Decode through the shared continuous-batching engine: this request
+	// joins whatever batch forms within BatchWindow, but its dedicated
+	// seeded RNG keeps the result byte-identical to a serial decode.
 	window := trace.Window{Start: start, End: start + req.Periods}
 	sampleStart := time.Now()
-	tr := core.WithCatalog(m.Generate(rng.New(seed), window), s.catalog)
+	tr, err := s.engine().Generate(r.Context(), rng.New(seed), window, req.Scale)
 	s.sampleLat.Observe(time.Since(sampleStart).Seconds())
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away mid-decode; the engine aborted the
+			// stream and there is nobody left to answer.
+			s.cancelled.Inc()
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "generate: %v", err)
+		return
+	}
+	tr = core.WithCatalog(tr, s.catalog)
 
 	s.mu.Lock()
 	s.served++

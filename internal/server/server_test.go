@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -262,6 +266,72 @@ func TestMetricsCountersAdvance(t *testing.T) {
 	}
 	if after.Gauges["http.inflight"] != 0 {
 		t.Errorf("http.inflight = %d after requests drained", after.Gauges["http.inflight"])
+	}
+}
+
+// TestGenerateConcurrentCoalesced fires many concurrent POST /generate
+// requests so they coalesce into shared decode batches, then checks
+// each response byte-for-byte against a serial decode of its seed —
+// the server-level version of the engine determinism contract. Runs
+// under -race via scripts/check.sh.
+func TestGenerateConcurrentCoalesced(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	const n = 12
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"periods": 24, "seed": %d, "format": "json"}`, 1000+i)
+			rec := do(t, h, "POST", "/generate", body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			bodies[i] = rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	start := s.model.Flavor.HistoryDays * trace.PeriodsPerDay
+	w := trace.Window{Start: start, End: start + 24}
+	for i := 0; i < n; i++ {
+		tr := core.WithCatalog(s.model.Generate(rng.New(int64(1000+i)), w), s.catalog)
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if bodies[i] != buf.String() {
+			t.Fatalf("request %d: coalesced response differs from serial decode", i)
+		}
+	}
+}
+
+// TestGenerateCancelledCounter submits a request whose context is
+// already cancelled: the engine aborts the stream, no response body is
+// written, and the abandonment lands on the http.cancelled counter
+// rather than the error counter.
+func TestGenerateCancelledCounter(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	before := s.Metrics().Snapshot()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/generate", strings.NewReader(`{"periods": 24, "seed": 4}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	after := s.Metrics().Snapshot()
+	if got := after.Counters["http.cancelled"] - before.Counters["http.cancelled"]; got != 1 {
+		t.Errorf("http.cancelled delta = %d, want 1", got)
+	}
+	if got := after.Counters["http.errors.generate"] - before.Counters["http.errors.generate"]; got != 0 {
+		t.Errorf("http.errors.generate delta = %d, want 0 (cancellation is not a server error)", got)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("cancelled request wrote %d body bytes, want none", rec.Body.Len())
 	}
 }
 

@@ -32,20 +32,25 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 {
 	echo '{'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
-	printf '  "goos": "%s", "goarch": "%s", "ncpu": %s,\n' \
-		"$(go env GOOS)" "$(go env GOARCH)" "$(getconf _NPROCESSORS_ONLN)"
+	# ncpu alone is not enough to interpret the parallel benchmarks:
+	# record the worker-count knobs in effect too (null = unset, i.e.
+	# the library defaulted to ncpu).
+	printf '  "goos": "%s", "goarch": "%s", "ncpu": %s, "repro_procs": %s, "gomaxprocs": %s,\n' \
+		"$(go env GOOS)" "$(go env GOARCH)" "$(getconf _NPROCESSORS_ONLN)" \
+		"${REPRO_PROCS:-null}" "${GOMAXPROCS:-null}"
 	echo '  "benchmarks": ['
 	awk '/^Benchmark/ {
 		name=$1; iters=$2; nsop=$3
-		mbs="null"; bop="null"; allocs="null"
+		mbs="null"; bop="null"; allocs="null"; sps="null"
 		for (i=4; i<=NF; i++) {
 			if ($i == "MB/s") mbs=$(i-1)
 			if ($i == "B/op") bop=$(i-1)
 			if ($i == "allocs/op") allocs=$(i-1)
+			if ($i == "streams/s") sps=$(i-1)
 		}
 		if (n++) printf ",\n"
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
-			name, iters, nsop, mbs, bop, allocs
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"streams_per_s\": %s}", \
+			name, iters, nsop, mbs, bop, allocs, sps
 	} END { print "" }' "$TMP"
 	echo '  ]'
 	echo '}'

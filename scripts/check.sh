@@ -1,14 +1,15 @@
 #!/bin/sh
 # Race-detection tier for the packages that carry production
 # concurrency (the parallel execution layer and everything threaded
-# through it, including the metrics registry and the HTTP service),
-# plus the end-to-end determinism regression tests: REPRO_PROCS=1 vs 8
-# and observability-on vs observability-off. Run from the repository
+# through it, the metrics registry, the HTTP service, and the
+# continuous-batching decode engine in internal/core), plus the
+# end-to-end determinism regression tests: REPRO_PROCS=1 vs 8 and
+# observability-on vs observability-off. Run from the repository
 # root: scripts/check.sh
 set -eu
 
 go vet ./...
-go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs ./internal/server
+go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs ./internal/server ./internal/core
 go test -race -run 'TestDeterminism|TestObservability' .
 
 echo "check.sh: vet + race + determinism OK"
