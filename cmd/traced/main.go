@@ -8,6 +8,16 @@
 //	traced -model model.bin -flavors azure
 //	traced -journal run.jsonl -debug-addr :6060
 //	traced -batch-window 2ms -max-batch 64
+//	traced -checkpoint-dir ckpt/ -checkpoint-every 5 -resume
+//
+// With -checkpoint-dir set, training writes an atomic, versioned
+// checkpoint (weights + optimizer moments + RNG stream state) every
+// -checkpoint-every epochs; a process killed mid-training restarts with
+// -resume and reaches byte-identical final weights (DESIGN.md §8). The
+// trained serving snapshot is also published into the checkpoint
+// directory, and SIGHUP (or POST /-/reload) hot-swaps the serving model
+// from the newest published snapshot without dropping in-flight
+// /generate requests.
 //
 // Concurrent POST /generate requests are coalesced into shared decode
 // batches (continuous batching, DESIGN.md §6.2): -batch-window is how
@@ -28,6 +38,7 @@ import (
 	"context"
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -36,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -44,6 +56,56 @@ import (
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
+
+// servingPrefix names the published serving snapshots inside the
+// checkpoint directory: serving-model-<seq>.ckpt, newest wins.
+const servingPrefix = "serving-model"
+
+// publishServing atomically writes the trained model as the next
+// serving snapshot version in the checkpoint directory.
+func publishServing(dir string, m *core.Model) (string, error) {
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		return "", err
+	}
+	store := &ckpt.Store{Dir: dir}
+	seq := 1
+	if prev := store.Seqs(servingPrefix); len(prev) > 0 {
+		seq = prev[len(prev)-1] + 1
+	}
+	return store.Save(servingPrefix, seq, blob)
+}
+
+// loadServing reads the newest intact serving snapshot from the
+// checkpoint directory, skipping corrupt or truncated versions.
+func loadServing(dir string) (*core.Model, error) {
+	store := &ckpt.Store{Dir: dir}
+	blob, seq, skipped, err := store.LoadLatest(servingPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("load serving snapshot: %w", err)
+	}
+	if skipped > 0 {
+		log.Printf("traced: skipped %d corrupt serving snapshot(s)", skipped)
+	}
+	m := &core.Model{}
+	if err := m.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("decode serving snapshot %d: %w", seq, err)
+	}
+	return m, nil
+}
+
+// loadModelFile reads a model serialized with MarshalBinary from disk.
+func loadModelFile(path string) (*core.Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read model: %w", err)
+	}
+	m := &core.Model{}
+	if err := m.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("load model %s: %w", path, err)
+	}
+	return m, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -56,6 +118,9 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long /generate waits to coalesce concurrent requests into one decode batch")
 	maxBatch := flag.Int("max-batch", 64, "max concurrent streams per decode batch")
 	journalPath := flag.String("journal", "", "write a JSONL telemetry journal (training epochs, phase spans) to this path")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for atomic training checkpoints and the published serving snapshot")
+	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every N training epochs (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume training from the newest matching checkpoint in -checkpoint-dir")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener with /debug/pprof/ and /debug/vars")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
 	flag.Parse()
@@ -76,19 +141,29 @@ func main() {
 		cfg = synth.HuaweiLike()
 	}
 
+	// One registry carries checkpoint telemetry from training straight
+	// through to the serving /metrics snapshot.
+	reg := obs.NewRegistry()
+	var ckSpec *core.CheckpointSpec
+	if *ckptDir != "" {
+		ckSpec = &core.CheckpointSpec{
+			Dir:    *ckptDir,
+			Every:  *ckptEvery,
+			Resume: *resume,
+			Obs:    reg,
+		}
+	}
+
 	trainInfo := map[string]any{
 		"cloud": cfg.Name,
 		"seed":  *seed,
 	}
 	var model *core.Model
 	if *modelPath != "" {
-		blob, err := os.ReadFile(*modelPath)
+		var err error
+		model, err = loadModelFile(*modelPath)
 		if err != nil {
-			log.Fatalf("traced: read model: %v", err)
-		}
-		model = &core.Model{}
-		if err := model.UnmarshalBinary(blob); err != nil {
-			log.Fatalf("traced: load model: %v", err)
+			log.Fatalf("traced: %v", err)
 		}
 		log.Printf("loaded model from %s (%d flavors)", *modelPath, model.Flavor.K)
 		trainInfo["source"] = "loaded"
@@ -111,8 +186,10 @@ func main() {
 			Train: core.TrainConfig{
 				Hidden: *hidden, Epochs: *epochs, Seed: *seed,
 				Dev: dev, DevOffset: devStart,
-				Obs: journal,
+				Obs:        journal,
+				Checkpoint: ckSpec,
 			},
+			Arrival: core.ArrivalOptions{Checkpoint: ckSpec},
 		})
 		if err != nil {
 			log.Fatalf("traced: train: %v", err)
@@ -126,16 +203,62 @@ func main() {
 		trainInfo["epochs"] = *epochs
 		trainInfo["train_vms"] = len(train.VMs)
 		trainInfo["train_wall_s"] = wall.Seconds()
+		if *ckptDir != "" {
+			// Publish the serving snapshot next to the training
+			// checkpoints: SIGHUP / POST /-/reload re-reads the newest
+			// published version, so a retrained model can be swapped in
+			// without restarting the server.
+			if path, err := publishServing(*ckptDir, model); err != nil {
+				log.Printf("traced: publish serving snapshot: %v", err)
+			} else {
+				log.Printf("published serving snapshot to %s", path)
+			}
+		}
 	}
 	if *journalPath != "" {
 		trainInfo["journal"] = *journalPath
 	}
 
-	s := server.New(model, cfg.Flavors)
+	s := server.NewWithRegistry(model, cfg.Flavors, reg)
 	s.TrainInfo = trainInfo
 	s.BatchWindow = *batchWindow
 	s.MaxBatch = *maxBatch
 	defer s.Close()
+
+	// Hot-reload source: prefer an explicit -model file, else the newest
+	// serving snapshot published into the checkpoint directory. Both
+	// POST /-/reload and SIGHUP go through the same path.
+	var reloadSrc func() (*core.Model, *trace.FlavorSet, error)
+	switch {
+	case *modelPath != "":
+		reloadSrc = func() (*core.Model, *trace.FlavorSet, error) {
+			m, err := loadModelFile(*modelPath)
+			return m, cfg.Flavors, err
+		}
+	case *ckptDir != "":
+		reloadSrc = func() (*core.Model, *trace.FlavorSet, error) {
+			m, err := loadServing(*ckptDir)
+			return m, cfg.Flavors, err
+		}
+	}
+	s.ReloadFunc = reloadSrc
+	if reloadSrc != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				m, catalog, err := reloadSrc()
+				if err != nil {
+					log.Printf("traced: SIGHUP reload failed, keeping current model: %v", err)
+					journal.Event("reload_failed", map[string]any{"error": err.Error()})
+					continue
+				}
+				s.Reload(m, catalog)
+				log.Printf("SIGHUP: reloaded serving model (%d flavors)", m.Flavor.K)
+				journal.Event("reloaded", map[string]any{"flavors": m.Flavor.K})
+			}
+		}()
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {

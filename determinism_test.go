@@ -150,6 +150,55 @@ func TestObservabilityIsReadOnly(t *testing.T) {
 	}
 }
 
+// TestBatchedFleetDecodeDeterminism extends the determinism contract to
+// the continuous-batching decode path: generating a fleet of seeded
+// traces serially (Model.Generate per seed), batched
+// (Model.GenerateBatch over all seeds at once), and batched on a model
+// resumed from a mid-training checkpoint must all produce byte-identical
+// JSON per seed.
+func TestBatchedFleetDecodeDeterminism(t *testing.T) {
+	train, catalog, testW := resumeFixture(t)
+	dir := t.TempDir()
+	base := trainFullModel(t, train, &core.CheckpointSpec{Dir: dir, Every: 1, Keep: -1})
+	resumed := trainFullModel(t, train, &core.CheckpointSpec{
+		Dir: cutDir(t, dir, 1), Every: 1, Keep: -1, Resume: true,
+	})
+
+	seeds := []int64{101, 102, 103, 104, 105, 106}
+	encode := func(tr *trace.Trace) []byte {
+		var buf bytes.Buffer
+		if err := core.WithCatalog(tr, catalog).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	newGens := func() []*rng.RNG {
+		gs := make([]*rng.RNG, len(seeds))
+		for i, s := range seeds {
+			gs[i] = rng.New(s)
+		}
+		return gs
+	}
+
+	serial := make([][]byte, len(seeds))
+	for i, s := range seeds {
+		serial[i] = encode(base.Generate(rng.New(s), testW))
+		if len(serial[i]) == 0 {
+			t.Fatalf("seed %d: empty serial trace", s)
+		}
+	}
+	batched := base.GenerateBatch(newGens(), testW)
+	resumedBatched := resumed.GenerateBatch(newGens(), testW)
+	for i, s := range seeds {
+		if got := encode(batched[i]); !bytes.Equal(serial[i], got) {
+			t.Errorf("seed %d: batched decode differs from serial (%d vs %d bytes)", s, len(got), len(serial[i]))
+		}
+		if got := encode(resumedBatched[i]); !bytes.Equal(serial[i], got) {
+			t.Errorf("seed %d: batched decode on resumed model differs from serial on baseline", s)
+		}
+	}
+}
+
 // TestDeterminismExperimentsSweep covers the experiment-layer fan-outs
 // (Monte-Carlo sampling, packing trials) at two worker counts on a tiny
 // cloud; unlike the training test above it exercises the shared-events

@@ -1,0 +1,141 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB, 0x00, 0x7F}, 1000)}
+	for _, p := range payloads {
+		frame := Encode(p)
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip changed payload: %d vs %d bytes", len(got), len(p))
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	frame := Encode([]byte("the quick brown fox"))
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": frame[:10],
+		"bad magic":    append([]byte("NOPE"), frame[4:]...),
+		"truncated":    frame[:len(frame)-3],
+		"extended":     append(append([]byte{}, frame...), 0x00),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: corrupt frame decoded without error", name)
+		}
+	}
+	// Every single-byte flip must be caught (magic, version, length,
+	// checksum, or payload corruption).
+	for i := range frame {
+		mut := append([]byte{}, frame...)
+		mut[i] ^= 0x01
+		if _, err := Decode(mut); err == nil {
+			t.Errorf("bit flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestSaveLoadLatest(t *testing.T) {
+	s := &Store{Dir: t.TempDir(), Keep: -1}
+	for seq, text := range []string{"v0", "v1", "v2"} {
+		if _, err := s.Save("model", seq, []byte(text)); err != nil {
+			t.Fatalf("save %d: %v", seq, err)
+		}
+	}
+	got, seq, skipped, err := s.LoadLatest("model")
+	if err != nil {
+		t.Fatalf("load latest: %v", err)
+	}
+	if string(got) != "v2" || seq != 2 || skipped != 0 {
+		t.Fatalf("got %q seq=%d skipped=%d, want v2/2/0", got, seq, skipped)
+	}
+	if _, _, _, err := s.LoadLatest("other"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing prefix: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestTruncatedLatestFallsBack is the crash-safety contract: a torn
+// write of the newest checkpoint must not lose the run — the previous
+// intact checkpoint is used.
+func TestTruncatedLatestFallsBack(t *testing.T) {
+	s := &Store{Dir: t.TempDir(), Keep: -1}
+	if _, err := s.Save("model", 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.Save("model", 2, []byte("newest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: truncate the newest file.
+	if err := os.Truncate(path, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, skipped, err := s.LoadLatest("model")
+	if err != nil {
+		t.Fatalf("load latest after truncation: %v", err)
+	}
+	if string(got) != "good" || seq != 1 || skipped != 1 {
+		t.Fatalf("got %q seq=%d skipped=%d, want good/1/1", got, seq, skipped)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	s := &Store{Dir: t.TempDir(), Keep: 2}
+	for seq := 0; seq < 5; seq++ {
+		if _, err := s.Save("m", seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := s.Seqs("m")
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("retained %v, want [3 4]", seqs)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := &Store{Dir: dir}
+	if _, err := s.Save("m", 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != suffix {
+			t.Errorf("stray file after save: %s", e.Name())
+		}
+	}
+}
+
+func TestPrefixesAreIndependent(t *testing.T) {
+	s := &Store{Dir: t.TempDir(), Keep: -1}
+	if _, err := s.Save("alpha", 3, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save("beta", 9, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, _, err := s.LoadLatest("alpha")
+	if err != nil || string(got) != "a" || seq != 3 {
+		t.Fatalf("alpha: %q %d %v", got, seq, err)
+	}
+	// A prefix that is itself a prefix of another must not match its
+	// files.
+	if _, _, _, err := s.LoadLatest("alph"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("prefix bleed: %v", err)
+	}
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/features"
 	"repro/internal/glm"
 	"repro/internal/mat"
@@ -37,6 +40,10 @@ type ArrivalOptions struct {
 	// so it emits a single event (model "arrival_glm", epoch 0) whose
 	// loss is the fitted mean Poisson NLL on the training periods.
 	Obs obs.EpochSink
+	// Checkpoint mirrors TrainConfig.Checkpoint (DESIGN.md §8). The fit
+	// is one-shot, so its checkpoint stores the fitted coefficients and
+	// resume skips the solver.
+	Checkpoint *CheckpointSpec
 }
 
 // ArrivalModel is the fitted stage-1 model: an inhomogeneous Poisson
@@ -73,6 +80,22 @@ func TrainArrival(tr *trace.Trace, opt ArrivalOptions) (*ArrivalModel, error) {
 		DOH:         opt.DOH,
 	}
 	m.DOH.HistoryDays = historyDays
+	// The fit is one-shot, so its checkpoint is the fitted coefficients:
+	// an intact one short-circuits the solver on resume.
+	var ckStore *ckpt.Store
+	ckFP := arrivalFingerprint(opt, len(counts), historyDays)
+	if cs := opt.Checkpoint; cs != nil && cs.Dir != "" {
+		ckStore = &ckpt.Store{Dir: cs.Dir, Keep: cs.Keep}
+		if cs.Resume {
+			if payload, _, _, err := ckStore.LoadLatest("arrival-glm"); err == nil {
+				var w arrivalCkptV1
+				if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); derr == nil && w.Fingerprint == ckFP {
+					m.Reg = &glm.PoissonRegression{W: w.W, Intercept: w.Intercept}
+					return m, nil
+				}
+			}
+		}
+	}
 	dim := m.featureDim()
 	x := mat.NewDense(len(counts), dim)
 	y := make([]float64, len(counts))
@@ -94,6 +117,14 @@ func TrainArrival(tr *trace.Trace, opt ArrivalOptions) (*ArrivalModel, error) {
 		return nil, fmt.Errorf("core: arrival fit: %w", err)
 	}
 	m.Reg = reg
+	if ckStore != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(arrivalCkptV1{
+			Fingerprint: ckFP, W: reg.W, Intercept: reg.Intercept,
+		}); err == nil {
+			_, _ = ckStore.Save("arrival-glm", 1, buf.Bytes())
+		}
+	}
 	if opt.Obs != nil {
 		opt.Obs.EpochDone(obs.EpochEvent{
 			Model:  ObsArrivalGLM,

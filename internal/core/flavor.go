@@ -44,6 +44,12 @@ type TrainConfig struct {
 	Dev       *trace.Trace
 	DevOffset int // absolute period of the dev window start
 	DevEvery  int // default 5
+	// Checkpoint, if non-nil with a directory, enables crash-safe
+	// epoch-boundary checkpoints and resume for every loop sharing this
+	// config (DESIGN.md §8). Like Obs, it is trajectory-neutral: a run
+	// with checkpointing enabled (or resumed from one) produces byte-
+	// identical weights and traces to an uninterrupted run without it.
+	Checkpoint *CheckpointSpec
 }
 
 // withDefaults fills zero fields with the scaled-down defaults.
@@ -136,12 +142,13 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 	}
 	toks := FlavorTokens(tr)
 	inDim := flavorInputDim(k, m.Temporal)
+	g := rng.New(cfg.Seed)
 	m.Net = nn.NewLSTM(nn.Config{
 		InputDim:  inDim,
 		HiddenDim: cfg.Hidden,
 		Layers:    cfg.Layers,
 		OutputDim: k + 1,
-	}, rng.New(cfg.Seed))
+	}, g)
 	if len(toks) == 0 {
 		return m
 	}
@@ -168,6 +175,18 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 			}
 		}
 		return ev.NLL, true
+	}
+	// Resume must precede the sharded view: UnmarshalBinary swaps the
+	// net's parameter storage, and the shards capture references to it.
+	ck := newTrainCheckpointer(cfg.Checkpoint, "flavor-lstm",
+		cfg.fingerprint(ObsFlavorLSTM, len(toks), k, historyDays))
+	startEpoch := 0
+	if w, ok := ck.resume(cfg.Checkpoint, m.Net, opt, m.Net.Params); ok {
+		if w.Done {
+			return m
+		}
+		startEpoch = w.EpochsDone
+		bestDev, bestSnap = w.BestDev, w.BestSnap
 	}
 	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
 	// Window buffers are allocated once and reused across every window
@@ -202,7 +221,7 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 		}
 	}
 	ec := newEpochClock(ObsFlavorLSTM, cfg.Progress, cfg.Obs, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
 		var totalSteps int
@@ -279,12 +298,14 @@ func TrainFlavor(tr *trace.Trace, cfg TrainConfig) *FlavorModel {
 			mean = totalLoss / float64(totalSteps)
 		}
 		ec.emit(epoch, mean, totalSteps, opt, devLoss, hasDev)
+		ck.save(epoch+1, false, m.Net, opt, m.Net.Params(), bestDev, bestSnap, g.State())
 	}
 	if bestSnap != nil {
 		if err := m.Net.UnmarshalBinary(bestSnap); err != nil {
 			panic(fmt.Sprintf("core: restore best flavor snapshot: %v", err))
 		}
 	}
+	ck.save(cfg.Epochs, true, m.Net, opt, m.Net.Params(), bestDev, bestSnap, g.State())
 	return m
 }
 

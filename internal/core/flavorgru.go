@@ -34,12 +34,13 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 	}
 	toks := FlavorTokens(tr)
 	inDim := flavorInputDim(k, m.Temporal)
+	g := rng.New(cfg.Seed + 40)
 	m.Net = nn.NewGRU(nn.Config{
 		InputDim:  inDim,
 		HiddenDim: cfg.Hidden,
 		Layers:    cfg.Layers,
 		OutputDim: k + 1,
-	}, rng.New(cfg.Seed+40))
+	}, g)
 	if len(toks) == 0 {
 		return m
 	}
@@ -48,9 +49,19 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 	opt.ClipNorm = cfg.ClipNorm
 	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
 	eob := EOBToken(k)
+	// Resume before the sharded view (see TrainFlavor).
+	ck := newTrainCheckpointer(cfg.Checkpoint, "flavor-gru",
+		cfg.fingerprint(ObsFlavorGRU, len(toks), k, historyDays))
+	startEpoch := 0
+	if w, ok := ck.resume(cfg.Checkpoint, m.Net, opt, m.Net.Params); ok {
+		if w.Done {
+			return m
+		}
+		startEpoch = w.EpochsDone
+	}
 	sharded := nn.NewShardedGRU(m.Net, plan.batch)
 	ec := newEpochClock(ObsFlavorGRU, cfg.Progress, cfg.Obs, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
 		var totalSteps int
@@ -118,7 +129,9 @@ func TrainFlavorGRU(tr *trace.Trace, cfg TrainConfig) *GRUFlavorModel {
 			mean = totalLoss / float64(totalSteps)
 		}
 		ec.emit(epoch, mean, totalSteps, opt, 0, false)
+		ck.save(epoch+1, false, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	}
+	ck.save(cfg.Epochs, true, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	return m
 }
 

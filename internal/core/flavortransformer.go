@@ -28,6 +28,8 @@ type TransformerTrainConfig struct {
 	// Obs mirrors TrainConfig.Obs: the uniform per-epoch telemetry sink
 	// (model name "flavor_transformer").
 	Obs obs.EpochSink
+	// Checkpoint mirrors TrainConfig.Checkpoint (DESIGN.md §8).
+	Checkpoint *CheckpointSpec
 }
 
 func (c TransformerTrainConfig) withDefaults() TransformerTrainConfig {
@@ -83,6 +85,7 @@ func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *Transf
 		HistoryDays: historyDays,
 	}
 	inDim := flavorInputDim(k, m.Temporal)
+	g := rng.New(cfg.Seed + 30)
 	m.Net = nn.NewTransformer(nn.TransformerConfig{
 		InputDim:  inDim,
 		ModelDim:  cfg.ModelDim,
@@ -91,7 +94,7 @@ func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *Transf
 		Layers:    cfg.Layers,
 		OutputDim: k + 1,
 		MaxLen:    cfg.MaxLen,
-	}, rng.New(cfg.Seed+30))
+	}, g)
 	toks := FlavorTokens(tr)
 	if len(toks) == 0 {
 		return m
@@ -99,8 +102,17 @@ func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *Transf
 	opt := nn.NewAdam(cfg.LR)
 	opt.ClipNorm = cfg.ClipNorm
 	eob := EOBToken(k)
+	ck := newTrainCheckpointer(cfg.Checkpoint, "flavor-transformer",
+		cfg.fingerprint(len(toks), k, historyDays))
+	startEpoch := 0
+	if w, ok := ck.resume(cfg.Checkpoint, m.Net, opt, m.Net.Params); ok {
+		if w.Done {
+			return m
+		}
+		startEpoch = w.EpochsDone
+	}
 	ec := newEpochClock(ObsFlavorTransformer, cfg.Progress, cfg.Obs, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		var totalLoss float64
 		var totalSteps int
 		for start := 0; start < len(toks); start += cfg.MaxLen {
@@ -138,7 +150,9 @@ func TrainFlavorTransformer(tr *trace.Trace, cfg TransformerTrainConfig) *Transf
 			mean = totalLoss / float64(totalSteps)
 		}
 		ec.emit(epoch, mean, totalSteps, opt, 0, false)
+		ck.save(epoch+1, false, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	}
+	ck.save(cfg.Epochs, true, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	return m
 }
 

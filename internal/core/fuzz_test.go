@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzSnapshotDecode drives arbitrary bytes through Model.UnmarshalBinary
+// — the path that loads untrusted snapshot files in cmd/traced. The
+// invariant under fuzz: corrupt input yields an error, never a panic,
+// and anything that does decode must re-marshal cleanly (i.e. the
+// validator admits only self-consistent models). Seed corpus lives in
+// testdata/fuzz/FuzzSnapshotDecode plus the programmatic seeds below.
+func FuzzSnapshotDecode(f *testing.F) {
+	blob, err := tinyModel(f).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:0])
+	f.Add([]byte("definitely not gob"))
+	// A flipped byte in the middle of the gob stream.
+	flipped := append([]byte{}, blob...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Model
+		if err := m.UnmarshalBinary(data); err != nil {
+			return // rejected cleanly: exactly what hardening promises
+		}
+		if _, err := m.MarshalBinary(); err != nil {
+			t.Fatalf("decoded snapshot does not re-marshal: %v", err)
+		}
+	})
+}

@@ -73,12 +73,13 @@ func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
 	}
 	toks := jointTokens(tr)
 	inDim := m.inputDim()
+	g := rng.New(cfg.Seed + 20)
 	m.Net = nn.NewLSTM(nn.Config{
 		InputDim:  inDim,
 		HiddenDim: cfg.Hidden,
 		Layers:    cfg.Layers,
 		OutputDim: k + 2,
-	}, rng.New(cfg.Seed+20))
+	}, g)
 	if len(toks) == 0 {
 		return m
 	}
@@ -87,8 +88,17 @@ func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
 	opt.ClipNorm = cfg.ClipNorm
 	plan := newSegmentPlan(len(toks), cfg.SeqLen, cfg.BatchSize)
 	eop := m.jointEOP()
+	ck := newTrainCheckpointer(cfg.Checkpoint, "joint-lstm",
+		cfg.fingerprint(ObsJointLSTM, len(toks), k, historyDays))
+	startEpoch := 0
+	if w, ok := ck.resume(cfg.Checkpoint, m.Net, opt, m.Net.Params); ok {
+		if w.Done {
+			return m
+		}
+		startEpoch = w.EpochsDone
+	}
 	ec := newEpochClock(ObsJointLSTM, cfg.Progress, cfg.Obs, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
 		var totalSteps int
@@ -146,7 +156,9 @@ func TrainJoint(tr *trace.Trace, cfg TrainConfig) *JointModel {
 			mean = totalLoss / float64(totalSteps)
 		}
 		ec.emit(epoch, mean, totalSteps, opt, 0, false)
+		ck.save(epoch+1, false, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	}
+	ck.save(cfg.Epochs, true, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	return m
 }
 

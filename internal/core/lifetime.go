@@ -92,12 +92,13 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 	}
 	steps := LifetimeSteps(tr, bins)
 	inDim := lifetimeInputDim(k, m.Temporal, m.LifeFeat)
+	g := rng.New(cfg.Seed + 1)
 	m.Net = nn.NewLSTM(nn.Config{
 		InputDim:  inDim,
 		HiddenDim: cfg.Hidden,
 		Layers:    cfg.Layers,
 		OutputDim: bins.J(),
-	}, rng.New(cfg.Seed+1))
+	}, g)
 	if len(steps) == 0 {
 		return m
 	}
@@ -124,6 +125,17 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 			}
 		}
 		return ev.BCE, true
+	}
+	// Resume before the sharded view (see TrainFlavor).
+	ck := newTrainCheckpointer(cfg.Checkpoint, "lifetime-hazard",
+		cfg.fingerprint(ObsLifetimeHazard, len(steps), k, historyDays))
+	startEpoch := 0
+	if w, ok := ck.resume(cfg.Checkpoint, m.Net, opt, m.Net.Params); ok {
+		if w.Done {
+			return m
+		}
+		startEpoch = w.EpochsDone
+		bestDev, bestSnap = w.BestDev, w.BestSnap
 	}
 	sharded := nn.NewShardedLSTM(m.Net, plan.batch)
 	// Reused window buffers (see TrainFlavor): per-step input, target and
@@ -162,7 +174,7 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 		}
 	}
 	ec := newEpochClock(ObsLifetimeHazard, cfg.Progress, cfg.Obs, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
 		var totalOutputs int
@@ -237,12 +249,14 @@ func TrainLifetime(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *Lifeti
 			mean = totalLoss / float64(totalOutputs)
 		}
 		ec.emit(epoch, mean, totalOutputs, opt, devLoss, hasDev)
+		ck.save(epoch+1, false, m.Net, opt, m.Net.Params(), bestDev, bestSnap, g.State())
 	}
 	if bestSnap != nil {
 		if err := m.Net.UnmarshalBinary(bestSnap); err != nil {
 			panic(fmt.Sprintf("core: restore best lifetime snapshot: %v", err))
 		}
 	}
+	ck.save(cfg.Epochs, true, m.Net, opt, m.Net.Params(), bestDev, bestSnap, g.State())
 	return m
 }
 

@@ -85,12 +85,13 @@ func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMF
 	}
 	steps := LifetimeSteps(tr, bins)
 	inDim := lifetimeInputDim(k, m.Temporal, m.LifeFeat)
+	g := rng.New(cfg.Seed + 50)
 	m.Net = nn.NewLSTM(nn.Config{
 		InputDim:  inDim,
 		HiddenDim: cfg.Hidden,
 		Layers:    cfg.Layers,
 		OutputDim: bins.J(),
-	}, rng.New(cfg.Seed+50))
+	}, g)
 	if len(steps) == 0 {
 		return m
 	}
@@ -99,8 +100,17 @@ func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMF
 	opt.ClipNorm = cfg.ClipNorm
 	plan := newSegmentPlan(len(steps), cfg.SeqLen, cfg.BatchSize)
 	j := bins.J()
+	ck := newTrainCheckpointer(cfg.Checkpoint, "lifetime-pmf",
+		cfg.fingerprint(ObsLifetimePMF, len(steps), k, historyDays))
+	startEpoch := 0
+	if w, ok := ck.resume(cfg.Checkpoint, m.Net, opt, m.Net.Params); ok {
+		if w.Done {
+			return m
+		}
+		startEpoch = w.EpochsDone
+	}
 	ec := newEpochClock(ObsLifetimePMF, cfg.Progress, cfg.Obs, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.stepLR(epoch)
 		var totalLoss float64
 		var totalSteps int
@@ -159,7 +169,9 @@ func TrainLifetimePMF(tr *trace.Trace, bins survival.Bins, cfg TrainConfig) *PMF
 			mean = totalLoss / float64(totalSteps)
 		}
 		ec.emit(epoch, mean, totalSteps, opt, 0, false)
+		ck.save(epoch+1, false, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	}
+	ck.save(cfg.Epochs, true, m.Net, opt, m.Net.Params(), 0, nil, g.State())
 	return m
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 
 	"repro/internal/features"
 	"repro/internal/glm"
@@ -47,11 +48,77 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary restores a Model serialized with MarshalBinary.
+// Snapshot field bounds. A model snapshot may come from an untrusted
+// file, so every field that sizes an allocation or indexes a table is
+// validated before use (FuzzSnapshotDecode drives arbitrary bytes
+// through this path and requires error returns, never panics).
+const (
+	maxSnapshotK           = 1 << 12
+	maxSnapshotHistoryDays = 1 << 12
+	maxSnapshotBinCount    = 1 << 10
+)
+
+// validate rejects snapshot metadata that would panic or poison the
+// decoders downstream (glm.Rate length mismatches, negative make sizes,
+// out-of-range enums, non-finite bin edges).
+func (snap *ModelSnapshot) validate() error {
+	if snap.K <= 0 || snap.K > maxSnapshotK {
+		return fmt.Errorf("core: snapshot flavor count %d out of range [1, %d]", snap.K, maxSnapshotK)
+	}
+	if snap.HistoryDays <= 0 || snap.HistoryDays > maxSnapshotHistoryDays {
+		return fmt.Errorf("core: snapshot history days %d out of range [1, %d]", snap.HistoryDays, maxSnapshotHistoryDays)
+	}
+	if len(snap.BinEdges) < 2 || len(snap.BinEdges) > maxSnapshotBinCount {
+		return fmt.Errorf("core: snapshot has %d bin edges, want [2, %d]", len(snap.BinEdges), maxSnapshotBinCount)
+	}
+	prev := math.Inf(-1)
+	for i, e := range snap.BinEdges {
+		if math.IsNaN(e) || math.IsInf(e, 0) || e <= prev {
+			return fmt.Errorf("core: snapshot bin edges not finite and strictly increasing at %d", i)
+		}
+		prev = e
+	}
+	if k := ArrivalKind(snap.ArrivalKind); k != BatchArrivals && k != VMArrivals {
+		return fmt.Errorf("core: snapshot arrival kind %d unknown", snap.ArrivalKind)
+	}
+	if mo := features.DOHMode(snap.ArrivalDOH); mo != features.DOHLastDay && mo != features.DOHGeometric {
+		return fmt.Errorf("core: snapshot DOH mode %d unknown", snap.ArrivalDOH)
+	}
+	if it := survival.Interpolation(snap.Interp); it != survival.Stepped && it != survival.CDI {
+		return fmt.Errorf("core: snapshot interpolation %d unknown", snap.Interp)
+	}
+	if math.IsNaN(snap.ArrivalGeomP) || math.IsInf(snap.ArrivalGeomP, 0) {
+		return fmt.Errorf("core: snapshot geometric parameter is not finite")
+	}
+	if math.IsNaN(snap.ArrivalB) || math.IsInf(snap.ArrivalB, 0) {
+		return fmt.Errorf("core: snapshot arrival intercept is not finite")
+	}
+	wantW := 24 + 7
+	if snap.ArrivalUsed {
+		wantW += snap.HistoryDays
+	}
+	if len(snap.ArrivalW) != wantW {
+		return fmt.Errorf("core: snapshot arrival weights have %d entries, want %d", len(snap.ArrivalW), wantW)
+	}
+	for i, w := range snap.ArrivalW {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: snapshot arrival weight %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+// UnmarshalBinary restores a Model serialized with MarshalBinary. Any
+// corrupt or inconsistent snapshot — including one whose embedded
+// networks do not match its metadata — yields a wrapped error and
+// leaves the receiver untouched; it never panics.
 func (m *Model) UnmarshalBinary(data []byte) error {
 	var snap ModelSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("core: unmarshal model: %w", err)
+	}
+	if err := snap.validate(); err != nil {
+		return err
 	}
 	var fnet, lnet nn.LSTM
 	if err := fnet.UnmarshalBinary(snap.FlavorNet); err != nil {
@@ -62,12 +129,27 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	}
 	bins := survival.Bins{Edges: snap.BinEdges}
 	temporal := features.Temporal{HistoryDays: snap.HistoryDays}
+	lifeFeat := features.LifetimeFeatures{Bins: bins.J()}
+	// Cross-check the decoded networks against the snapshot metadata:
+	// a mismatched pair would panic at the first generation step.
+	if got, want := fnet.Cfg.OutputDim, snap.K+1; got != want {
+		return fmt.Errorf("core: snapshot flavor net emits %d classes, metadata implies %d", got, want)
+	}
+	if got, want := fnet.Cfg.InputDim, flavorInputDim(snap.K, temporal); got != want {
+		return fmt.Errorf("core: snapshot flavor net consumes %d features, metadata implies %d", got, want)
+	}
+	if got, want := lnet.Cfg.OutputDim, bins.J(); got != want {
+		return fmt.Errorf("core: snapshot lifetime net emits %d bins, metadata implies %d", got, want)
+	}
+	if got, want := lnet.Cfg.InputDim, lifetimeInputDim(snap.K, temporal, lifeFeat); got != want {
+		return fmt.Errorf("core: snapshot lifetime net consumes %d features, metadata implies %d", got, want)
+	}
 	m.Flavor = &FlavorModel{
 		Net: &fnet, K: snap.K, Temporal: temporal, HistoryDays: snap.HistoryDays,
 	}
 	m.Lifetime = &LifetimeModel{
 		Net: &lnet, Bins: bins, K: snap.K, Temporal: temporal,
-		LifeFeat:    features.LifetimeFeatures{Bins: bins.J()},
+		LifeFeat:    lifeFeat,
 		HistoryDays: snap.HistoryDays,
 	}
 	m.Arrival = &ArrivalModel{

@@ -38,12 +38,74 @@ func marshalParams[C any](cfg C, params []*Param) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// unmarshalParams decodes the wire format into cfg and copies the values
-// into the freshly constructed params (matched by name).
-func unmarshalParams[C any](data []byte, cfg *C, fresh func(C) []*Param) error {
+// Snapshot decode bounds. Snapshots come from disk (checkpoints, model
+// files) and may be corrupt or hostile; every dimension is validated
+// BEFORE any allocation is sized from it, so arbitrary input yields an
+// error, never a panic or an absurd allocation (the FuzzSnapshotDecode
+// target enforces this).
+const (
+	// maxSnapshotDim caps any single config dimension.
+	maxSnapshotDim = 1 << 15
+	// maxSnapshotParams caps the total scalar parameters a snapshot may
+	// ask to restore (64M float64s = 512 MiB).
+	maxSnapshotParams = 1 << 26
+)
+
+// checkLSTMConfig validates a decoded LSTM/GRU config against the
+// snapshot bounds: validate() rejects non-positive dims, the caps
+// reject dimensions large enough to make construction itself a DoS.
+func checkLSTMConfig(c Config) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.InputDim > maxSnapshotDim || c.HiddenDim > maxSnapshotDim ||
+		c.Layers > maxSnapshotDim || c.OutputDim > maxSnapshotDim {
+		return fmt.Errorf("nn: snapshot config dimensions exceed limit %d: %+v", maxSnapshotDim, c)
+	}
+	// Parameter-count bound (LSTM is the largest of the two recurrent
+	// architectures; the same estimate safely over-covers the GRU).
+	in, h, od := int64(c.InputDim), int64(c.HiddenDim), int64(c.OutputDim)
+	total := (in+h)*4*h + 4*h // layer 0
+	total += int64(c.Layers-1) * (2*h*4*h + 4*h)
+	total += h*od + od
+	if total > maxSnapshotParams {
+		return fmt.Errorf("nn: snapshot config implies %d params, limit %d", total, maxSnapshotParams)
+	}
+	return nil
+}
+
+// checkTransformerConfig is the transformer-shaped counterpart of
+// checkLSTMConfig.
+func checkTransformerConfig(c TransformerConfig) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.InputDim > maxSnapshotDim || c.ModelDim > maxSnapshotDim ||
+		c.Heads > maxSnapshotDim || c.FFDim > maxSnapshotDim ||
+		c.Layers > maxSnapshotDim || c.OutputDim > maxSnapshotDim ||
+		c.MaxLen > maxSnapshotDim {
+		return fmt.Errorf("nn: snapshot config dimensions exceed limit %d: %+v", maxSnapshotDim, c)
+	}
+	in, d, f, od := int64(c.InputDim), int64(c.ModelDim), int64(c.FFDim), int64(c.OutputDim)
+	total := in*d + d + int64(c.MaxLen)*d // embedding + positions
+	total += int64(c.Layers) * (4*d*d + 2*d*f + f + 5*d)
+	total += 2*d + d*od + od // final LN + head
+	if total > maxSnapshotParams {
+		return fmt.Errorf("nn: snapshot config implies %d params, limit %d", total, maxSnapshotParams)
+	}
+	return nil
+}
+
+// unmarshalParams decodes the wire format into cfg, validates it with
+// check before any construction, and copies the values into the freshly
+// constructed params (matched by name).
+func unmarshalParams[C any](data []byte, cfg *C, check func(C) error, fresh func(C) []*Param) error {
 	dec := gob.NewDecoder(bytes.NewReader(data))
 	if err := dec.Decode(cfg); err != nil {
 		return fmt.Errorf("nn: unmarshal config: %w", err)
+	}
+	if err := check(*cfg); err != nil {
+		return fmt.Errorf("nn: unmarshal: %w", err)
 	}
 	var blobs []paramBlob
 	if err := dec.Decode(&blobs); err != nil {
@@ -76,7 +138,7 @@ func (n *LSTM) MarshalBinary() ([]byte, error) {
 func (n *LSTM) UnmarshalBinary(data []byte) error {
 	var cfg Config
 	var fresh *LSTM
-	err := unmarshalParams(data, &cfg, func(c Config) []*Param {
+	err := unmarshalParams(data, &cfg, checkLSTMConfig, func(c Config) []*Param {
 		fresh = NewLSTM(c, rng.New(0)) // init values are overwritten
 		return fresh.params
 	})
@@ -96,7 +158,7 @@ func (n *GRU) MarshalBinary() ([]byte, error) {
 func (n *GRU) UnmarshalBinary(data []byte) error {
 	var cfg Config
 	var fresh *GRU
-	err := unmarshalParams(data, &cfg, func(c Config) []*Param {
+	err := unmarshalParams(data, &cfg, checkLSTMConfig, func(c Config) []*Param {
 		fresh = NewGRU(c, rng.New(0))
 		return fresh.params
 	})
@@ -104,6 +166,78 @@ func (n *GRU) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	*n = *fresh
+	return nil
+}
+
+// optStateWire is the optimizer-state snapshot wire format: the Adam
+// step counter (which drives bias correction, so it must survive a
+// resume bit-exactly) plus per-param first/second moment tensors in
+// construction order (a slice, not a map, for the same determinism
+// reason as paramBlob).
+type optStateWire struct {
+	Steps   int
+	Moments []momentBlob
+}
+
+type momentBlob struct {
+	Name string
+	M    []float64
+	V    []float64
+}
+
+// MarshalOptState serializes the Adam optimizer state (step counter and
+// the per-param moment estimates) so a resumed run continues the exact
+// update trajectory of an uninterrupted one.
+func MarshalOptState(opt *Adam, params []*Param) ([]byte, error) {
+	w := optStateWire{Steps: opt.t, Moments: make([]momentBlob, 0, len(params))}
+	for _, p := range params {
+		m := make([]float64, len(p.m.Data))
+		copy(m, p.m.Data)
+		v := make([]float64, len(p.v.Data))
+		copy(v, p.v.Data)
+		w.Moments = append(w.Moments, momentBlob{Name: p.Name, M: m, V: v})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("nn: marshal opt state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalOptState restores optimizer state saved by MarshalOptState
+// into opt and the given params (matched by name; lengths must agree
+// with the params' shapes). Corrupt input yields an error, never a
+// panic.
+func UnmarshalOptState(data []byte, opt *Adam, params []*Param) error {
+	var w optStateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("nn: unmarshal opt state: %w", err)
+	}
+	if w.Steps < 0 {
+		return fmt.Errorf("nn: unmarshal opt state: negative step counter %d", w.Steps)
+	}
+	moments := make(map[string]momentBlob, len(w.Moments))
+	for _, b := range w.Moments {
+		moments[b.Name] = b
+	}
+	for _, p := range params {
+		b, ok := moments[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: unmarshal opt state: missing moments for param %q", p.Name)
+		}
+		if len(b.M) != len(p.m.Data) || len(b.V) != len(p.v.Data) {
+			return fmt.Errorf("nn: unmarshal opt state: param %q moment sizes %d/%d, want %d/%d",
+				p.Name, len(b.M), len(b.V), len(p.m.Data), len(p.v.Data))
+		}
+	}
+	// Validate-then-mutate: nothing above touched opt or params, so a
+	// corrupt snapshot leaves the optimizer untouched.
+	opt.t = w.Steps
+	for _, p := range params {
+		b := moments[p.Name]
+		copy(p.m.Data, b.M)
+		copy(p.v.Data, b.V)
+	}
 	return nil
 }
 
@@ -116,7 +250,7 @@ func (t *Transformer) MarshalBinary() ([]byte, error) {
 func (t *Transformer) UnmarshalBinary(data []byte) error {
 	var cfg TransformerConfig
 	var fresh *Transformer
-	err := unmarshalParams(data, &cfg, func(c TransformerConfig) []*Param {
+	err := unmarshalParams(data, &cfg, checkTransformerConfig, func(c TransformerConfig) []*Param {
 		fresh = NewTransformer(c, rng.New(0))
 		return fresh.params
 	})

@@ -5,18 +5,86 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
 
-// RNG wraps a seeded PRNG with workload-modeling samplers.
+// RNG wraps a seeded PRNG with workload-modeling samplers. Its stream
+// position is checkpointable: every consumer draws through a counting
+// source, so State/Restore can reproduce the exact mid-stream state by
+// reseeding and replaying the counted source draws (DESIGN.md §8).
 type RNG struct {
-	r *rand.Rand
+	r       *rand.Rand
+	src     countingSource
+	seedVal int64
 }
+
+// countingSource wraps the stdlib source and counts source-level draws.
+// All rand.Rand methods consume entropy exclusively through Int63/
+// Uint64 on the source, so (seed, draws) fully determines the stream
+// position regardless of which sampler mix produced the draws.
+type countingSource struct {
+	s     rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.s.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.s.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.draws = 0
+	c.s.Seed(seed)
+}
+
+// State is a serializable snapshot of an RNG's stream position. It is
+// tiny (a seed and a draw count) and restores bit-exactly: an RNG
+// restored from a State produces the same subsequent draws as the
+// original would have.
+type State struct {
+	Seed  int64
+	Draws uint64
+}
+
+// maxRestoreDraws bounds how many source draws Restore will replay.
+// Restoring is O(draws); states from verified checkpoints are far below
+// this, and refusing absurd counts keeps corrupt (but checksummed-past)
+// input from turning into an unbounded replay loop.
+const maxRestoreDraws = 1 << 36
 
 // New returns an RNG seeded with seed.
 func New(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	g := &RNG{seedVal: seed}
+	g.src = countingSource{s: rand.NewSource(seed).(rand.Source64)}
+	g.r = rand.New(&g.src)
+	return g
+}
+
+// State returns the RNG's current stream position.
+func (g *RNG) State() State {
+	return State{Seed: g.seedVal, Draws: g.src.draws}
+}
+
+// Restore reconstructs an RNG at the exact stream position captured by
+// st: reseed, then replay the counted source draws. Returns an error
+// (never hangs) when the draw count exceeds the replay budget.
+func Restore(st State) (*RNG, error) {
+	if st.Draws > maxRestoreDraws {
+		return nil, fmt.Errorf("rng: refusing to replay %d draws (limit %d)", st.Draws, uint64(maxRestoreDraws))
+	}
+	g := New(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		g.src.s.Int63()
+	}
+	g.src.draws = st.Draws
+	return g, nil
 }
 
 // Split derives an independent child RNG from this one. Use it to give

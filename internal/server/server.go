@@ -17,6 +17,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -51,11 +52,29 @@ type GenerateRequest struct {
 // and concurrent /generate requests are coalesced into shared decode
 // batches by a core.Engine (DESIGN.md §6.2); per-request seeded RNGs
 // keep every response byte-identical to a serial decode of that seed.
+//
+// The serving snapshot (model + catalog + engine) can be hot-swapped at
+// runtime via Reload (wired to POST /-/reload and SIGHUP by cmd/traced)
+// without dropping in-flight /generate batches: streams already decoding
+// on the old engine run to completion, and requests that were still
+// queued transparently retry on the new engine — same seed, so the
+// response bytes are unchanged.
 type Server struct {
-	model   *core.Model
-	catalog *trace.FlavorSet
 	// MaxPeriods bounds a single request (default: 4 weeks).
 	MaxPeriods int
+	// MaxScale bounds the request arrival-rate multiplier (default 1e6):
+	// an unbounded scale would turn one request body into an effectively
+	// unbounded decode loop.
+	MaxScale float64
+	// MaxStartPeriod bounds the request start period (default: 1000
+	// years of periods), keeping temporal-feature arithmetic far from
+	// integer overflow on hostile input.
+	MaxStartPeriod int
+	// MaxBodyBytes bounds the /generate request body (default 1 MiB).
+	MaxBodyBytes int64
+	// ReloadFunc, if set, is invoked by POST /-/reload to produce a new
+	// serving snapshot; on success the server swaps to it atomically.
+	ReloadFunc func() (*core.Model, *trace.FlavorSet, error)
 	// BatchWindow is how long /generate waits for more requests to join
 	// its decode batch (default 2ms; set before the first request).
 	BatchWindow time.Duration
@@ -66,9 +85,11 @@ type Server struct {
 	// seed, wall time, journal path) surfaced under "train" at /metrics.
 	TrainInfo map[string]any
 
-	mu    sync.Mutex
-	seeds *rng.RNG // fresh-seed source for requests without a seed
-	eng   *core.Engine
+	mu      sync.Mutex
+	model   *core.Model
+	catalog *trace.FlavorSet
+	eng     *core.Engine
+	seeds   *rng.RNG // fresh-seed source for requests without a seed
 
 	started time.Time
 	served  int64
@@ -76,26 +97,41 @@ type Server struct {
 	reg       *obs.Registry
 	inflight  *obs.Gauge
 	cancelled *obs.Counter   // requests abandoned via context cancellation
+	reloads   *obs.Counter   // successful hot reloads
+	reloadErr *obs.Counter   // failed reload attempts
+	retried   *obs.Counter   // generates replayed onto a fresh engine
 	sampleLat *obs.Histogram // model sampling phase of /generate
 	encodeLat *obs.Histogram // serialization phase of /generate
 }
 
 // New builds a server around a trained model and its flavor catalog.
 func New(model *core.Model, catalog *trace.FlavorSet) *Server {
-	reg := obs.NewRegistry()
+	return NewWithRegistry(model, catalog, obs.NewRegistry())
+}
+
+// NewWithRegistry builds a server publishing its metrics into an
+// existing registry, so callers (cmd/traced) can surface training and
+// checkpoint telemetry through the same /metrics snapshot.
+func NewWithRegistry(model *core.Model, catalog *trace.FlavorSet, reg *obs.Registry) *Server {
 	return &Server{
-		model:       model,
-		catalog:     catalog,
-		MaxPeriods:  28 * trace.PeriodsPerDay,
-		BatchWindow: 2 * time.Millisecond,
-		MaxBatch:    64,
-		seeds:       rng.New(time.Now().UnixNano()),
-		started:     time.Now(),
-		reg:         reg,
-		inflight:    reg.Gauge("http.inflight"),
-		cancelled:   reg.Counter("http.cancelled"),
-		sampleLat:   reg.Histogram("generate.sample.seconds", obs.LatencyBuckets),
-		encodeLat:   reg.Histogram("generate.encode.seconds", obs.LatencyBuckets),
+		model:          model,
+		catalog:        catalog,
+		MaxPeriods:     28 * trace.PeriodsPerDay,
+		MaxScale:       1e6,
+		MaxStartPeriod: 1000 * 365 * trace.PeriodsPerDay,
+		MaxBodyBytes:   1 << 20,
+		BatchWindow:    2 * time.Millisecond,
+		MaxBatch:       64,
+		seeds:          rng.New(time.Now().UnixNano()),
+		started:        time.Now(),
+		reg:            reg,
+		inflight:       reg.Gauge("http.inflight"),
+		cancelled:      reg.Counter("http.cancelled"),
+		reloads:        reg.Counter("reload.success"),
+		reloadErr:      reg.Counter("reload.errors"),
+		retried:        reg.Counter("generate.engine_retries"),
+		sampleLat:      reg.Histogram("generate.sample.seconds", obs.LatencyBuckets),
+		encodeLat:      reg.Histogram("generate.encode.seconds", obs.LatencyBuckets),
 	}
 }
 
@@ -103,15 +139,41 @@ func New(model *core.Model, catalog *trace.FlavorSet) *Server {
 // tests).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// engine lazily starts the shared continuous-batching decode engine on
-// the first /generate, so BatchWindow/MaxBatch can be tuned after New.
-func (s *Server) engine() *core.Engine {
+// snapshot returns a consistent (model, catalog, engine) triple, lazily
+// starting the decode engine for the current model on first use (so
+// BatchWindow/MaxBatch can be tuned after New).
+func (s *Server) snapshot() (*core.Model, *trace.FlavorSet, *core.Engine) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng == nil {
 		s.eng = core.NewEngine(s.model, s.BatchWindow, s.MaxBatch)
 	}
-	return s.eng
+	return s.model, s.catalog, s.eng
+}
+
+// currentModel returns the serving model without starting an engine.
+func (s *Server) currentModel() *core.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
+
+// Reload atomically swaps the serving snapshot. In-flight batches on
+// the old engine decode to completion before it shuts down; requests
+// still queued there fail with core.ErrEngineClosed and are retried by
+// handleGenerate against the new engine with their original seed, so no
+// request is dropped and no response changes bytes.
+func (s *Server) Reload(model *core.Model, catalog *trace.FlavorSet) {
+	s.mu.Lock()
+	old := s.eng
+	s.model = model
+	s.catalog = catalog
+	s.eng = nil // next request starts an engine for the new model
+	s.mu.Unlock()
+	s.reloads.Inc()
+	if old != nil {
+		old.Close()
+	}
 }
 
 // Close shuts down the decode engine (if one was started), failing any
@@ -133,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /model", s.instrument("model", s.handleModel))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("POST /generate", s.instrument("generate", s.handleGenerate))
+	mux.HandleFunc("POST /-/reload", s.instrument("reload", s.handleReload))
 	return mux
 }
 
@@ -182,25 +245,47 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	served := s.served
+	catalog := s.catalog
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"uptime":  time.Since(s.started).Round(time.Second).String(),
 		"served":  served,
-		"flavors": s.catalog.K(),
+		"flavors": catalog.K(),
 	})
 }
 
 func (s *Server) modelMeta() map[string]any {
+	m := s.currentModel()
 	return map[string]any{
-		"flavors":        s.model.Flavor.K,
-		"history_days":   s.model.Flavor.HistoryDays,
-		"lifetime_bins":  s.model.Lifetime.Bins.J(),
-		"flavor_params":  s.model.Flavor.Net.NumParams(),
-		"hazard_params":  s.model.Lifetime.Net.NumParams(),
+		"flavors":        m.Flavor.K,
+		"history_days":   m.Flavor.HistoryDays,
+		"lifetime_bins":  m.Lifetime.Bins.J(),
+		"flavor_params":  m.Flavor.Net.NumParams(),
+		"hazard_params":  m.Lifetime.Net.NumParams(),
 		"max_periods":    s.MaxPeriods,
 		"period_seconds": trace.PeriodSeconds,
 	}
+}
+
+// handleReload hot-swaps the serving snapshot via ReloadFunc. Reload
+// failures leave the current snapshot serving untouched.
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if s.ReloadFunc == nil {
+		httpError(w, http.StatusNotImplemented, "no reload source configured")
+		return
+	}
+	model, catalog, err := s.ReloadFunc()
+	if err != nil {
+		s.reloadErr.Inc()
+		httpError(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	s.Reload(model, catalog)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "reloaded",
+		"flavors": model.Flavor.K,
+	})
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
@@ -227,7 +312,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -239,13 +325,20 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "periods %d exceeds limit %d", req.Periods, s.MaxPeriods)
 		return
 	}
-	if req.Scale < 0 {
+	// The scale knob multiplies the Poisson arrival rate: negative is
+	// meaningless, NaN would poison the sampler, and an enormous value
+	// would turn one request into an unbounded decode loop.
+	if req.Scale < 0 || req.Scale != req.Scale {
 		httpError(w, http.StatusBadRequest, "scale must be non-negative")
 		return
 	}
-	start := req.StartPeriod
-	if start <= 0 {
-		start = s.model.Flavor.HistoryDays * trace.PeriodsPerDay
+	if req.Scale > s.MaxScale {
+		httpError(w, http.StatusBadRequest, "scale %g exceeds limit %g", req.Scale, s.MaxScale)
+		return
+	}
+	if req.StartPeriod < 0 || req.StartPeriod > s.MaxStartPeriod {
+		httpError(w, http.StatusBadRequest, "start_period out of range [0, %d]", s.MaxStartPeriod)
+		return
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -263,11 +356,31 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// Decode through the shared continuous-batching engine: this request
 	// joins whatever batch forms within BatchWindow, but its dedicated
 	// seeded RNG keeps the result byte-identical to a serial decode.
-	window := trace.Window{Start: start, End: start + req.Periods}
+	// If a hot reload swaps the engine while this request is still
+	// queued, the engine fails it with ErrEngineClosed and the loop
+	// replays it on the new engine with a fresh RNG at the same seed —
+	// the response bytes do not depend on which engine served it.
+	var tr *trace.Trace
+	var catalog *trace.FlavorSet
 	sampleStart := time.Now()
-	tr, err := s.engine().Generate(r.Context(), rng.New(seed), window, req.Scale)
-	s.sampleLat.Observe(time.Since(sampleStart).Seconds())
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		model, cat, eng := s.snapshot()
+		start := req.StartPeriod
+		if start <= 0 {
+			start = model.Flavor.HistoryDays * trace.PeriodsPerDay
+		}
+		window := trace.Window{Start: start, End: start + req.Periods}
+		var err error
+		tr, err = eng.Generate(r.Context(), rng.New(seed), window, req.Scale)
+		if err == nil {
+			catalog = cat
+			break
+		}
+		if errors.Is(err, core.ErrEngineClosed) && attempt < 8 {
+			s.retried.Inc()
+			continue
+		}
+		s.sampleLat.Observe(time.Since(sampleStart).Seconds())
 		if r.Context().Err() != nil {
 			// The client went away mid-decode; the engine aborted the
 			// stream and there is nobody left to answer.
@@ -277,7 +390,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "generate: %v", err)
 		return
 	}
-	tr = core.WithCatalog(tr, s.catalog)
+	s.sampleLat.Observe(time.Since(sampleStart).Seconds())
+	tr = core.WithCatalog(tr, catalog)
 
 	s.mu.Lock()
 	s.served++

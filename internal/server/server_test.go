@@ -25,7 +25,7 @@ var (
 )
 
 // testServer trains a tiny model once (a few seconds) and shares it.
-func testServer(t *testing.T) *Server {
+func testServer(t testing.TB) *Server {
 	t.Helper()
 	srvOnce.Do(func() {
 		cfg := synth.AzureLike()

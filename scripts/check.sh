@@ -1,15 +1,27 @@
 #!/bin/sh
 # Race-detection tier for the packages that carry production
 # concurrency (the parallel execution layer and everything threaded
-# through it, the metrics registry, the HTTP service, and the
-# continuous-batching decode engine in internal/core), plus the
-# end-to-end determinism regression tests: REPRO_PROCS=1 vs 8 and
-# observability-on vs observability-off. Run from the repository
-# root: scripts/check.sh
+# through it, the metrics registry, the HTTP service with hot model
+# reload, the continuous-batching decode engine, and the checkpoint
+# store), plus the end-to-end determinism and crash-recovery regression
+# tests (REPRO_PROCS=1 vs 8, observability on/off, kill-and-resume),
+# plus a short-budget fuzz tier over the untrusted decode surfaces.
+# Run from the repository root: scripts/check.sh
 set -eu
 
 go vet ./...
-go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs ./internal/server ./internal/core
-go test -race -run 'TestDeterminism|TestObservability' .
+go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs \
+	./internal/server ./internal/core ./internal/ckpt ./internal/rng
+go test -race -run 'TestDeterminism|TestObservability|TestKillAndResume|TestBatchedFleet' .
 
-echo "check.sh: vet + race + determinism OK"
+# Short-budget fuzz tier: each target gets a few seconds of coverage-
+# guided input on top of its checked-in seed corpus. Skipped cleanly on
+# toolchains without native fuzzing support.
+if go help testflag 2>/dev/null | grep -q -- '-fuzz '; then
+	go test -run '^$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/core
+	go test -run '^$' -fuzz FuzzGenerateRequest -fuzztime 10s ./internal/server
+else
+	echo "check.sh: go toolchain lacks -fuzz; skipping fuzz tier"
+fi
+
+echo "check.sh: vet + race + determinism + resume + fuzz OK"
