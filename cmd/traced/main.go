@@ -8,6 +8,7 @@
 //	traced -model model.bin -flavors azure
 //	traced -journal run.jsonl -debug-addr :6060
 //	traced -batch-window 2ms -max-batch 64
+//	traced -engine sharded -decode-shards 8
 //	traced -checkpoint-dir ckpt/ -checkpoint-every 5 -resume
 //
 // With -checkpoint-dir set, training writes an atomic, versioned
@@ -22,8 +23,12 @@
 // Concurrent POST /generate requests are coalesced into shared decode
 // batches (continuous batching, DESIGN.md §6.2): -batch-window is how
 // long a request waits for others to join its batch, -max-batch caps
-// the streams decoded together. Responses stay byte-identical to
-// serial decodes of the same seed regardless of batching.
+// the streams decoded together. -engine selects the decode engine from
+// the registry (serial, batched, or sharded); -engine sharded splits
+// the fleet across -decode-shards per-core shards (default GOMAXPROCS)
+// with deterministic seed-hash stream placement (DESIGN.md §6.3).
+// Responses stay byte-identical to serial decodes of the same seed
+// regardless of engine kind, batching, or shard count.
 //
 // Endpoints: GET /healthz, GET /model, GET /metrics, POST /generate
 // (see internal/server for the request schema). -journal writes a JSONL
@@ -117,6 +122,8 @@ func main() {
 	epochs := flag.Int("epochs", 40, "training epochs")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long /generate waits to coalesce concurrent requests into one decode batch")
 	maxBatch := flag.Int("max-batch", 64, "max concurrent streams per decode batch")
+	engineKind := flag.String("engine", "batched", "decode engine: serial, batched, or sharded")
+	decodeShards := flag.Int("decode-shards", 0, "shard count for -engine sharded (0: GOMAXPROCS)")
 	journalPath := flag.String("journal", "", "write a JSONL telemetry journal (training epochs, phase spans) to this path")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for atomic training checkpoints and the published serving snapshot")
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every N training epochs (with -checkpoint-dir)")
@@ -124,6 +131,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional debug listener with /debug/pprof/ and /debug/vars")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
 	flag.Parse()
+
+	// Validate the engine selection before paying for training.
+	if !core.ValidEngineKind(*engineKind) {
+		log.Fatalf("traced: unknown -engine %q (have %v)", *engineKind, core.EngineKinds())
+	}
 
 	var journal *obs.Journal
 	if *journalPath != "" {
@@ -223,6 +235,8 @@ func main() {
 	s.TrainInfo = trainInfo
 	s.BatchWindow = *batchWindow
 	s.MaxBatch = *maxBatch
+	s.EngineKind = *engineKind
+	s.DecodeShards = *decodeShards
 	defer s.Close()
 
 	// Hot-reload source: prefer an explicit -model file, else the newest

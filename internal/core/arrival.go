@@ -161,9 +161,17 @@ func (m *ArrivalModel) encode(dst []float64, period, dohDay int) {
 // Rate returns the Poisson mean for a period using the given DOH day
 // (ignored when the model was trained without DOH features).
 func (m *ArrivalModel) Rate(period, dohDay int) float64 {
-	dst := make([]float64, m.featureDim())
-	m.encode(dst, period, dohDay)
-	return m.Reg.Rate(dst)
+	return m.RateInto(make([]float64, m.featureDim()), period, dohDay)
+}
+
+// RateInto is Rate with caller-owned feature scratch (len must be
+// featureDim()), so per-period rate queries on decode hot paths — the
+// serial generator and every genStream period transition — allocate
+// nothing. The scratch is fully overwritten; values are identical to
+// Rate's.
+func (m *ArrivalModel) RateInto(scratch []float64, period, dohDay int) float64 {
+	m.encode(scratch, period, dohDay)
+	return m.Reg.Rate(scratch)
 }
 
 // SampleCount draws an arrival count for a period, sampling the DOH day

@@ -87,6 +87,10 @@ type genStream struct {
 	prevBin  int
 	prevCens bool
 
+	// Arrival feature scratch for RateInto, so period transitions on
+	// the decode hot path allocate nothing.
+	arrF []float64
+
 	// Delivery: GenerateBatch indexes by slot; Engine replies on done.
 	slot int
 	done chan engineResult
@@ -105,6 +109,7 @@ func (m *Model) newGenStream(g *rng.RNG, w trace.Window, scale float64, ctx cont
 		out:     &trace.Trace{Flavors: &trace.FlavorSet{Defs: m.flavorDefs()}, Periods: w.Periods()},
 		prevTok: EOBToken(m.Flavor.K),
 		prevBin: -1,
+		arrF:    make([]float64, m.Arrival.featureDim()),
 	}
 	s.dohDay = m.Arrival.DOH.Sample(g)
 	s.curDay = -1
@@ -123,7 +128,7 @@ func (s *genStream) startPeriod() {
 			s.curDay = d
 			s.dohDay = m.Arrival.DOH.Sample(s.g)
 		}
-		nBatches := s.g.Poisson(m.Arrival.Rate(s.p, s.dohDay) * s.scale)
+		nBatches := s.g.Poisson(m.Arrival.RateInto(s.arrF, s.p, s.dohDay) * s.scale)
 		if nBatches == 0 {
 			continue
 		}
@@ -374,16 +379,42 @@ func (m *Model) GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace {
 	if len(gs) == 0 {
 		return out
 	}
+	m.decodeQueue(gs, nil, w, out)
+	return out
+}
+
+// decodeQueue decodes a queue of streams to completion through one
+// fleetEngine: the streams at gs[idx[0]], gs[idx[1]], ... (or all of gs
+// when idx is nil) are admitted in queue order up to the fleet cap,
+// retired as they finish, and replaced from the remainder every round.
+// Each finished trace lands in out at the stream's gs index, and no
+// other slot of out is touched — which is what lets per-shard queues
+// run concurrently under the par contract (GenerateBatchSharded).
+func (m *Model) decodeQueue(gs []*rng.RNG, idx []int, w trace.Window, out []*trace.Trace) {
+	n := len(gs)
+	if idx != nil {
+		n = len(idx)
+	}
+	if n == 0 {
+		return
+	}
+	slot := func(i int) int {
+		if idx == nil {
+			return i
+		}
+		return idx[i]
+	}
 	capacity := defaultMaxStreams
-	if len(gs) < capacity {
-		capacity = len(gs)
+	if n < capacity {
+		capacity = n
 	}
 	e := newFleetEngine(m, capacity)
 	next, done := 0, 0
-	for done < len(gs) {
-		for e.active() < capacity && next < len(gs) {
-			s := m.newGenStream(gs[next], w, m.rateScale(), nil)
-			s.slot = next
+	for done < n {
+		for e.active() < capacity && next < n {
+			i := slot(next)
+			s := m.newGenStream(gs[i], w, m.rateScale(), nil)
+			s.slot = i
 			e.admit(s)
 			next++
 		}
@@ -392,7 +423,6 @@ func (m *Model) GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace {
 			done++
 		}
 	}
-	return out
 }
 
 // ErrEngineClosed is returned for requests submitted to (or queued on)

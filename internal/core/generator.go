@@ -123,12 +123,13 @@ func (m *Model) Generate(g *rng.RNG, w trace.Window) *trace.Trace {
 	}
 	var spans []batchSpan
 	var flavors []int
+	arrF := make([]float64, m.Arrival.featureDim())
 	for p := w.Start; p < w.End; p++ {
 		if d := trace.DayOfHistory(p); d != curDay {
 			curDay = d
 			dohDay = m.Arrival.DOH.Sample(g)
 		}
-		nBatches := g.Poisson(m.Arrival.Rate(p, dohDay) * m.rateScale())
+		nBatches := g.Poisson(m.Arrival.RateInto(arrF, p, dohDay) * m.rateScale())
 		if nBatches == 0 {
 			continue
 		}

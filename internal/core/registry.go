@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Engine registry (ROADMAP: "extract the serving engine from
+// internal/server into an engine registry"): the serial, batched, and
+// sharded decode engines behind one interface, selected by name at
+// startup and rebuilt against the new model on hot-reload. All three
+// produce byte-identical responses for a given (seed, window, scale);
+// the kind only chooses how streams share step GEMMs and cores.
+
+// GenEngine is a serving decode engine: concurrent Generate calls,
+// each byte-identical to the serial Model.Generate of its seed with
+// Model.RateScale = scale (0 meaning 1). Close fails in-flight and
+// queued requests with ErrEngineClosed where the contract of the
+// concrete engine says so, and releases the engine's resources.
+type GenEngine interface {
+	Generate(ctx context.Context, g *rng.RNG, w trace.Window, scale float64) (*trace.Trace, error)
+	Close()
+}
+
+// EngineKind names a decode engine in the registry.
+type EngineKind string
+
+const (
+	// EngineSerial decodes each request on its own goroutine through
+	// the serial reference path — no batching, no coalescing. The
+	// correctness yardstick and the right choice for rare, huge
+	// requests.
+	EngineSerial EngineKind = "serial"
+	// EngineBatched is the single-fleet continuous-batching Engine of
+	// DESIGN.md §6.2: all streams share one fleet on one scheduler.
+	EngineBatched EngineKind = "batched"
+	// EngineSharded partitions streams across per-core fleet shards by
+	// seed hash and steps the shards concurrently (DESIGN.md §6.3).
+	EngineSharded EngineKind = "sharded"
+)
+
+// EngineSpec bundles the knobs NewGenEngine needs. Window and
+// MaxBatch mirror NewEngine's parameters (batched/sharded only);
+// Shards and Obs apply to the sharded engine only.
+type EngineSpec struct {
+	Kind     EngineKind
+	Window   time.Duration
+	MaxBatch int
+	Shards   int           // sharded: shard count; <= 0 means GOMAXPROCS
+	Obs      *obs.Registry // sharded: sink for per-shard gauges; may be nil
+}
+
+// engineBuilders is the registry proper. Keeping it a map (rather
+// than a switch) lets tests enumerate kinds and keeps NewGenEngine's
+// validation in one place.
+var engineBuilders = map[EngineKind]func(m *Model, spec EngineSpec) GenEngine{
+	EngineSerial: func(m *Model, spec EngineSpec) GenEngine {
+		return &serialEngine{m: m}
+	},
+	EngineBatched: func(m *Model, spec EngineSpec) GenEngine {
+		return NewEngine(m, spec.Window, spec.MaxBatch)
+	},
+	EngineSharded: func(m *Model, spec EngineSpec) GenEngine {
+		return NewShardedEngine(m, spec.Window, spec.MaxBatch, spec.Shards, spec.Obs)
+	},
+}
+
+// NewGenEngine builds the engine named by spec.Kind ("" selects
+// batched, the pre-registry default). Unknown kinds are an error —
+// surfaced at startup/reload, never mid-request.
+func NewGenEngine(m *Model, spec EngineSpec) (GenEngine, error) {
+	kind := spec.Kind
+	if kind == "" {
+		kind = EngineBatched
+	}
+	build, ok := engineBuilders[kind]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown engine kind %q (have %v)", kind, EngineKinds())
+	}
+	return build(m, spec), nil
+}
+
+// EngineKinds lists the registered kinds, sorted for stable output.
+func EngineKinds() []EngineKind {
+	kinds := make([]EngineKind, 0, len(engineBuilders))
+	for k := range engineBuilders {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// ValidEngineKind reports whether name is a registered engine kind.
+func ValidEngineKind(name string) bool {
+	_, ok := engineBuilders[EngineKind(name)]
+	return ok
+}
+
+// serialEngine runs each request through the serial reference decoder
+// on the caller's goroutine. It exists so the registry's yardstick is
+// literally Model.Generate; the batched engines define byte-identity
+// against this path.
+type serialEngine struct {
+	m *Model
+}
+
+// Generate implements GenEngine. Cancellation is honored only before
+// decoding starts: the serial path has no step boundaries to abort at.
+func (e *serialEngine) Generate(ctx context.Context, g *rng.RNG, w trace.Window, scale float64) (*trace.Trace, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// Same scale semantics as Engine.admitReq: the request's scale
+	// overrides the model's, 0 meaning 1 (via rateScale()).
+	m := *e.m
+	m.RateScale = scale
+	return m.Generate(g, w), nil
+}
+
+// Close implements GenEngine; the serial engine holds no resources.
+func (e *serialEngine) Close() {}

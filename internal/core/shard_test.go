@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestShardOfDeterministicAndSpread pins the stream→shard hash: a pure
+// function of (seed, K), in range, stable across calls, degenerate K
+// mapped to shard 0, and sequential seeds (the Split()/counter common
+// case) spread across all shards rather than clumping.
+func TestShardOfDeterministicAndSpread(t *testing.T) {
+	for _, k := range []int{-1, 0, 1} {
+		if got := ShardOf(12345, k); got != 0 {
+			t.Fatalf("ShardOf(12345, %d) = %d, want 0", k, got)
+		}
+	}
+	const shards = 8
+	hit := make([]int, shards)
+	for seed := int64(0); seed < 1000; seed++ {
+		s1 := ShardOf(seed, shards)
+		s2 := ShardOf(seed, shards)
+		if s1 != s2 {
+			t.Fatalf("seed %d: ShardOf not stable (%d vs %d)", seed, s1, s2)
+		}
+		if s1 < 0 || s1 >= shards {
+			t.Fatalf("seed %d: shard %d out of range [0,%d)", seed, s1, shards)
+		}
+		hit[s1]++
+	}
+	for k, n := range hit {
+		// 1000 seeds over 8 shards: a uniform hash stays well inside
+		// [50, 250]; a clumping one (e.g. seed % high-bit patterns)
+		// would leave shards empty.
+		if n < 50 || n > 250 {
+			t.Fatalf("shard %d got %d of 1000 sequential seeds; hash is clumping", k, n)
+		}
+	}
+}
+
+// shardTestModel is the fast untrained model used across the sharded
+// decode tests (decode mechanics and draw order do not depend on
+// fitted weights).
+func shardTestModel() *Model {
+	fm, lm := tinyGenModels()
+	return &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
+}
+
+// splitStreams returns n child RNGs split serially from one seed —
+// fresh for every decode leg, since decoding consumes the streams.
+func splitStreams(seed int64, n int) []*rng.RNG {
+	src := rng.New(seed)
+	gs := make([]*rng.RNG, n)
+	for i := range gs {
+		gs[i] = src.Split()
+	}
+	return gs
+}
+
+// TestShardedDecodeDeterminism is the tentpole acceptance test: serial
+// vs batched vs sharded decode at K=1, 2, 8, each at REPRO_PROCS=1 and
+// 8, all byte-identical per stream. scripts/check.sh re-runs it under
+// -race at GOMAXPROCS=4.
+func TestShardedDecodeDeterminism(t *testing.T) {
+	m := shardTestModel()
+	w := trace.Window{Start: 0, End: 2 * trace.PeriodsPerDay}
+	const n = 24
+	const seed = 99
+
+	serial := make([][]byte, n)
+	func() {
+		defer par.SetProcs(par.SetProcs(1))
+		for i, g := range splitStreams(seed, n) {
+			serial[i] = traceBytes(t, m.Generate(g, w))
+		}
+	}()
+
+	for _, procs := range []int{1, 8} {
+		func() {
+			defer par.SetProcs(par.SetProcs(procs))
+			for i, tr := range m.GenerateBatch(splitStreams(seed, n), w) {
+				if !bytes.Equal(traceBytes(t, tr), serial[i]) {
+					t.Fatalf("procs=%d batched stream %d differs from serial", procs, i)
+				}
+			}
+			for _, shards := range []int{1, 2, 8} {
+				for i, tr := range m.GenerateBatchSharded(splitStreams(seed, n), w, shards) {
+					if !bytes.Equal(traceBytes(t, tr), serial[i]) {
+						t.Fatalf("procs=%d shards=%d stream %d differs from serial", procs, shards, i)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// TestShardedDecodeDeterminismTrained runs the sharded equivalence on
+// the trained integration fixture, so the claim also holds with real
+// weights and real flavor/lifetime dynamics.
+func TestShardedDecodeDeterminismTrained(t *testing.T) {
+	f := getFixture(t)
+	m := f.model
+	const n = 16
+	serial := make([][]byte, n)
+	func() {
+		defer par.SetProcs(par.SetProcs(1))
+		for i, g := range splitStreams(321, n) {
+			serial[i] = traceBytes(t, m.Generate(g, f.testW))
+		}
+	}()
+	defer par.SetProcs(par.SetProcs(8))
+	for _, shards := range []int{2, 8} {
+		for i, tr := range m.GenerateBatchSharded(splitStreams(321, n), f.testW, shards) {
+			if !bytes.Equal(traceBytes(t, tr), serial[i]) {
+				t.Fatalf("shards=%d stream %d differs from serial", shards, i)
+			}
+		}
+	}
+}
+
+// TestShardedEngineMatchesSerial fires concurrent requests (more than
+// the total cap, exercising queueing and continuous admission across
+// shards) through a ShardedEngine and checks every response against
+// its serial decode, plus the per-shard gauge bookkeeping afterwards.
+// Run under -race via scripts/check.sh.
+func TestShardedEngineMatchesSerial(t *testing.T) {
+	m := shardTestModel()
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	reg := obs.NewRegistry()
+	const shards = 3
+	e := NewShardedEngine(m, time.Millisecond, 6, shards, reg)
+	defer e.Close()
+	const n = 20
+	var wg sync.WaitGroup
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := e.Generate(context.Background(), rng.New(int64(200+i)), w, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			_ = tr.WriteJSON(&buf)
+			got[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		want := traceBytes(t, m.Generate(rng.New(int64(200+i)), w))
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("request %d: sharded trace differs from serial", i)
+		}
+	}
+	// Gauge bookkeeping: assignments must total the request count and
+	// match each seed's ShardOf, and occupancy must drain back to zero.
+	snap := reg.Snapshot()
+	wantPerShard := make([]int64, shards)
+	for i := 0; i < n; i++ {
+		wantPerShard[ShardOf(int64(200+i), shards)]++
+	}
+	var total int64
+	for k := 0; k < shards; k++ {
+		occ := snap.Gauges["decode.shard_occupancy."+strconv.Itoa(k)]
+		if occ != 0 {
+			t.Fatalf("shard %d occupancy = %d after drain, want 0", k, occ)
+		}
+		asn := snap.Gauges["decode.streams_per_shard."+strconv.Itoa(k)]
+		if asn != wantPerShard[k] {
+			t.Fatalf("shard %d assigned = %d, want %d (ShardOf over request seeds)", k, asn, wantPerShard[k])
+		}
+		total += asn
+	}
+	if total != n {
+		t.Fatalf("total assigned = %d, want %d", total, n)
+	}
+}
+
+// TestShardedEngineScale pins the per-request scale knob against the
+// serial RateScale semantics, as TestEngineScale does for the batched
+// engine.
+func TestShardedEngineScale(t *testing.T) {
+	m := shardTestModel()
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	e := NewShardedEngine(m, 0, 8, 2, nil)
+	defer e.Close()
+	tr, err := e.Generate(context.Background(), rng.New(42), w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := *m
+	ms.RateScale = 3
+	if !bytes.Equal(traceBytes(t, tr), traceBytes(t, ms.Generate(rng.New(42), w))) {
+		t.Fatal("scaled sharded trace differs from serial RateScale path")
+	}
+}
+
+// TestShardedEngineCloseAndCancel checks the lifecycle contract
+// mirrors Engine: pre-cancelled contexts fail with ctx.Err, Close is
+// idempotent, and post-Close requests fail with ErrEngineClosed.
+func TestShardedEngineCloseAndCancel(t *testing.T) {
+	m := shardTestModel()
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	e := NewShardedEngine(m, 0, 4, 2, nil)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Generate(dead, rng.New(1), w, 0); err != context.Canceled {
+		t.Fatalf("pre-cancelled request: err = %v, want context.Canceled", err)
+	}
+	if _, err := e.Generate(context.Background(), rng.New(1), w, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Generate(context.Background(), rng.New(2), w, 0); err != ErrEngineClosed {
+		t.Fatalf("post-close: err = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineRegistry covers the registry surface: every kind
+// constructs an engine whose output is byte-identical to the others,
+// "" defaults to batched, unknown kinds error, and the enumeration/
+// validation helpers agree.
+func TestEngineRegistry(t *testing.T) {
+	kinds := EngineKinds()
+	if len(kinds) != 3 {
+		t.Fatalf("EngineKinds() = %v, want 3 kinds", kinds)
+	}
+	for _, k := range []EngineKind{EngineSerial, EngineBatched, EngineSharded} {
+		if !ValidEngineKind(string(k)) {
+			t.Fatalf("ValidEngineKind(%q) = false", k)
+		}
+	}
+	if ValidEngineKind("warp-drive") {
+		t.Fatal(`ValidEngineKind("warp-drive") = true`)
+	}
+	if _, err := NewGenEngine(shardTestModel(), EngineSpec{Kind: "warp-drive"}); err == nil {
+		t.Fatal("NewGenEngine with unknown kind: err = nil")
+	}
+
+	m := shardTestModel()
+	w := trace.Window{Start: 0, End: trace.PeriodsPerDay}
+	want := traceBytes(t, m.Generate(rng.New(7), w))
+	ms := *m
+	ms.RateScale = 2
+	wantScaled := traceBytes(t, ms.Generate(rng.New(7), w))
+	for _, kind := range []EngineKind{"", EngineSerial, EngineBatched, EngineSharded} {
+		e, err := NewGenEngine(m, EngineSpec{Kind: kind, MaxBatch: 4, Shards: 2})
+		if err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+		tr, err := e.Generate(context.Background(), rng.New(7), w, 0)
+		if err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+		if !bytes.Equal(traceBytes(t, tr), want) {
+			t.Fatalf("kind %q: trace differs from serial reference", kind)
+		}
+		tr, err = e.Generate(context.Background(), rng.New(7), w, 2)
+		if err != nil {
+			t.Fatalf("kind %q scaled: %v", kind, err)
+		}
+		if !bytes.Equal(traceBytes(t, tr), wantScaled) {
+			t.Fatalf("kind %q: scaled trace differs from serial RateScale path", kind)
+		}
+		e.Close()
+	}
+
+	// The serial engine honours an already-cancelled context.
+	e, err := NewGenEngine(m, EngineSpec{Kind: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Generate(dead, rng.New(7), w, 0); err != context.Canceled {
+		t.Fatalf("serial pre-cancelled: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestShardedRoundSteadyStateAllocs pins the per-shard step path at
+// zero steady-state allocations: a warm roundShards pass over several
+// populated shards must not allocate at REPRO_PROCS=1 (the
+// multi-worker path pays par's bounded per-region goroutine scratch,
+// like every other par call site).
+func TestShardedRoundSteadyStateAllocs(t *testing.T) {
+	defer par.SetProcs(par.SetProcs(1))
+	m := shardTestModel()
+	w := trace.Window{Start: 0, End: 400 * trace.PeriodsPerDay} // long-lived streams
+	const shards = 4
+	fes := make([]*fleetEngine, shards)
+	src := rng.New(77)
+	for k := range fes {
+		fes[k] = newFleetEngine(m, 4)
+		for i := 0; i < 4; i++ {
+			s := m.newGenStream(src.Split(), w, 1, nil)
+			if s.phase == phaseDone {
+				t.Fatal("stream finished before admission; widen the window")
+			}
+			// Pre-grow per-stream buffers so steady-state appends don't
+			// reallocate under AllocsPerRun.
+			s.out.VMs = make([]trace.VM, 0, 1<<20)
+			s.spans = make([]genSpan, 0, 4096)
+			s.flavors = make([]int, 0, 4096)
+			fes[k].admit(s)
+		}
+	}
+	rounder := newShardRounder(fes)
+	for i := 0; i < 50; i++ { // warm scratch
+		rounder.round()
+	}
+	for k := range fes {
+		if fes[k].active() != 4 {
+			t.Skip("streams retired during warmup; window too short for alloc pin")
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { rounder.round() }); allocs != 0 {
+		t.Fatalf("warm sharded round allocates %v times, want 0", allocs)
+	}
+}

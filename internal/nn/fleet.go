@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/mat"
 )
@@ -23,7 +24,11 @@ import (
 // sparse-row dispatch so skip-zero kernel choices match row for row.
 //
 // A Fleet is not safe for concurrent use; the decode scheduler in
-// internal/core drives it from one goroutine. Steady-state Step calls
+// internal/core drives it from one goroutine. Distinct Fleets, however,
+// may be stepped concurrently (the sharded decode engine runs one per
+// shard): every slab and scratch buffer is owned by its Fleet alone and
+// starts on a 64-byte boundary (alignedDense), so two shards never
+// share — truly or falsely — a cache line. Steady-state Step calls
 // allocate nothing (scratch grows only when Admit outgrows capacity).
 type Fleet struct {
 	net *LSTM
@@ -63,16 +68,43 @@ func (n *LSTM) NewFleet(capacity int) *Fleet {
 	return f
 }
 
+// cacheLine is the assumed cache-line (and AVX-friendly) granule for
+// slab alignment.
+const cacheLine = 64
+
+// alignedDense returns an r x c Dense whose backing array starts on a
+// cacheLine boundary. The Go allocator only guarantees 8-byte alignment
+// for []float64, which lets two small slabs from different fleets land
+// on the same line; over-allocating by one line and slicing at the
+// aligned offset removes that false sharing between concurrently
+// stepped shards. Alignment never changes values, only addresses, so
+// decode bytes are unaffected.
+func alignedDense(r, c int) *mat.Dense {
+	n := r * c
+	const pad = cacheLine / 8 // float64s per line
+	raw := make([]float64, n+pad)
+	off := 0
+	if n > 0 {
+		addr := uintptr(unsafe.Pointer(&raw[0]))
+		if rem := addr % cacheLine; rem != 0 {
+			off = int((cacheLine - rem) / 8)
+		}
+	}
+	return mat.FromSlice(r, c, raw[off:off+n])
+}
+
 // alloc (re)creates the slabs at the given row capacity, preserving
-// the first f.n rows of the persistent state.
+// the first f.n rows of the persistent state. Every slab is allocated
+// cache-line-aligned and owned exclusively by this fleet, so per-shard
+// fleets stepped in parallel contend on nothing.
 func (f *Fleet) alloc(capacity int) {
 	cfg := f.net.Cfg
 	nl := len(f.net.layers)
 	h := make([]*mat.Dense, nl)
 	c := make([]*mat.Dense, nl)
 	for l := 0; l < nl; l++ {
-		h[l] = mat.NewDense(capacity, cfg.HiddenDim)
-		c[l] = mat.NewDense(capacity, cfg.HiddenDim)
+		h[l] = alignedDense(capacity, cfg.HiddenDim)
+		c[l] = alignedDense(capacity, cfg.HiddenDim)
 		if f.n > 0 {
 			copy(h[l].Data, f.h[l].Data[:f.n*cfg.HiddenDim])
 			copy(c[l].Data, f.c[l].Data[:f.n*cfg.HiddenDim])
@@ -80,15 +112,15 @@ func (f *Fleet) alloc(capacity int) {
 	}
 	f.h, f.c = h, c
 	f.cap = capacity
-	f.x = mat.NewDense(capacity, cfg.InputDim)
+	f.x = alignedDense(capacity, cfg.InputDim)
 	f.gh = make([]*mat.Dense, nl)
 	f.gc = make([]*mat.Dense, nl)
 	for l := 0; l < nl; l++ {
-		f.gh[l] = mat.NewDense(capacity, cfg.HiddenDim)
-		f.gc[l] = mat.NewDense(capacity, cfg.HiddenDim)
+		f.gh[l] = alignedDense(capacity, cfg.HiddenDim)
+		f.gc[l] = alignedDense(capacity, cfg.HiddenDim)
 	}
-	f.z = mat.NewDense(capacity, 4*cfg.HiddenDim)
-	f.y = mat.NewDense(capacity, cfg.OutputDim)
+	f.z = alignedDense(capacity, 4*cfg.HiddenDim)
+	f.y = alignedDense(capacity, cfg.OutputDim)
 	f.ghv = make([]mat.Dense, nl)
 	f.gcv = make([]mat.Dense, nl)
 	f.ts = make([]float64, cfg.HiddenDim)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"testing"
+	"unsafe"
 
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -176,6 +177,81 @@ func TestFleetStepAllocFree(t *testing.T) {
 		f.Step(batch)
 	}); allocs != 0 {
 		t.Fatalf("fleet step allocates %v times, want 0", allocs)
+	}
+}
+
+// TestFleetSlabsCacheAligned checks every persistent and scratch slab
+// of a fleet starts on a 64-byte boundary (awkward capacities
+// included), so fleets owned by different decode shards can never
+// falsely share a cache line — and that alignment does not perturb a
+// single logit vs StepForward (covered by the Matches test running on
+// the same allocator).
+func TestFleetSlabsCacheAligned(t *testing.T) {
+	net := fleetTestNet()
+	for _, capacity := range []int{1, 2, 3, 7, 8, 64} {
+		f := net.NewFleet(capacity)
+		slabs := [][]float64{f.x.Data, f.z.Data, f.y.Data}
+		for l := range f.h {
+			slabs = append(slabs, f.h[l].Data, f.c[l].Data, f.gh[l].Data, f.gc[l].Data)
+		}
+		for i, s := range slabs {
+			if len(s) == 0 {
+				continue
+			}
+			if addr := uintptr(unsafe.Pointer(&s[0])); addr%cacheLine != 0 {
+				t.Fatalf("capacity %d slab %d: address %#x not %d-byte aligned", capacity, i, addr, cacheLine)
+			}
+		}
+	}
+}
+
+// TestFleetConcurrentShards steps several independently owned fleets
+// concurrently through par (the sharded decode engine's access
+// pattern) and checks every stream on every shard stays bit-identical
+// to its serial StepForward reference. Run under -race this also pins
+// the "distinct Fleets may be stepped concurrently" contract.
+func TestFleetConcurrentShards(t *testing.T) {
+	defer par.SetProcs(par.SetProcs(8))
+	net := fleetTestNet()
+	const shards = 4
+	const streams = 3 // per shard
+	const rounds = 30
+	fleets := make([]*Fleet, shards)
+	refs := make([][]*State, shards)
+	bad := make([]bool, shards)
+	for k := range fleets {
+		fleets[k] = net.NewFleet(streams)
+		refs[k] = make([]*State, streams)
+		for s := 0; s < streams; s++ {
+			fleets[k].Admit()
+			refs[k][s] = net.NewState(1)
+		}
+	}
+	batch := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2}}
+	for round := 0; round < rounds; round++ {
+		par.Do(shards, func(k int) {
+			f := fleets[k]
+			ref := make([]float64, net.Cfg.InputDim)
+			for s := 0; s < streams; s++ {
+				fleetInput(f.InputRow(s), shards*s+k, round)
+			}
+			y := f.Step(batch[k])
+			for s := 0; s < streams; s++ {
+				fleetInput(ref, shards*s+k, round)
+				want := net.StepForward(ref, refs[k][s])
+				got := y.Row(s)
+				for j := range want {
+					if got[j] != want[j] {
+						bad[k] = true
+					}
+				}
+			}
+		})
+	}
+	for k, b := range bad {
+		if b {
+			t.Fatalf("shard %d diverged from serial StepForward under concurrent stepping", k)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -213,6 +214,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFamily returns the n gauges "prefix.0" … "prefix.<n-1>",
+// creating any that don't exist yet. It is the per-index variant of
+// Gauge for fixed-cardinality dimensions known at wiring time (e.g.
+// decode shards: decode.shard_occupancy.<k>); callers index the
+// returned slice on the hot path instead of formatting names.
+func (r *Registry) GaugeFamily(prefix string, n int) []*Gauge {
+	gs := make([]*Gauge, n)
+	for i := range gs {
+		gs[i] = r.Gauge(prefix + "." + strconv.Itoa(i))
+	}
+	return gs
 }
 
 // Histogram returns the named histogram, creating it with the given

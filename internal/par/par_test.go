@@ -2,6 +2,7 @@ package par
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -176,6 +177,108 @@ func BenchmarkDoParallelRegion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Do(8, func(int) {})
 	}
+}
+
+// TestSnapshotZeroAlloc pins Snapshot at zero allocations while
+// parallel regions run concurrently (the sharded decode engine polls
+// Snapshot from /metrics while shards step through Do): six atomic
+// loads into a value struct, no matter how contended the counters are.
+func TestSnapshotZeroAlloc(t *testing.T) {
+	defer SetProcs(SetProcs(4))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Do(8, func(int) {})
+			}
+		}
+	}()
+	var sink Stats
+	if allocs := testing.AllocsPerRun(1000, func() { sink = Snapshot() }); allocs != 0 {
+		t.Errorf("Snapshot allocates %v times under concurrent regions, want 0", allocs)
+	}
+	close(stop)
+	<-done
+	_ = sink
+}
+
+// BenchmarkSnapshotContended measures Snapshot while shardCount
+// goroutines continuously open and close serial regions — the
+// multi-region contention the ~130 ns/region serial figure from
+// BenchmarkDoSerialRegion never exercises. Caveat (same as bench.sh):
+// cross-block ns/op deltas under ~10% are clock noise; for a
+// kernel-level decision run the contended and uncontended blocks in
+// one process and compare within the run.
+func BenchmarkSnapshotContended(b *testing.B) {
+	defer SetProcs(SetProcs(1))
+	const shardCount = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < shardCount; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Do(1, func(int) {})
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Stats
+	for i := 0; i < b.N; i++ {
+		sink = Snapshot()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	_ = sink
+}
+
+// BenchmarkDoSerialRegionContended is the multi-region companion to
+// BenchmarkDoSerialRegion: per-region cost when shardCount goroutines
+// enter serial regions concurrently, so the shared atomic counters are
+// genuinely contended (the sharded decode engine's steady state —
+// every shard's GEMM opens regions against its siblings). The same
+// paired-measure caveat applies: compare against BenchmarkDoSerialRegion
+// from the same bench.sh run, not across baselines.
+func BenchmarkDoSerialRegionContended(b *testing.B) {
+	defer SetProcs(SetProcs(1))
+	const shardCount = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < shardCount; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Do(1, func(int) {})
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Do(1, func(int) {})
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }
 
 func TestSnapshotSerialPath(t *testing.T) {

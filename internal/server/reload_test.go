@@ -27,8 +27,24 @@ func freshServer(t *testing.T) *Server {
 // check.sh does): the snapshot swap and the engine retry path are
 // exactly where a data race would live.
 func TestHotReloadUnderLoad(t *testing.T) {
+	testHotReloadUnderLoad(t, func(*Server) {})
+}
+
+// TestHotReloadUnderLoadSharded is the same guarantee with the sharded
+// decode engine: reload must drain and replay across all shards
+// without dropping or changing a request, and the engine rebuilt after
+// the swap must come back sharded. Run with -race via scripts/check.sh.
+func TestHotReloadUnderLoadSharded(t *testing.T) {
+	testHotReloadUnderLoad(t, func(s *Server) {
+		s.EngineKind = string(core.EngineSharded)
+		s.DecodeShards = 4
+	})
+}
+
+func testHotReloadUnderLoad(t *testing.T, configure func(*Server)) {
 	s := freshServer(t)
 	s.BatchWindow = 0
+	configure(s)
 	h := s.Handler()
 
 	body := func(seed int64) string {

@@ -50,8 +50,10 @@ type GenerateRequest struct {
 // Server wraps a trained model with HTTP handlers. It is safe for
 // concurrent use: the model weights are read-only after construction
 // and concurrent /generate requests are coalesced into shared decode
-// batches by a core.Engine (DESIGN.md §6.2); per-request seeded RNGs
-// keep every response byte-identical to a serial decode of that seed.
+// batches by a core.GenEngine selected from the engine registry via
+// EngineKind — serial, batched (DESIGN.md §6.2), or sharded across
+// cores (§6.3); per-request seeded RNGs keep every response
+// byte-identical to a serial decode of that seed regardless of kind.
 //
 // The serving snapshot (model + catalog + engine) can be hot-swapped at
 // runtime via Reload (wired to POST /-/reload and SIGHUP by cmd/traced)
@@ -81,6 +83,13 @@ type Server struct {
 	// MaxBatch caps concurrent streams in one decode batch (default 64;
 	// set before the first request).
 	MaxBatch int
+	// EngineKind selects the decode engine from core's registry:
+	// "serial", "batched" (default), or "sharded" (set before the first
+	// request; also applies to engines rebuilt on hot-reload).
+	EngineKind string
+	// DecodeShards is the sharded engine's shard count (<= 0 means
+	// GOMAXPROCS); ignored by the other kinds.
+	DecodeShards int
 	// TrainInfo optionally carries training-run metadata (cloud, epochs,
 	// seed, wall time, journal path) surfaced under "train" at /metrics.
 	TrainInfo map[string]any
@@ -88,7 +97,7 @@ type Server struct {
 	mu      sync.Mutex
 	model   *core.Model
 	catalog *trace.FlavorSet
-	eng     *core.Engine
+	eng     core.GenEngine
 	seeds   *rng.RNG // fresh-seed source for requests without a seed
 
 	started time.Time
@@ -140,15 +149,28 @@ func NewWithRegistry(model *core.Model, catalog *trace.FlavorSet, reg *obs.Regis
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // snapshot returns a consistent (model, catalog, engine) triple, lazily
-// starting the decode engine for the current model on first use (so
-// BatchWindow/MaxBatch can be tuned after New).
-func (s *Server) snapshot() (*core.Model, *trace.FlavorSet, *core.Engine) {
+// building the configured decode engine for the current model on first
+// use (so BatchWindow/MaxBatch/EngineKind/DecodeShards can be tuned
+// after New). The same spec is used for engines rebuilt on hot-reload,
+// so the engine kind survives Reload; a bad EngineKind surfaces here as
+// an error rather than at construction.
+func (s *Server) snapshot() (*core.Model, *trace.FlavorSet, core.GenEngine, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng == nil {
-		s.eng = core.NewEngine(s.model, s.BatchWindow, s.MaxBatch)
+		eng, err := core.NewGenEngine(s.model, core.EngineSpec{
+			Kind:     core.EngineKind(s.EngineKind),
+			Window:   s.BatchWindow,
+			MaxBatch: s.MaxBatch,
+			Shards:   s.DecodeShards,
+			Obs:      s.reg,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.eng = eng
 	}
-	return s.model, s.catalog, s.eng
+	return s.model, s.catalog, s.eng, nil
 }
 
 // currentModel returns the serving model without starting an engine.
@@ -364,13 +386,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var catalog *trace.FlavorSet
 	sampleStart := time.Now()
 	for attempt := 0; ; attempt++ {
-		model, cat, eng := s.snapshot()
+		model, cat, eng, err := s.snapshot()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "engine: %v", err)
+			return
+		}
 		start := req.StartPeriod
 		if start <= 0 {
 			start = model.Flavor.HistoryDays * trace.PeriodsPerDay
 		}
 		window := trace.Window{Start: start, End: start + req.Periods}
-		var err error
 		tr, err = eng.Generate(r.Context(), rng.New(seed), window, req.Scale)
 		if err == nil {
 			catalog = cat

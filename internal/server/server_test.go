@@ -335,6 +335,96 @@ func TestGenerateCancelledCounter(t *testing.T) {
 	}
 }
 
+// TestMetricsShardGauges serves /generate through the sharded engine
+// and asserts the per-shard gauge families surface in GET /metrics:
+// every decode.shard_occupancy.<k> / decode.streams_per_shard.<k>
+// gauge present, assignments totalling the served requests, and
+// occupancy drained back to zero.
+func TestMetricsShardGauges(t *testing.T) {
+	shared := testServer(t)
+	s := NewWithRegistry(shared.currentModel(), shared.catalog, obs.NewRegistry())
+	const shards = 2
+	s.EngineKind = string(core.EngineSharded)
+	s.DecodeShards = shards
+	s.BatchWindow = 0
+	defer s.Close()
+	h := s.Handler()
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"periods": 12, "seed": %d}`, 300+i)
+		if rec := do(t, h, "POST", "/generate", body); rec.Code != http.StatusOK {
+			t.Fatalf("generate %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var resp struct {
+		Metrics struct {
+			Gauges map[string]int64 `json:"gauges"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var assigned int64
+	for k := 0; k < shards; k++ {
+		occName := fmt.Sprintf("decode.shard_occupancy.%d", k)
+		occ, ok := resp.Metrics.Gauges[occName]
+		if !ok {
+			t.Fatalf("gauge %q missing from /metrics", occName)
+		}
+		if occ != 0 {
+			t.Errorf("%s = %d with no in-flight requests, want 0", occName, occ)
+		}
+		asnName := fmt.Sprintf("decode.streams_per_shard.%d", k)
+		asn, ok := resp.Metrics.Gauges[asnName]
+		if !ok {
+			t.Fatalf("gauge %q missing from /metrics", asnName)
+		}
+		assigned += asn
+	}
+	if assigned != n {
+		t.Errorf("streams_per_shard total = %d, want %d", assigned, n)
+	}
+}
+
+// TestShardedServerMatchesBatched pins engine-kind transparency at the
+// HTTP layer: the same (seed, periods) request served by a sharded
+// server returns byte-identical responses to the default batched one.
+func TestShardedServerMatchesBatched(t *testing.T) {
+	shared := testServer(t)
+	s := NewWithRegistry(shared.currentModel(), shared.catalog, obs.NewRegistry())
+	s.EngineKind = string(core.EngineSharded)
+	s.DecodeShards = 4
+	defer s.Close()
+	body := `{"periods": 24, "seed": 77, "format": "json"}`
+	a := do(t, shared.Handler(), "POST", "/generate", body)
+	b := do(t, s.Handler(), "POST", "/generate", body)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", a.Code, b.Code)
+	}
+	if a.Body.String() != b.Body.String() {
+		t.Fatal("sharded server response differs from batched server for the same seed")
+	}
+}
+
+// TestBadEngineKind checks a misconfigured engine kind surfaces as a
+// clean 500 on /generate, not a panic or a hang.
+func TestBadEngineKind(t *testing.T) {
+	shared := testServer(t)
+	s := NewWithRegistry(shared.currentModel(), shared.catalog, obs.NewRegistry())
+	s.EngineKind = "warp-drive"
+	defer s.Close()
+	rec := do(t, s.Handler(), "POST", "/generate", `{"periods": 12, "seed": 1}`)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("bad engine kind: status %d, want 500: %s", rec.Code, rec.Body.String())
+	}
+}
+
 func TestMethodRouting(t *testing.T) {
 	h := testServer(t).Handler()
 	if rec := do(t, h, "GET", "/generate", ""); rec.Code != http.StatusMethodNotAllowed {

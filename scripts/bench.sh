@@ -26,20 +26,37 @@ if [ -f "$OUT" ]; then
 	cp "$OUT" "$PREV"
 fi
 
+# ncpu alone is not enough to interpret the parallel benchmarks: record
+# the worker-count knobs actually in effect. Unset env vars mean the
+# library defaulted — GOMAXPROCS to ncpu, REPRO_PROCS to GOMAXPROCS —
+# so the effective values are always concrete numbers, never null.
+NCPU="$(getconf _NPROCESSORS_ONLN)"
+GOMAX_EFF="${GOMAXPROCS:-$NCPU}"
+REPRO_EFF="${REPRO_PROCS:-$GOMAX_EFF}"
+
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 	. ./internal/mat ./internal/nn ./internal/par ./internal/obs | tee "$TMP"
+
+# Multi-core scaling rows (DESIGN.md §6.3): re-run the decode-fleet
+# benchmarks at fixed GOMAXPROCS values so the sharded engine's scaling
+# curve is captured in the baseline. Rows are suffixed @gomaxprocs=G
+# and carry a per-row "gomaxprocs" field; on hosts with fewer cores
+# than G the rows still exist but cannot show speedup (the scheduler
+# multiplexes all workers onto the available cores).
+for G in 2 4 8; do
+	echo "bench.sh: decode-fleet benchmarks at GOMAXPROCS=$G"
+	GOMAXPROCS="$G" go test -run '^$' -bench 'GenerateBatchLSTM|GenerateShardedLSTM' \
+		-benchmem -benchtime "$BENCHTIME" . | \
+		awk -v g="$G" '/^Benchmark/ { $1 = $1 "@gomaxprocs=" g; print; print > "/dev/stderr" }' >> "$TMP"
+done
 
 {
 	echo '{'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
-	# ncpu alone is not enough to interpret the parallel benchmarks:
-	# record the worker-count knobs in effect too (null = unset, i.e.
-	# the library defaulted to ncpu).
 	printf '  "goos": "%s", "goarch": "%s", "ncpu": %s, "repro_procs": %s, "gomaxprocs": %s,\n' \
-		"$(go env GOOS)" "$(go env GOARCH)" "$(getconf _NPROCESSORS_ONLN)" \
-		"${REPRO_PROCS:-null}" "${GOMAXPROCS:-null}"
+		"$(go env GOOS)" "$(go env GOARCH)" "$NCPU" "$REPRO_EFF" "$GOMAX_EFF"
 	echo '  "benchmarks": ['
-	awk '/^Benchmark/ {
+	awk -v topgmp="$GOMAX_EFF" '/^Benchmark/ {
 		name=$1; iters=$2; nsop=$3
 		mbs="null"; bop="null"; allocs="null"; sps="null"
 		for (i=4; i<=NF; i++) {
@@ -48,9 +65,12 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 			if ($i == "allocs/op") allocs=$(i-1)
 			if ($i == "streams/s") sps=$(i-1)
 		}
+		gmp = topgmp
+		if (match(name, /@gomaxprocs=[0-9]+/))
+			gmp = substr(name, RSTART+12, RLENGTH-12)
 		if (n++) printf ",\n"
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"streams_per_s\": %s}", \
-			name, iters, nsop, mbs, bop, allocs, sps
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"streams_per_s\": %s, \"gomaxprocs\": %s}", \
+			name, iters, nsop, mbs, bop, allocs, sps, gmp
 	} END { print "" }' "$TMP"
 	echo '  ]'
 	echo '}'

@@ -14,6 +14,23 @@ go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs \
 	./internal/server ./internal/core ./internal/ckpt ./internal/rng
 go test -race -run 'TestDeterminism|TestObservability|TestKillAndResume|TestBatchedFleet' .
 
+# Sharded decode tier (DESIGN.md §6.3): the determinism and hot-reload
+# guarantees must hold when the shards genuinely step on multiple cores,
+# so force GOMAXPROCS=4 regardless of the host default.
+GOMAXPROCS=4 go test -race \
+	-run 'TestShardedDecodeDeterminism|TestShardedEngine|TestShardOf|TestFleetConcurrentShards' \
+	./internal/core ./internal/nn
+GOMAXPROCS=4 go test -race -run 'TestHotReloadUnderLoad|TestMetricsShardGauges|TestShardedServerMatchesBatched' \
+	./internal/server
+
+# Memory-discipline pins: the per-shard round path, the fleet step
+# kernel, and the par Snapshot poll must stay allocation-free in steady
+# state (AllocsPerRun pins run without -race; the race runtime's
+# instrumentation allocates).
+go test -run 'TestShardedRoundSteadyStateAllocs' ./internal/core
+go test -run 'TestFleetStepAllocFree' ./internal/nn
+go test -run 'TestSnapshotZeroAlloc' ./internal/par
+
 # Short-budget fuzz tier: each target gets a few seconds of coverage-
 # guided input on top of its checked-in seed corpus. Skipped cleanly on
 # toolchains without native fuzzing support.
@@ -24,4 +41,4 @@ else
 	echo "check.sh: go toolchain lacks -fuzz; skipping fuzz tier"
 fi
 
-echo "check.sh: vet + race + determinism + resume + fuzz OK"
+echo "check.sh: vet + race + determinism + sharded + alloc pins + resume + fuzz OK"
