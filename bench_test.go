@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/rtrace"
 	"repro/internal/sched"
 	"repro/internal/survival"
 	"repro/internal/synth"
@@ -428,6 +430,40 @@ func benchGenerateSharded(b *testing.B, streams, shards int) {
 func BenchmarkGenerateShardedLSTM64x2(b *testing.B) { benchGenerateSharded(b, 64, 2) }
 func BenchmarkGenerateShardedLSTM64x4(b *testing.B) { benchGenerateSharded(b, 64, 4) }
 func BenchmarkGenerateShardedLSTM64x8(b *testing.B) { benchGenerateSharded(b, 64, 8) }
+
+// benchServeDecode times a full request through the continuous-batching
+// serve engine, with and without a request trace attached. bench.sh
+// reports the Off/On pair as the tracing overhead; DESIGN.md §7 budgets
+// it at noise level because the disabled path is a single pointer test
+// per stream per round and the enabled path only stamps time.Now() at
+// phase boundaries.
+func benchServeDecode(b *testing.B, traced bool) {
+	c := benchAzure(b)
+	eng := core.NewEngine(c.Model(), 0, 8)
+	defer eng.Close()
+	tc := rtrace.NewTracer(256)
+	g := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		var rt *rtrace.Trace
+		if traced {
+			rt = tc.StartTrace()
+			ctx = rtrace.NewContext(ctx, rt)
+		}
+		if _, err := eng.Generate(ctx, g.Split(), c.TestW, 0); err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			tc.Finish(rt)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "streams/s")
+}
+
+func BenchmarkServeDecodeTracingOff(b *testing.B) { benchServeDecode(b, false) }
+func BenchmarkServeDecodeTracingOn(b *testing.B)  { benchServeDecode(b, true) }
 
 func BenchmarkGenerateTraceNaive(b *testing.B) {
 	c := benchAzure(b)

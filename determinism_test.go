@@ -2,14 +2,17 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fidelity"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/rtrace"
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -77,10 +80,11 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 
 // TestObservabilityIsReadOnly enforces the instrumentation layer's side
 // of the determinism contract: attaching a telemetry journal, a
-// Progress callback, and an epoch sink to training must not touch any
-// RNG stream or training state, so the trained weights and the
-// generated trace are byte-identical with observability fully on and
-// fully off.
+// Progress callback, and an epoch sink to training — and, on the decode
+// side, a live request trace plus the fidelity drift monitor — must not
+// touch any RNG stream or training state, so the trained weights and
+// the generated trace are byte-identical with observability fully on
+// and fully off.
 func TestObservabilityIsReadOnly(t *testing.T) {
 	run := func(observed bool) (flavorW, lifetimeW, traceJSON []byte) {
 		cfg := synth.AzureLike()
@@ -126,7 +130,38 @@ func TestObservabilityIsReadOnly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr := core.WithCatalog(m.Generate(rng.New(11), testW), full.Flavors)
+		// Decode through the serving engine. The observed arm runs with
+		// request tracing attached (spans recorded at every pipeline
+		// phase) and folds the result into a fidelity drift monitor; the
+		// bare arm runs the identical decode with both disabled.
+		eng := core.NewEngine(m, 0, 8)
+		ctx := context.Background()
+		var tracer *rtrace.Tracer
+		var rt *rtrace.Trace
+		if observed {
+			tracer = rtrace.NewTracer(8)
+			rt = tracer.StartTrace()
+			ctx = rtrace.NewContext(ctx, rt)
+		}
+		decoded, err := eng.Generate(ctx, rng.New(11), testW, 0)
+		eng.Close()
+		if err != nil {
+			t.Fatalf("observed=%v: decode: %v", observed, err)
+		}
+		if observed {
+			fin := tracer.Finish(rt)
+			if _, ok := fin.SpanDur("decode"); !ok {
+				t.Errorf("observed decode recorded no decode span: %+v", fin.Spans)
+			}
+			mon := fidelity.NewMonitor(
+				fidelity.ReferenceFromTrace(train, survival.PaperBins().Edges),
+				fidelity.Config{}, obs.NewRegistry())
+			mon.ObserveTrace(decoded, 1)
+			if mon.Snapshot().WindowVMs != int64(len(decoded.VMs)) {
+				t.Error("fidelity monitor did not observe the decoded trace")
+			}
+		}
+		tr := core.WithCatalog(decoded, full.Flavors)
 		var buf bytes.Buffer
 		if err := tr.WriteJSON(&buf); err != nil {
 			t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/rng"
+	"repro/internal/rtrace"
 	"repro/internal/survival"
 	"repro/internal/trace"
 )
@@ -90,6 +91,14 @@ type genStream struct {
 	// Arrival feature scratch for RateInto, so period transitions on
 	// the decode hot path allocate nothing.
 	arrF []float64
+
+	// Request tracing (DESIGN.md §7): nil on untraced streams, so the
+	// per-round cost of disabled tracing is one pointer test. Spans are
+	// only written from the scheduler goroutine that owns the stream.
+	tr        *rtrace.Trace
+	admitted  time.Time // when the scheduler admitted the stream
+	firstStep time.Time // first fleet round that stepped the stream
+	rounds    int64     // fleet rounds this stream participated in
 
 	// Delivery: GenerateBatch indexes by slot; Engine replies on done.
 	slot int
@@ -302,6 +311,18 @@ func (e *fleetEngine) round() []*genStream {
 	}
 	e.fReq, e.lReq = e.fReq[:0], e.lReq[:0]
 	for _, s := range e.streams {
+		if s.phase == phaseDone {
+			continue
+		}
+		if s.tr != nil {
+			// Traced streams count the rounds they ride in and pin the
+			// instant batching ended (their first step); untraced streams
+			// pay one pointer test.
+			if s.rounds == 0 {
+				s.firstStep = time.Now()
+			}
+			s.rounds++
+		}
 		switch s.phase {
 		case phaseFlavor:
 			e.fReq = append(e.fReq, s)
@@ -343,6 +364,19 @@ func (e *fleetEngine) round() []*genStream {
 		if s.phase != phaseDone {
 			i++
 			continue
+		}
+		if s.tr != nil {
+			// Close out the stream's span pair: coalesce covers admission
+			// to the first step (batch-window + shard-queue wait), decode
+			// covers the stepped rounds. A stream aborted before its first
+			// step gets an empty decode span anchored at retirement.
+			now := time.Now()
+			first := s.firstStep
+			if first.IsZero() {
+				first = now
+			}
+			s.tr.Add("coalesce", s.admitted, first.Sub(s.admitted))
+			s.tr.AddN("decode", first, now.Sub(first), s.rounds)
 		}
 		if moved := e.ff.Retire(s.frow); moved >= 0 {
 			o := e.fOwner[moved]
@@ -440,6 +474,36 @@ type engineReq struct {
 	scale float64
 	ctx   context.Context
 	done  chan engineResult
+
+	// Tracing: tr is the request's trace (nil when untraced), submitted
+	// the instant Generate enqueued the request; admitReq turns the gap
+	// into the "queue" span.
+	tr        *rtrace.Trace
+	submitted time.Time
+}
+
+// newEngineReq builds a request, picking up the caller's trace from ctx
+// (shared by Engine.Generate and ShardedEngine.Generate).
+func newEngineReq(ctx context.Context, g *rng.RNG, w trace.Window, scale float64) *engineReq {
+	req := &engineReq{g: g, w: w, scale: scale, ctx: ctx, done: make(chan engineResult, 1)}
+	if tr := rtrace.FromContext(ctx); tr != nil {
+		req.tr = tr
+		req.submitted = time.Now()
+	}
+	return req
+}
+
+// traceAdmit records the request's queue wait and hands the trace to
+// the admitted stream. Call sites are the schedulers' admitReq, so span
+// writes stay on one goroutine per request.
+func (r *engineReq) traceAdmit(s *genStream) {
+	if r.tr == nil {
+		return
+	}
+	now := time.Now()
+	r.tr.Add("queue", r.submitted, now.Sub(r.submitted))
+	s.tr = r.tr
+	s.admitted = now
 }
 
 // Engine is the continuous-batching front door for serving: concurrent
@@ -492,7 +556,7 @@ func (e *Engine) Generate(ctx context.Context, g *rng.RNG, w trace.Window, scale
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	req := &engineReq{g: g, w: w, scale: scale, ctx: ctx, done: make(chan engineResult, 1)}
+	req := newEngineReq(ctx, g, w, scale)
 	e.mu.RLock()
 	closed := e.closed
 	if !closed {
@@ -548,6 +612,7 @@ func (e *Engine) admitReq(fe *fleetEngine, r *engineReq) {
 	}
 	s := e.m.newGenStream(r.g, r.w, scale, r.ctx)
 	s.done = r.done
+	r.traceAdmit(s)
 	fe.admit(s)
 }
 

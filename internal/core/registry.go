@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/rtrace"
 	"repro/internal/trace"
 )
 
@@ -122,6 +123,14 @@ func (e *serialEngine) Generate(ctx context.Context, g *rng.RNG, w trace.Window,
 	// overrides the model's, 0 meaning 1 (via rateScale()).
 	m := *e.m
 	m.RateScale = scale
+	if tr := rtrace.FromContext(ctx); tr != nil {
+		// The serial path has no queue or coalesce phases: the whole call
+		// is one decode span (with no step rounds to count).
+		start := time.Now()
+		out := m.Generate(g, w)
+		tr.Add("decode", start, time.Since(start))
+		return out, nil
+	}
 	return m.Generate(g, w), nil
 }
 

@@ -192,7 +192,7 @@ func (e *ShardedEngine) Generate(ctx context.Context, g *rng.RNG, w trace.Window
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	req := &engineReq{g: g, w: w, scale: scale, ctx: ctx, done: make(chan engineResult, 1)}
+	req := newEngineReq(ctx, g, w, scale)
 	e.mu.RLock()
 	closed := e.closed
 	if !closed {
@@ -251,6 +251,8 @@ func (e *ShardedEngine) admitReq(fes []*fleetEngine, r *engineReq) int {
 	k := ShardOf(r.g.State().Seed, e.shards)
 	s := e.m.newGenStream(r.g, r.w, scale, r.ctx)
 	s.done = r.done
+	r.traceAdmit(s)
+	r.tr.SetShard(k) // nil-safe: untraced requests skip the annotation
 	fes[k].admit(s)
 	e.assigned[k].Add(1)
 	e.occupancy[k].Set(int64(fes[k].active()))

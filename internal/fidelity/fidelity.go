@@ -1,0 +1,462 @@
+// Package fidelity is the live drift monitor for served traffic: does
+// the traffic this server is generating *right now* still match the
+// reference distributions it was validated against at snapshot-publish
+// time?
+//
+// The paper's core claim is statistical faithfulness, measured by
+// flavor NLL (Table 2), Survival-MSE (Table 4), and batch-arrival
+// deviance (Figures 4–5). This package computes windowed versions of
+// those metrics online: a Reference captures the distributional
+// fingerprint of a trusted trace (the training window, or a
+// calibration decode of a freshly published model), and a Monitor
+// streams every served /generate response through sliding-window
+// estimators, comparing the window's empirical flavor mix, lifetime
+// survival curve, and per-period batch arrivals against the reference.
+// When any divergence crosses its threshold the monitor raises a drift
+// flag — the sensor the observe–predict–calibrate loop (ROADMAP item
+// 4) will act on to trigger re-training.
+//
+// Like the rest of the instrumentation layer (DESIGN.md §7), the
+// monitor is strictly read-only: it only inspects traces that were
+// already generated, draws from no RNG stream, and feeds nothing back,
+// so enabling it cannot change a single served byte (pinned by the
+// root determinism test).
+package fidelity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Reference is the distributional fingerprint served traffic is
+// compared against, captured from a trusted trace at snapshot-publish
+// time.
+type Reference struct {
+	// FlavorProbs is the smoothed flavor distribution (length K, sums
+	// to 1, strictly positive so log-likelihoods are finite).
+	FlavorProbs []float64 `json:"flavor_probs"`
+	// Edges are the lifetime-bin edges in seconds (length J+1,
+	// ascending, Edges[0] = 0); both curves are discretized onto them.
+	Edges []float64 `json:"edges"`
+	// Survival is the empirical survival probability at Edges[1..J]:
+	// Survival[j] = P(duration > Edges[j+1]), with durations beyond the
+	// horizon clipped into the last bin (so Survival[J-1] = 0 — the
+	// observed curve is clipped identically, keeping the comparison
+	// consistent).
+	Survival []float64 `json:"survival"`
+	// BatchRate is the mean number of batch arrivals per period.
+	BatchRate float64 `json:"batch_rate"`
+}
+
+// binIndex maps a duration onto the reference bins: the first j with
+// d <= Edges[j+1], clipping beyond-horizon durations into the last bin
+// (same convention as survival.Bins.Index).
+func (r Reference) binIndex(d float64) int {
+	j := sort.SearchFloat64s(r.Edges[1:], d)
+	if last := len(r.Edges) - 2; j > last {
+		return last
+	}
+	return j
+}
+
+// ReferenceFromTrace captures a trace's fingerprint over the given
+// lifetime-bin edges. Censored VMs contribute their flavor and batch
+// membership but not their (truncated) duration.
+func ReferenceFromTrace(tr *trace.Trace, edges []float64) Reference {
+	if len(edges) < 2 {
+		panic("fidelity: need at least 2 bin edges")
+	}
+	k := tr.Flavors.K()
+	ref := Reference{
+		FlavorProbs: make([]float64, k),
+		Edges:       append([]float64(nil), edges...),
+		Survival:    make([]float64, len(edges)-1),
+	}
+	binCounts := make([]int64, len(edges)-1)
+	var durations int64
+	for _, vm := range tr.VMs {
+		if vm.Flavor >= 0 && vm.Flavor < k {
+			ref.FlavorProbs[vm.Flavor]++
+		}
+		if !vm.Censored {
+			binCounts[ref.binIndex(vm.Duration)]++
+			durations++
+		}
+	}
+	// Add-half smoothing keeps every flavor's probability positive, so
+	// an observed draw of a rare flavor has finite NLL instead of +Inf.
+	total := float64(len(tr.VMs)) + 0.5*float64(k)
+	for i := range ref.FlavorProbs {
+		ref.FlavorProbs[i] = (ref.FlavorProbs[i] + 0.5) / total
+	}
+	// Survival at each upper edge via suffix counts.
+	var above int64
+	for j := len(binCounts) - 1; j >= 0; j-- {
+		ref.Survival[j] = float64(above) / float64(max64(durations, 1))
+		above += binCounts[j]
+	}
+	if tr.Periods > 0 {
+		ref.BatchRate = float64(countBatches(tr)) / float64(tr.Periods)
+	}
+	return ref
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// countBatches counts batch arrivals (maximal same-user runs within a
+// period) without materializing trace.PeriodBatches.
+func countBatches(tr *trace.Trace) int64 {
+	var n int64
+	curPeriod, curUser := -1, -1
+	for _, vm := range tr.VMs {
+		if vm.Start != curPeriod || vm.User != curUser {
+			curPeriod, curUser = vm.Start, vm.User
+			n++
+		}
+	}
+	return n
+}
+
+// Config bundles the monitor's knobs; zero values select defaults.
+// The thresholds are operator policy, not statistics: they bound how
+// far the windowed metrics may wander before the drift flag trips.
+type Config struct {
+	// Window is the sliding window length in served traces (default
+	// 64).
+	Window int
+	// MinVMs gates the drift flag: below this many VMs in the window
+	// the estimators are too noisy to act on (default 200).
+	MinVMs int64
+	// MaxFlavorKL bounds KL(observed ‖ reference) of the flavor mix in
+	// nats (default 0.25).
+	MaxFlavorKL float64
+	// MaxSurvivalMSE bounds the MSE between the windowed and reference
+	// survival curves at the bin edges (default 0.02).
+	MaxSurvivalMSE float64
+	// MaxArrivalDeviance bounds the mean per-period Poisson deviance of
+	// batch arrivals against the reference rate (default 8; a
+	// correctly-calibrated constant-rate stream sits near 1, diurnal
+	// rate structure inflates the baseline).
+	MaxArrivalDeviance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinVMs <= 0 {
+		c.MinVMs = 200
+	}
+	if c.MaxFlavorKL <= 0 {
+		c.MaxFlavorKL = 0.25
+	}
+	if c.MaxSurvivalMSE <= 0 {
+		c.MaxSurvivalMSE = 0.02
+	}
+	if c.MaxArrivalDeviance <= 0 {
+		c.MaxArrivalDeviance = 8
+	}
+	return c
+}
+
+// traceStats is one served trace's contribution to the window.
+type traceStats struct {
+	flavorCounts []int64
+	binCounts    []int64
+	vms          int64
+	periods      int64
+	devContrib   float64 // Σ_p [y ln(y/μ') − (y − μ')], μ' scale-adjusted
+}
+
+// Monitor streams served traces through sliding-window fidelity
+// estimators. All methods are safe for concurrent use and safe on a
+// nil *Monitor (no-ops), so the server threads an optional monitor
+// without guarding.
+type Monitor struct {
+	mu  sync.Mutex
+	ref Reference
+	cfg Config
+
+	ring   []traceStats
+	next   int
+	filled int
+
+	// Window aggregates, maintained incrementally.
+	flavorCounts []int64
+	binCounts    []int64
+	vms          int64
+	periods      int64
+	devContrib   float64
+
+	// Registry-backed outputs.
+	observed  *obs.Counter
+	winTraces *obs.Gauge
+	winVMs    *obs.Gauge
+	driftFlag *obs.Gauge
+	flavorNLL *obs.FloatGauge
+	flavorKL  *obs.FloatGauge
+	survMSE   *obs.FloatGauge
+	arrDev    *obs.FloatGauge
+
+	status Status
+}
+
+// NewMonitor builds a monitor comparing served traffic against ref,
+// publishing its gauges into reg (nil: a private registry). The
+// reference must carry a flavor distribution and bin edges.
+func NewMonitor(ref Reference, cfg Config, reg *obs.Registry) *Monitor {
+	if len(ref.FlavorProbs) == 0 || len(ref.Edges) < 2 {
+		panic(fmt.Sprintf("fidelity: incomplete reference (K=%d, edges=%d)",
+			len(ref.FlavorProbs), len(ref.Edges)))
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:       cfg,
+		ring:      make([]traceStats, cfg.Window),
+		observed:  reg.Counter("fidelity.observed_traces"),
+		winTraces: reg.Gauge("fidelity.window_traces"),
+		winVMs:    reg.Gauge("fidelity.window_vms"),
+		driftFlag: reg.Gauge("fidelity.drift"),
+		flavorNLL: reg.FloatGauge("fidelity.flavor_nll"),
+		flavorKL:  reg.FloatGauge("fidelity.flavor_kl"),
+		survMSE:   reg.FloatGauge("fidelity.survival_mse"),
+		arrDev:    reg.FloatGauge("fidelity.arrival_deviance"),
+	}
+	m.setReferenceLocked(ref)
+	return m
+}
+
+// SetReference swaps the reference fingerprint (hot model reload) and
+// resets the window: observations of the old model say nothing about
+// the new one.
+func (m *Monitor) SetReference(ref Reference) {
+	if m == nil {
+		return
+	}
+	if len(ref.FlavorProbs) == 0 || len(ref.Edges) < 2 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.setReferenceLocked(ref)
+}
+
+func (m *Monitor) setReferenceLocked(ref Reference) {
+	m.ref = ref
+	m.next, m.filled = 0, 0
+	m.flavorCounts = make([]int64, len(ref.FlavorProbs))
+	m.binCounts = make([]int64, len(ref.Edges)-1)
+	m.vms, m.periods, m.devContrib = 0, 0, 0
+	for i := range m.ring {
+		m.ring[i] = traceStats{}
+	}
+	m.recomputeLocked()
+}
+
+// ObserveTrace folds one served trace into the window. scale is the
+// request's arrival-rate multiplier (0 means 1): the expected batch
+// rate is scaled accordingly so a deliberate 10× stress request does
+// not read as arrival drift.
+func (m *Monitor) ObserveTrace(tr *trace.Trace, scale float64) {
+	if m == nil || tr == nil {
+		return
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Evict the slot we are about to overwrite.
+	slot := &m.ring[m.next]
+	if m.filled == len(m.ring) {
+		for k, c := range slot.flavorCounts {
+			m.flavorCounts[k] -= c
+		}
+		for j, c := range slot.binCounts {
+			m.binCounts[j] -= c
+		}
+		m.vms -= slot.vms
+		m.periods -= slot.periods
+		m.devContrib -= slot.devContrib
+	} else {
+		m.filled++
+	}
+
+	// Summarize the trace into the slot (slices reused across evictions).
+	if slot.flavorCounts == nil {
+		slot.flavorCounts = make([]int64, len(m.flavorCounts))
+		slot.binCounts = make([]int64, len(m.binCounts))
+	} else {
+		for k := range slot.flavorCounts {
+			slot.flavorCounts[k] = 0
+		}
+		for j := range slot.binCounts {
+			slot.binCounts[j] = 0
+		}
+	}
+	slot.vms = 0
+	slot.periods = int64(tr.Periods)
+	slot.devContrib = 0
+
+	k := len(m.flavorCounts)
+	mu := m.ref.BatchRate * scale
+	curPeriod, curUser := -1, -1
+	var y int64 // current period's batch count
+	foldPeriod := func() {
+		if y > 0 && mu > 0 {
+			fy := float64(y)
+			slot.devContrib += fy*math.Log(fy/mu) - fy
+		}
+		y = 0
+	}
+	for _, vm := range tr.VMs {
+		if vm.Flavor >= 0 && vm.Flavor < k {
+			slot.flavorCounts[vm.Flavor]++
+		}
+		if !vm.Censored {
+			slot.binCounts[m.ref.binIndex(vm.Duration)]++
+		}
+		slot.vms++
+		if vm.Start != curPeriod {
+			foldPeriod()
+			curPeriod, curUser = vm.Start, vm.User
+			y = 1
+		} else if vm.User != curUser {
+			curUser = vm.User
+			y++
+		}
+	}
+	foldPeriod()
+	if mu > 0 {
+		// Zero-batch periods contribute +μ each; fold all Periods' −(y−μ)
+		// mass at once (the per-period −y part is inside the loop above).
+		slot.devContrib += float64(tr.Periods) * mu
+	} else {
+		slot.periods = 0 // no reference rate: arrivals are unscored
+	}
+
+	// Fold into the aggregates and advance the ring.
+	for i, c := range slot.flavorCounts {
+		m.flavorCounts[i] += c
+	}
+	for j, c := range slot.binCounts {
+		m.binCounts[j] += c
+	}
+	m.vms += slot.vms
+	m.periods += slot.periods
+	m.devContrib += slot.devContrib
+	m.next = (m.next + 1) % len(m.ring)
+	m.observed.Inc()
+
+	m.recomputeLocked()
+}
+
+// Status is the JSON-marshalable view of the monitor, served under the
+// "fidelity" key of GET /metrics.
+type Status struct {
+	WindowTraces int   `json:"window_traces"`
+	WindowVMs    int64 `json:"window_vms"`
+	// FlavorNLL is the mean negative log-likelihood (nats) of the
+	// window's flavor draws under the reference distribution; FlavorKL
+	// is the excess over the window's own entropy, i.e.
+	// KL(observed ‖ reference).
+	FlavorNLL float64 `json:"flavor_nll"`
+	FlavorKL  float64 `json:"flavor_kl"`
+	// SurvivalMSE is the mean squared gap between the windowed and
+	// reference survival curves at the bin edges.
+	SurvivalMSE float64 `json:"survival_mse"`
+	// ArrivalDeviance is the mean per-period Poisson deviance of batch
+	// arrival counts against the (scale-adjusted) reference rate.
+	ArrivalDeviance float64 `json:"arrival_deviance"`
+	// Drift is true when any metric exceeds its threshold with at
+	// least MinVMs observations in the window.
+	Drift bool `json:"drift"`
+	// The thresholds in effect, so a /metrics reader can interpret the
+	// flag.
+	MaxFlavorKL        float64 `json:"max_flavor_kl"`
+	MaxSurvivalMSE     float64 `json:"max_survival_mse"`
+	MaxArrivalDeviance float64 `json:"max_arrival_deviance"`
+}
+
+// Snapshot returns the current status (zero Status on a nil monitor).
+func (m *Monitor) Snapshot() Status {
+	if m == nil {
+		return Status{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.status
+}
+
+// recomputeLocked refreshes the derived metrics, the drift flag, and
+// the registry gauges from the window aggregates.
+func (m *Monitor) recomputeLocked() {
+	s := Status{
+		WindowTraces:       m.filled,
+		WindowVMs:          m.vms,
+		MaxFlavorKL:        m.cfg.MaxFlavorKL,
+		MaxSurvivalMSE:     m.cfg.MaxSurvivalMSE,
+		MaxArrivalDeviance: m.cfg.MaxArrivalDeviance,
+	}
+	if m.vms > 0 {
+		n := float64(m.vms)
+		for k, c := range m.flavorCounts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / n
+			s.FlavorNLL -= p * math.Log(m.ref.FlavorProbs[k])
+			s.FlavorKL += p * math.Log(p/m.ref.FlavorProbs[k])
+		}
+		var durations int64
+		for _, c := range m.binCounts {
+			durations += c
+		}
+		if durations > 0 {
+			var above int64
+			var sse float64
+			for j := len(m.binCounts) - 1; j >= 0; j-- {
+				sObs := float64(above) / float64(durations)
+				d := sObs - m.ref.Survival[j]
+				sse += d * d
+				above += m.binCounts[j]
+			}
+			s.SurvivalMSE = sse / float64(len(m.binCounts))
+		}
+	}
+	if m.periods > 0 {
+		s.ArrivalDeviance = 2 * m.devContrib / float64(m.periods)
+	}
+	if m.vms >= m.cfg.MinVMs {
+		s.Drift = s.FlavorKL > m.cfg.MaxFlavorKL ||
+			s.SurvivalMSE > m.cfg.MaxSurvivalMSE ||
+			s.ArrivalDeviance > m.cfg.MaxArrivalDeviance
+	}
+	m.status = s
+
+	m.winTraces.Set(int64(s.WindowTraces))
+	m.winVMs.Set(s.WindowVMs)
+	m.flavorNLL.Set(s.FlavorNLL)
+	m.flavorKL.Set(s.FlavorKL)
+	m.survMSE.Set(s.SurvivalMSE)
+	m.arrDev.Set(s.ArrivalDeviance)
+	if s.Drift {
+		m.driftFlag.Set(1)
+	} else {
+		m.driftFlag.Set(0)
+	}
+}

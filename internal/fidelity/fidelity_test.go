@@ -1,0 +1,248 @@
+package fidelity
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// testEdges are small lifetime bins: ≤10m, ≤1h, ≤1d, ≤10d.
+var testEdges = []float64{0, 600, 3600, 86400, 864000}
+
+func testFlavors(k int) *trace.FlavorSet {
+	fs := &trace.FlavorSet{}
+	for i := 0; i < k; i++ {
+		fs.Defs = append(fs.Defs, trace.FlavorDef{Name: fmt.Sprintf("f%d", i), CPU: 1, MemGB: 1})
+	}
+	return fs
+}
+
+// synthTrace builds a deterministic trace: each period holds
+// batchesPerPeriod single-VM batches (distinct users), with flavors and
+// durations cycling through mix and durs.
+func synthTrace(fs *trace.FlavorSet, periods, batchesPerPeriod int, mix []int, durs []float64) *trace.Trace {
+	tr := &trace.Trace{Flavors: fs, Periods: periods}
+	id := 0
+	for p := 0; p < periods; p++ {
+		for b := 0; b < batchesPerPeriod; b++ {
+			tr.VMs = append(tr.VMs, trace.VM{
+				ID: id, User: b, Flavor: mix[id%len(mix)],
+				Start: p, Duration: durs[id%len(durs)],
+			})
+			id++
+		}
+	}
+	return tr
+}
+
+func TestReferenceFromTrace(t *testing.T) {
+	fs := testFlavors(4)
+	tr := synthTrace(fs, 50, 4, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	// One censored VM: counts for flavor and batches, not for survival.
+	tr.VMs = append(tr.VMs, trace.VM{ID: len(tr.VMs), User: 99, Flavor: 0, Start: 49, Duration: 100, Censored: true})
+	ref := ReferenceFromTrace(tr, testEdges)
+
+	var sum float64
+	for _, p := range ref.FlavorProbs {
+		if p <= 0 {
+			t.Fatalf("flavor prob not positive: %v", ref.FlavorProbs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("flavor probs sum to %v, want 1", sum)
+	}
+	for j := 1; j < len(ref.Survival); j++ {
+		if ref.Survival[j] > ref.Survival[j-1] {
+			t.Fatalf("survival not non-increasing: %v", ref.Survival)
+		}
+	}
+	if last := ref.Survival[len(ref.Survival)-1]; last != 0 {
+		t.Fatalf("survival at horizon = %v, want 0 (durations clip into last bin)", last)
+	}
+	// Durations cycle through the 4 bins uniformly → S = 3/4, 2/4, 1/4, 0.
+	want := []float64{0.75, 0.5, 0.25, 0}
+	for j := range want {
+		if math.Abs(ref.Survival[j]-want[j]) > 1e-12 {
+			t.Fatalf("survival = %v, want %v", ref.Survival, want)
+		}
+	}
+	// 4 single-VM batches per period, plus the lone censored VM's batch.
+	if got, want := ref.BatchRate, (50.0*4+1)/50.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("batch rate = %v, want %v", got, want)
+	}
+}
+
+// TestMatchedTrafficNoDrift: traffic drawn from the reference itself
+// must sit at (near-)zero divergence with the flag down.
+func TestMatchedTrafficNoDrift(t *testing.T) {
+	fs := testFlavors(4)
+	tr := synthTrace(fs, 60, 5, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	reg := obs.NewRegistry()
+	m := NewMonitor(ReferenceFromTrace(tr, testEdges), Config{MinVMs: 100}, reg)
+
+	for i := 0; i < 3; i++ {
+		m.ObserveTrace(tr, 1)
+	}
+	s := m.Snapshot()
+	if s.Drift {
+		t.Fatalf("matched traffic flagged as drift: %+v", s)
+	}
+	if s.WindowTraces != 3 || s.WindowVMs != int64(3*len(tr.VMs)) {
+		t.Fatalf("window accounting: %+v", s)
+	}
+	if s.FlavorKL > 0.01 {
+		t.Fatalf("matched flavor KL = %v, want ~0", s.FlavorKL)
+	}
+	if s.SurvivalMSE > 1e-9 {
+		t.Fatalf("matched survival MSE = %v, want 0", s.SurvivalMSE)
+	}
+	if s.ArrivalDeviance > 1e-9 {
+		t.Fatalf("matched arrival deviance = %v, want 0", s.ArrivalDeviance)
+	}
+	// NLL is cross-entropy: entropy of the mix plus the (tiny) KL.
+	if s.FlavorNLL < math.Log(4)-0.01 || s.FlavorNLL > math.Log(4)+0.05 {
+		t.Fatalf("flavor NLL = %v, want ≈ ln 4", s.FlavorNLL)
+	}
+	if reg.Gauge("fidelity.drift").Value() != 0 {
+		t.Fatal("drift gauge raised on matched traffic")
+	}
+}
+
+// TestSkewedFlavorMixTripsDrift is the ISSUE acceptance case: inject a
+// deliberately skewed flavor mix and the drift flag must trip, on the
+// snapshot and on the registry gauges.
+func TestSkewedFlavorMixTripsDrift(t *testing.T) {
+	fs := testFlavors(4)
+	balanced := synthTrace(fs, 60, 5, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	skewed := synthTrace(fs, 60, 5, []int{0}, []float64{300, 1800, 7200, 200000})
+	reg := obs.NewRegistry()
+	m := NewMonitor(ReferenceFromTrace(balanced, testEdges), Config{MinVMs: 100}, reg)
+
+	m.ObserveTrace(skewed, 1)
+	s := m.Snapshot()
+	if !s.Drift {
+		t.Fatalf("skewed flavor mix did not trip drift: %+v", s)
+	}
+	// All mass on flavor 0 against a ~uniform reference: KL ≈ ln 4.
+	if s.FlavorKL < 1.0 {
+		t.Fatalf("flavor KL = %v, want ≈ ln 4", s.FlavorKL)
+	}
+	if reg.Gauge("fidelity.drift").Value() != 1 {
+		t.Fatal("drift gauge not raised")
+	}
+	if got := reg.FloatGauge("fidelity.flavor_kl").Value(); got != s.FlavorKL {
+		t.Fatalf("flavor_kl gauge = %v, want %v", got, s.FlavorKL)
+	}
+}
+
+// TestDriftClearsAsWindowSlides: once healthy traffic refills the
+// window, the old skewed traces evict and the flag drops.
+func TestDriftClearsAsWindowSlides(t *testing.T) {
+	fs := testFlavors(4)
+	balanced := synthTrace(fs, 60, 5, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	skewed := synthTrace(fs, 60, 5, []int{3}, []float64{300, 1800, 7200, 200000})
+	m := NewMonitor(ReferenceFromTrace(balanced, testEdges), Config{Window: 4, MinVMs: 100}, nil)
+
+	m.ObserveTrace(skewed, 1)
+	m.ObserveTrace(skewed, 1)
+	if !m.Snapshot().Drift {
+		t.Fatal("drift should be up while skewed traces dominate")
+	}
+	for i := 0; i < 4; i++ {
+		m.ObserveTrace(balanced, 1)
+	}
+	s := m.Snapshot()
+	if s.Drift {
+		t.Fatalf("drift still up after window refilled with matched traffic: %+v", s)
+	}
+	if s.WindowTraces != 4 {
+		t.Fatalf("window traces = %d, want 4", s.WindowTraces)
+	}
+}
+
+// TestArrivalScaleNormalization: a deliberate rate-scaled request must
+// not read as arrival drift when its scale is reported, and a
+// mis-reported scale must.
+func TestArrivalScaleNormalization(t *testing.T) {
+	fs := testFlavors(4)
+	base := synthTrace(fs, 60, 5, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	tripled := synthTrace(fs, 60, 15, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	m := NewMonitor(ReferenceFromTrace(base, testEdges), Config{MinVMs: 100}, nil)
+
+	m.ObserveTrace(tripled, 3)
+	if s := m.Snapshot(); s.Drift || s.ArrivalDeviance > 1e-9 {
+		t.Fatalf("scale-adjusted stress traffic flagged: %+v", s)
+	}
+
+	// Same traffic claiming scale 1: 15 batches/period against μ=5.
+	m.SetReference(ReferenceFromTrace(base, testEdges))
+	m.ObserveTrace(tripled, 1)
+	s := m.Snapshot()
+	if !s.Drift || s.ArrivalDeviance <= m.cfg.MaxArrivalDeviance {
+		t.Fatalf("3× arrivals at claimed scale 1 not flagged: %+v", s)
+	}
+}
+
+// TestSetReferenceResetsWindow: a hot reload swaps the reference and
+// must discard observations of the old model.
+func TestSetReferenceResetsWindow(t *testing.T) {
+	fs := testFlavors(4)
+	balanced := synthTrace(fs, 60, 5, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	skewed := synthTrace(fs, 60, 5, []int{1}, []float64{300, 1800, 7200, 200000})
+	m := NewMonitor(ReferenceFromTrace(balanced, testEdges), Config{MinVMs: 100}, nil)
+
+	m.ObserveTrace(skewed, 1)
+	if !m.Snapshot().Drift {
+		t.Fatal("precondition: drift should be up")
+	}
+	// New model: the skewed mix IS the new reference.
+	m.SetReference(ReferenceFromTrace(skewed, testEdges))
+	s := m.Snapshot()
+	if s.Drift || s.WindowTraces != 0 || s.WindowVMs != 0 {
+		t.Fatalf("window not reset on SetReference: %+v", s)
+	}
+	m.ObserveTrace(skewed, 1)
+	if s := m.Snapshot(); s.Drift {
+		t.Fatalf("traffic matching the new reference flagged: %+v", s)
+	}
+}
+
+// TestMinVMsGate: too few observations must never trip the flag, no
+// matter how skewed.
+func TestMinVMsGate(t *testing.T) {
+	fs := testFlavors(4)
+	balanced := synthTrace(fs, 60, 5, []int{0, 1, 2, 3}, []float64{300, 1800, 7200, 200000})
+	tiny := synthTrace(fs, 3, 2, []int{0}, []float64{300})
+	m := NewMonitor(ReferenceFromTrace(balanced, testEdges), Config{MinVMs: 100}, nil)
+	m.ObserveTrace(tiny, 1)
+	s := m.Snapshot()
+	if s.Drift {
+		t.Fatalf("drift tripped below MinVMs: %+v", s)
+	}
+	if s.FlavorKL == 0 {
+		t.Fatal("metrics should still be computed below the gate")
+	}
+}
+
+// TestNilMonitor: the disabled state threads through call sites
+// without guards.
+func TestNilMonitor(t *testing.T) {
+	var m *Monitor
+	m.ObserveTrace(&trace.Trace{Flavors: testFlavors(1), Periods: 1}, 1)
+	m.SetReference(Reference{})
+	if s := m.Snapshot(); s != (Status{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+	// Non-nil monitor, nil trace: also a no-op.
+	fs := testFlavors(4)
+	tr := synthTrace(fs, 10, 2, []int{0, 1, 2, 3}, []float64{300})
+	mon := NewMonitor(ReferenceFromTrace(tr, testEdges), Config{}, nil)
+	mon.ObserveTrace(nil, 1)
+	if got := mon.Snapshot().WindowTraces; got != 0 {
+		t.Fatalf("nil trace observed: window = %d", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,12 +20,26 @@ import (
 // journal opened) — plus the caller's fields. Journals observe; they
 // never feed anything back into the system, so an enabled journal
 // cannot perturb RNG streams or results.
+//
+// Write and marshal failures never propagate to the instrumented code
+// path, but they are not silent either: every lost line increments the
+// journal's dropped count (Dropped), the first error is retained (Err),
+// and CountInto mirrors both into a Registry as the
+// "obs.journal_errors" counter and "obs.journal_dropped_lines" gauge
+// so a sick journal shows up on GET /metrics instead of producing a
+// quietly truncated file.
 type Journal struct {
 	mu     sync.Mutex
 	w      io.Writer
 	closer io.Closer
 	start  time.Time
 	err    error
+
+	dropped atomic.Int64 // lines lost to marshal or write failures
+
+	// Optional registry mirrors, set by CountInto.
+	errCount  *Counter
+	dropGauge *Gauge
 }
 
 // NewJournal wraps an arbitrary writer (tests use a bytes.Buffer).
@@ -62,14 +77,59 @@ func (j *Journal) Event(event string, fields map[string]any) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err != nil {
-		if j.err == nil {
-			j.err = err
-		}
+		j.recordFailure(err)
 		return
 	}
 	line = append(line, '\n')
-	if _, err := j.w.Write(line); err != nil && j.err == nil {
+	if _, err := j.w.Write(line); err != nil {
+		j.recordFailure(err)
+	}
+}
+
+// recordFailure accounts one lost line (caller holds j.mu): first error
+// retained for Err, dropped count advanced, registry mirrors updated
+// when attached.
+func (j *Journal) recordFailure(err error) {
+	if j.err == nil {
 		j.err = err
+	}
+	n := j.dropped.Add(1)
+	if j.errCount != nil {
+		j.errCount.Inc()
+	}
+	if j.dropGauge != nil {
+		j.dropGauge.Set(n)
+	}
+}
+
+// Dropped returns how many journal lines have been lost to marshal or
+// write failures (0 on a nil journal).
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped.Load()
+}
+
+// CountInto mirrors the journal's failure accounting into reg: every
+// lost line increments the "obs.journal_errors" counter and refreshes
+// the "obs.journal_dropped_lines" gauge, so journal health is visible
+// on the /metrics snapshot. Failures that happened before attachment
+// are folded in. Safe on a nil journal (the metrics are still created,
+// reporting zero).
+func (j *Journal) CountInto(reg *Registry) {
+	errCount := reg.Counter("obs.journal_errors")
+	dropGauge := reg.Gauge("obs.journal_dropped_lines")
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.errCount = errCount
+	j.dropGauge = dropGauge
+	if n := j.dropped.Load(); n > 0 {
+		errCount.Add(n)
+		dropGauge.Set(n)
 	}
 }
 

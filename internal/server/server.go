@@ -20,13 +20,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fidelity"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/rtrace"
 	"repro/internal/trace"
 )
 
@@ -93,6 +97,23 @@ type Server struct {
 	// TrainInfo optionally carries training-run metadata (cloud, epochs,
 	// seed, wall time, journal path) surfaced under "train" at /metrics.
 	TrainInfo map[string]any
+	// Tracer, when set (before the first request), threads a request
+	// trace through every /generate: the response carries an X-Trace-Id
+	// header, the engine records queue/coalesce/decode spans, the
+	// handler adds the encode span, and the finished trace lands in the
+	// tracer's ring (served by GET /debug/traces) and in the
+	// generate.phase.* histograms. nil disables tracing: no IDs, no
+	// spans, and a zero-alloc hot path (DESIGN.md §7).
+	Tracer *rtrace.Tracer
+	// Fidelity, when set (before the first request), streams every
+	// served trace through the live drift monitor; its fidelity.*
+	// gauges publish through the shared registry and its status under
+	// the "fidelity" key of GET /metrics. nil disables monitoring.
+	Fidelity *fidelity.Monitor
+
+	// reloading is raised for the duration of a hot reload, flipping
+	// GET /readyz to 503 while the snapshot swap is in progress.
+	reloading atomic.Bool
 
 	mu      sync.Mutex
 	model   *core.Model
@@ -111,6 +132,12 @@ type Server struct {
 	retried   *obs.Counter   // generates replayed onto a fresh engine
 	sampleLat *obs.Histogram // model sampling phase of /generate
 	encodeLat *obs.Histogram // serialization phase of /generate
+
+	// Phase-level latency breakdown, fed from finished request traces
+	// (populated only while a Tracer is attached).
+	queueLat    *obs.Histogram // admission-queue wait
+	coalesceLat *obs.Histogram // batch-window / shard-queue coalesce wait
+	decodeLat   *obs.Histogram // fleet decode rounds
 }
 
 // New builds a server around a trained model and its flavor catalog.
@@ -141,6 +168,9 @@ func NewWithRegistry(model *core.Model, catalog *trace.FlavorSet, reg *obs.Regis
 		retried:        reg.Counter("generate.engine_retries"),
 		sampleLat:      reg.Histogram("generate.sample.seconds", obs.LatencyBuckets),
 		encodeLat:      reg.Histogram("generate.encode.seconds", obs.LatencyBuckets),
+		queueLat:       reg.Histogram("generate.phase.queue.seconds", obs.LatencyBuckets),
+		coalesceLat:    reg.Histogram("generate.phase.coalesce.seconds", obs.LatencyBuckets),
+		decodeLat:      reg.Histogram("generate.phase.decode.seconds", obs.LatencyBuckets),
 	}
 }
 
@@ -157,6 +187,9 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 func (s *Server) snapshot() (*core.Model, *trace.FlavorSet, core.GenEngine, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.model == nil {
+		return nil, nil, nil, errors.New("no model published")
+	}
 	if s.eng == nil {
 		eng, err := core.NewGenEngine(s.model, core.EngineSpec{
 			Kind:     core.EngineKind(s.EngineKind),
@@ -186,6 +219,11 @@ func (s *Server) currentModel() *core.Model {
 // handleGenerate against the new engine with their original seed, so no
 // request is dropped and no response changes bytes.
 func (s *Server) Reload(model *core.Model, catalog *trace.FlavorSet) {
+	// /readyz reports not-ready for the whole swap (including the old
+	// engine's drain), so load balancers stop routing to a replica
+	// mid-reload.
+	s.reloading.Store(true)
+	defer s.reloading.Store(false)
 	s.mu.Lock()
 	old := s.eng
 	s.model = model
@@ -214,8 +252,10 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
 	mux.HandleFunc("GET /model", s.instrument("model", s.handleModel))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraces))
 	mux.HandleFunc("POST /generate", s.instrument("generate", s.handleGenerate))
 	mux.HandleFunc("POST /-/reload", s.instrument("reload", s.handleReload))
 	return mux
@@ -269,16 +309,75 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	served := s.served
 	catalog := s.catalog
 	s.mu.Unlock()
+	flavors := 0
+	if catalog != nil {
+		flavors = catalog.K()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"uptime":  time.Since(s.started).Round(time.Second).String(),
 		"served":  served,
-		"flavors": catalog.K(),
+		"flavors": flavors,
+	})
+}
+
+// handleReady is the readiness probe, distinct from /healthz (which
+// answers "is the process up"): ready means "will a /generate land on a
+// published snapshot right now". It reports 503 until the first model
+// snapshot is published and for the duration of every hot reload.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.reloading.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not_ready", "reason": "hot reload in progress",
+		})
+		return
+	}
+	if s.currentModel() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not_ready", "reason": "no model published",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// handleTraces serves the tail of the request-trace ring as JSON:
+// ?n=<count> clips to the newest n finished traces (default all
+// buffered). With no Tracer attached it reports enabled=false rather
+// than 404, so probes can distinguish "off" from "wrong URL".
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		n = parsed
+	}
+	if s.Tracer == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": false, "count": 0, "traces": []rtrace.Finished{},
+		})
+		return
+	}
+	traces := s.Tracer.Tail(n)
+	if traces == nil {
+		traces = []rtrace.Finished{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":  true,
+		"count":    s.Tracer.Count(),
+		"capacity": s.Tracer.Capacity(),
+		"traces":   traces,
 	})
 }
 
 func (s *Server) modelMeta() map[string]any {
 	m := s.currentModel()
+	if m == nil {
+		return map[string]any{"status": "no model published"}
+	}
 	return map[string]any{
 		"flavors":        m.Flavor.K,
 		"history_days":   m.Flavor.HistoryDays,
@@ -321,7 +420,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	served := s.served
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"uptime_s": time.Since(s.started).Seconds(),
 		"served":   served,
 		"metrics":  s.reg.Snapshot(),
@@ -329,7 +428,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"mem":      obs.ReadMemStats(),
 		"model":    s.modelMeta(),
 		"train":    s.TrainInfo,
-	})
+	}
+	if s.Fidelity != nil {
+		payload["fidelity"] = s.Fidelity.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -375,19 +478,32 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown format %q", req.Format)
 		return
 	}
+	// Request tracing: start the trace after validation so the ring only
+	// holds requests that reached the pipeline. The trace ID goes out as
+	// a response header either way; the engine picks the trace up from
+	// the context and records queue/coalesce/decode spans. With no
+	// Tracer attached, rt is nil and every call below is a no-op.
+	rt := s.Tracer.StartTrace()
+	ctx := r.Context()
+	if rt != nil {
+		w.Header().Set("X-Trace-Id", rt.ID())
+		ctx = rtrace.NewContext(ctx, rt)
+	}
 	// Decode through the shared continuous-batching engine: this request
 	// joins whatever batch forms within BatchWindow, but its dedicated
 	// seeded RNG keeps the result byte-identical to a serial decode.
 	// If a hot reload swaps the engine while this request is still
 	// queued, the engine fails it with ErrEngineClosed and the loop
 	// replays it on the new engine with a fresh RNG at the same seed —
-	// the response bytes do not depend on which engine served it.
+	// the response bytes do not depend on which engine served it (the
+	// trace honestly accumulates one queue span per attempt).
 	var tr *trace.Trace
 	var catalog *trace.FlavorSet
 	sampleStart := time.Now()
 	for attempt := 0; ; attempt++ {
 		model, cat, eng, err := s.snapshot()
 		if err != nil {
+			s.Tracer.Finish(rt)
 			httpError(w, http.StatusInternalServerError, "engine: %v", err)
 			return
 		}
@@ -396,7 +512,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			start = model.Flavor.HistoryDays * trace.PeriodsPerDay
 		}
 		window := trace.Window{Start: start, End: start + req.Periods}
-		tr, err = eng.Generate(r.Context(), rng.New(seed), window, req.Scale)
+		tr, err = eng.Generate(ctx, rng.New(seed), window, req.Scale)
 		if err == nil {
 			catalog = cat
 			break
@@ -406,6 +522,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.sampleLat.Observe(time.Since(sampleStart).Seconds())
+		s.Tracer.Finish(rt)
 		if r.Context().Err() != nil {
 			// The client went away mid-decode; the engine aborted the
 			// stream and there is nobody left to answer.
@@ -422,6 +539,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	s.served++
 	s.mu.Unlock()
 
+	// Fidelity: fold the served trace into the drift window before
+	// encoding (the monitor only reads; the trace is immutable from
+	// here). The request's scale normalizes the expected arrival rate.
+	s.Fidelity.ObserveTrace(tr, req.Scale)
+
 	w.Header().Set("X-Trace-Seed", fmt.Sprint(seed))
 	w.Header().Set("X-Trace-VMs", fmt.Sprint(len(tr.VMs)))
 	encodeStart := time.Now()
@@ -437,7 +559,29 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, "write: %v", err)
 		}
 	}
-	s.encodeLat.Observe(time.Since(encodeStart).Seconds())
+	encodeDur := time.Since(encodeStart)
+	s.encodeLat.Observe(encodeDur.Seconds())
+	if rt != nil {
+		rt.Add("encode", encodeStart, encodeDur)
+		s.observePhases(s.Tracer.Finish(rt))
+	}
+}
+
+// observePhases folds a finished request trace's engine spans into the
+// phase-level latency histograms (encode is observed directly by
+// handleGenerate, traced or not).
+func (s *Server) observePhases(f rtrace.Finished) {
+	for _, sp := range f.Spans {
+		secs := time.Duration(sp.DurNS).Seconds()
+		switch sp.Name {
+		case "queue":
+			s.queueLat.Observe(secs)
+		case "coalesce":
+			s.coalesceLat.Observe(secs)
+		case "decode":
+			s.decodeLat.Observe(secs)
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -50,6 +50,22 @@ for G in 2 4 8; do
 		awk -v g="$G" '/^Benchmark/ { $1 = $1 "@gomaxprocs=" g; print; print > "/dev/stderr" }' >> "$TMP"
 done
 
+# Tracing-overhead pair (DESIGN.md §7.1): the serve-decode benchmark
+# runs once with request tracing off and once with it on; report the
+# ns/op delta explicitly so a tracing-path regression is visible at a
+# glance rather than buried in the full table. Both rows are already in
+# $TMP from the main -bench . run above.
+awk '
+	/^BenchmarkServeDecodeTracingOff/ { off = $3 }
+	/^BenchmarkServeDecodeTracingOn/  { on = $3 }
+	END {
+		if (off > 0 && on > 0)
+			printf "bench.sh: tracing overhead: %s -> %s ns/op (%+.2f%%; budget < 2%%)\n", \
+				off, on, 100 * (on - off) / off
+		else
+			print "bench.sh: tracing overhead pair missing from run" > "/dev/stderr"
+	}' "$TMP"
+
 {
 	echo '{'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"

@@ -2,8 +2,9 @@
 # Race-detection tier for the packages that carry production
 # concurrency (the parallel execution layer and everything threaded
 # through it, the metrics registry, the HTTP service with hot model
-# reload, the continuous-batching decode engine, and the checkpoint
-# store), plus the end-to-end determinism and crash-recovery regression
+# reload, the continuous-batching decode engine, the checkpoint
+# store, the request-trace ring, and the fidelity drift monitor), plus
+# the end-to-end determinism and crash-recovery regression
 # tests (REPRO_PROCS=1 vs 8, observability on/off, kill-and-resume),
 # plus a short-budget fuzz tier over the untrusted decode surfaces.
 # Run from the repository root: scripts/check.sh
@@ -11,7 +12,8 @@ set -eu
 
 go vet ./...
 go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs \
-	./internal/server ./internal/core ./internal/ckpt ./internal/rng
+	./internal/server ./internal/core ./internal/ckpt ./internal/rng \
+	./internal/rtrace ./internal/fidelity
 go test -race -run 'TestDeterminism|TestObservability|TestKillAndResume|TestBatchedFleet' .
 
 # Sharded decode tier (DESIGN.md §6.3): the determinism and hot-reload
@@ -27,7 +29,7 @@ GOMAXPROCS=4 go test -race -run 'TestHotReloadUnderLoad|TestMetricsShardGauges|T
 # kernel, and the par Snapshot poll must stay allocation-free in steady
 # state (AllocsPerRun pins run without -race; the race runtime's
 # instrumentation allocates).
-go test -run 'TestShardedRoundSteadyStateAllocs' ./internal/core
+go test -run 'TestShardedRoundSteadyStateAllocs|TestTracingDisabledRoundAllocs' ./internal/core
 go test -run 'TestFleetStepAllocFree' ./internal/nn
 go test -run 'TestSnapshotZeroAlloc' ./internal/par
 
