@@ -431,6 +431,50 @@ func BenchmarkGenerateShardedLSTM64x2(b *testing.B) { benchGenerateSharded(b, 64
 func BenchmarkGenerateShardedLSTM64x4(b *testing.B) { benchGenerateSharded(b, 64, 4) }
 func BenchmarkGenerateShardedLSTM64x8(b *testing.B) { benchGenerateSharded(b, 64, 8) }
 
+// benchGenerateBatchF32 is benchGenerateBatch on the float32 fast path
+// (DESIGN.md §6.4); compare streams/s against the same-shape f64 rows
+// (the ISSUE 8 acceptance bar is f32 sharded ≥1.5× f64 at 64 streams).
+func benchGenerateBatchF32(b *testing.B, streams int) {
+	c := benchAzure(b)
+	m := c.Model()
+	m.PrepareF32()
+	g := rng.New(1)
+	gs := make([]*rng.RNG, streams)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range gs {
+			gs[j] = g.Split()
+		}
+		m.GenerateBatchF32(gs, c.TestW)
+	}
+	b.ReportMetric(float64(b.N*streams)/b.Elapsed().Seconds(), "streams/s")
+}
+
+func BenchmarkGenerateBatchLSTM64F32(b *testing.B) { benchGenerateBatchF32(b, 64) }
+
+// benchGenerateShardedF32 is benchGenerateSharded on the f32 path.
+func benchGenerateShardedF32(b *testing.B, streams, shards int) {
+	defer par.SetProcs(par.SetProcs(runtime.GOMAXPROCS(0)))
+	c := benchAzure(b)
+	m := c.Model()
+	m.PrepareF32()
+	g := rng.New(1)
+	gs := make([]*rng.RNG, streams)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range gs {
+			gs[j] = g.Split()
+		}
+		m.GenerateBatchShardedF32(gs, c.TestW, shards)
+	}
+	b.ReportMetric(float64(b.N*streams)/b.Elapsed().Seconds(), "streams/s")
+}
+
+func BenchmarkGenerateShardedLSTM64x2F32(b *testing.B) { benchGenerateShardedF32(b, 64, 2) }
+func BenchmarkGenerateShardedLSTM64x4F32(b *testing.B) { benchGenerateShardedF32(b, 64, 4) }
+
 // benchServeDecode times a full request through the continuous-batching
 // serve engine, with and without a request trace attached. bench.sh
 // reports the Off/On pair as the tracing overhead; DESIGN.md §7 budgets

@@ -9,6 +9,7 @@
 //	traced -journal run.jsonl -debug-addr :6060
 //	traced -batch-window 2ms -max-batch 64
 //	traced -engine sharded -decode-shards 8
+//	traced -precision f32 [-fast-math]
 //	traced -checkpoint-dir ckpt/ -checkpoint-every 5 -resume
 //
 // With -checkpoint-dir set, training writes an atomic, versioned
@@ -29,6 +30,15 @@
 // with deterministic seed-hash stream placement (DESIGN.md §6.3).
 // Responses stay byte-identical to serial decodes of the same seed
 // regardless of engine kind, batching, or shard count.
+//
+// -precision f32 serves through the float32 fast path (DESIGN.md
+// §6.4): the LSTM step GEMMs run on f32 weight slabs for higher
+// decode throughput. Responses remain deterministic per seed and
+// identical across engine kinds, but differ (within validated
+// tolerances) from the f64 reference; the divergence is measured
+// against the f64 path at startup and on every hot reload, and a
+// model outside tolerance refuses to serve. -fast-math additionally
+// selects FMA-fused f32 kernels.
 //
 // Observability (DESIGN.md §7): -trace-buffer N keeps the last N
 // finished request traces in a ring — every /generate answers with an
@@ -67,6 +77,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fidelity"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -154,6 +165,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max concurrent streams per decode batch")
 	engineKind := flag.String("engine", "batched", "decode engine: serial, batched, or sharded")
 	decodeShards := flag.Int("decode-shards", 0, "shard count for -engine sharded (0: GOMAXPROCS)")
+	precision := flag.String("precision", "f64", "decode numeric width: f64 (bit-exact reference) or f32 (fast path, validated at publish)")
+	fastMath := flag.Bool("fast-math", false, "use FMA-fused f32 kernels (slightly different rounding than the default f32 path; no effect at -precision f64)")
 	traceBuffer := flag.Int("trace-buffer", 256, "request traces kept for GET /debug/traces (0 disables request tracing)")
 	fidelityWindow := flag.Int("fidelity-window", 64, "served traces in the fidelity drift monitor's sliding window (0 disables the monitor)")
 	journalPath := flag.String("journal", "", "write a JSONL telemetry journal (training epochs, phase spans) to this path")
@@ -168,6 +181,12 @@ func main() {
 	if !core.ValidEngineKind(*engineKind) {
 		log.Fatalf("traced: unknown -engine %q (have %v)", *engineKind, core.EngineKinds())
 	}
+	if !core.ValidPrecision(*precision) {
+		log.Fatalf("traced: unknown -precision %q (have %v)", *precision, core.Precisions())
+	}
+	// -fast-math swaps the f32 kernels to their FMA-fused variants
+	// process-wide; the f64 path is unaffected either way.
+	mat.SetFastMath(*fastMath)
 
 	var journal *obs.Journal
 	if *journalPath != "" {
@@ -277,12 +296,34 @@ func main() {
 		trainInfo["journal"] = *journalPath
 	}
 
+	// The f32 fast path is validated against the f64 reference before a
+	// single request is served: a broken kernel or weight conversion
+	// fails startup, not a downstream consumer. Hot reloads re-validate
+	// below.
+	if core.Precision(*precision) == core.PrecisionF32 {
+		rep, err := model.ValidateF32()
+		if err != nil {
+			log.Fatalf("traced: %v", err)
+		}
+		log.Printf("f32 fast path validated over %d steps: prob|Δ|=%.2e hazard|Δ|=%.2e survival|Δ|=%.2e (fast-math=%v)",
+			rep.Steps, rep.MaxProbDiff, rep.MaxHazardDiff, rep.MaxSurvivalDiff, *fastMath)
+		trainInfo["precision"] = *precision
+		journal.Event("f32_validated", map[string]any{
+			"steps":         rep.Steps,
+			"prob_diff":     rep.MaxProbDiff,
+			"hazard_diff":   rep.MaxHazardDiff,
+			"survival_diff": rep.MaxSurvivalDiff,
+			"fast_math":     *fastMath,
+		})
+	}
+
 	s := server.NewWithRegistry(model, cfg.Flavors, reg)
 	s.TrainInfo = trainInfo
 	s.BatchWindow = *batchWindow
 	s.MaxBatch = *maxBatch
 	s.EngineKind = *engineKind
 	s.DecodeShards = *decodeShards
+	s.Precision = *precision
 	defer s.Close()
 
 	if *traceBuffer > 0 {
@@ -314,6 +355,22 @@ func main() {
 		reloadSrc = func() (*core.Model, *trace.FlavorSet, error) {
 			m, err := loadServing(*ckptDir)
 			return m, cfg.Flavors, err
+		}
+	}
+	if reloadSrc != nil && core.Precision(*precision) == core.PrecisionF32 {
+		// Re-validate the f32 tolerance on every hot reload: a reloaded
+		// model that drifts past the published bounds is rejected and the
+		// current snapshot keeps serving.
+		inner := reloadSrc
+		reloadSrc = func() (*core.Model, *trace.FlavorSet, error) {
+			m, catalog, err := inner()
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := m.ValidateF32(); err != nil {
+				return nil, nil, err
+			}
+			return m, catalog, nil
 		}
 	}
 	if fid != nil && reloadSrc != nil {

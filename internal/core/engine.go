@@ -258,7 +258,7 @@ func (s *genStream) consumeLifetime(logits, hz []float64) {
 // compaction mirrored into the owner tables.
 type fleetEngine struct {
 	m      *Model
-	ff, lf *nn.Fleet
+	ff, lf nn.StepFleet // f64 nn.Fleet or f32 nn.Fleet32, per Precision
 
 	streams []*genStream
 	fOwner  []*genStream // flavor fleet row -> stream
@@ -271,14 +271,24 @@ type fleetEngine struct {
 	hz                  []float64 // lifetime hazard buffer, reused per stream
 }
 
-func newFleetEngine(m *Model, capacity int) *fleetEngine {
-	return &fleetEngine{
+func newFleetEngine(m *Model, capacity int, prec Precision) *fleetEngine {
+	e := &fleetEngine{
 		m:     m,
-		ff:    m.Flavor.Net.NewFleet(capacity),
-		lf:    m.Lifetime.Net.NewFleet(capacity),
 		probs: make([]float64, m.Flavor.K+1),
 		hz:    make([]float64, m.Lifetime.Bins.J()),
 	}
+	if prec.normalize() == PrecisionF32 {
+		// PrepareF32 is idempotent and the conversion is cached on the
+		// model; callers that fan fleet construction out across
+		// goroutines (GenerateBatchShardedF32) prepare it up front.
+		f32 := m.PrepareF32()
+		e.ff = f32.Flavor.NewFleet32(capacity)
+		e.lf = f32.Lifetime.NewFleet32(capacity)
+	} else {
+		e.ff = m.Flavor.Net.NewFleet(capacity)
+		e.lf = m.Lifetime.Net.NewFleet(capacity)
+	}
+	return e
 }
 
 func (e *fleetEngine) active() int { return len(e.streams) }
@@ -413,7 +423,23 @@ func (m *Model) GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace {
 	if len(gs) == 0 {
 		return out
 	}
-	m.decodeQueue(gs, nil, w, out)
+	m.decodeQueue(gs, nil, w, out, PrecisionF64)
+	return out
+}
+
+// GenerateBatchF32 is GenerateBatch on the float32 fast path: the same
+// continuous-batching schedule, but the fleet steps run on f32 weight
+// slabs (DESIGN.md §6.4). Results are deterministic per seed and
+// independent of batch composition — identical across the serial,
+// batched, and sharded f32 engines — but not byte-identical to the f64
+// path; ValidateF32 bounds the distributional divergence.
+func (m *Model) GenerateBatchF32(gs []*rng.RNG, w trace.Window) []*trace.Trace {
+	out := make([]*trace.Trace, len(gs))
+	if len(gs) == 0 {
+		return out
+	}
+	m.PrepareF32()
+	m.decodeQueue(gs, nil, w, out, PrecisionF32)
 	return out
 }
 
@@ -424,7 +450,7 @@ func (m *Model) GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace {
 // Each finished trace lands in out at the stream's gs index, and no
 // other slot of out is touched — which is what lets per-shard queues
 // run concurrently under the par contract (GenerateBatchSharded).
-func (m *Model) decodeQueue(gs []*rng.RNG, idx []int, w trace.Window, out []*trace.Trace) {
+func (m *Model) decodeQueue(gs []*rng.RNG, idx []int, w trace.Window, out []*trace.Trace, prec Precision) {
 	n := len(gs)
 	if idx != nil {
 		n = len(idx)
@@ -442,7 +468,7 @@ func (m *Model) decodeQueue(gs []*rng.RNG, idx []int, w trace.Window, out []*tra
 	if n < capacity {
 		capacity = n
 	}
-	e := newFleetEngine(m, capacity)
+	e := newFleetEngine(m, capacity, prec)
 	next, done := 0, 0
 	for done < n {
 		for e.active() < capacity && next < n {
@@ -516,6 +542,7 @@ type Engine struct {
 	m        *Model
 	window   time.Duration
 	maxBatch int
+	prec     Precision
 
 	reqs chan *engineReq
 	quit chan struct{}
@@ -525,18 +552,31 @@ type Engine struct {
 	closed bool
 }
 
-// NewEngine starts the engine's scheduler goroutine. window is how
-// long an idle engine waits for more requests before stepping (0:
-// step immediately; overlapping requests still coalesce); maxBatch
-// caps concurrent streams (0: a default of 64).
+// NewEngine starts the engine's scheduler goroutine on the bit-exact
+// f64 path. window is how long an idle engine waits for more requests
+// before stepping (0: step immediately; overlapping requests still
+// coalesce); maxBatch caps concurrent streams (0: a default of 64).
+// The engine registry selects the f32 fast path via
+// EngineSpec.Precision (newEngine).
 func NewEngine(m *Model, window time.Duration, maxBatch int) *Engine {
+	return newEngine(m, window, maxBatch, PrecisionF64)
+}
+
+func newEngine(m *Model, window time.Duration, maxBatch int, prec Precision) *Engine {
 	if maxBatch <= 0 {
 		maxBatch = defaultMaxStreams
+	}
+	prec = prec.normalize()
+	if prec == PrecisionF32 {
+		// Convert the weights before the scheduler goroutine (or any
+		// engine sharing this model) can race on the cache.
+		m.PrepareF32()
 	}
 	e := &Engine{
 		m:        m,
 		window:   window,
 		maxBatch: maxBatch,
+		prec:     prec,
 		reqs:     make(chan *engineReq, 4*maxBatch),
 		quit:     make(chan struct{}),
 	}
@@ -641,7 +681,7 @@ func (e *Engine) waitWindow(fe *fleetEngine) {
 // when idle), run one fleet round, deliver retirements, repeat.
 func (e *Engine) loop() {
 	defer e.wg.Done()
-	fe := newFleetEngine(e.m, e.maxBatch)
+	fe := newFleetEngine(e.m, e.maxBatch, e.prec)
 	for {
 		if fe.active() == 0 {
 			select {

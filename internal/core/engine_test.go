@@ -235,7 +235,7 @@ func TestFleetEngineSteadyStateAllocs(t *testing.T) {
 	fm, lm := tinyGenModels()
 	m := &Model{Arrival: testArrivalModel(1.5), Flavor: fm, Lifetime: lm}
 	w := trace.Window{Start: 0, End: 400 * trace.PeriodsPerDay} // long-lived streams
-	e := newFleetEngine(m, 8)
+	e := newFleetEngine(m, 8, PrecisionF64)
 	src := rng.New(77)
 	for i := 0; i < 8; i++ {
 		s := m.newGenStream(src.Split(), w, 1, nil)

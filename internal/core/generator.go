@@ -33,6 +33,12 @@ type Model struct {
 	// MaxJobsPerPeriod caps runaway flavor sequences; once hit, EOB
 	// tokens are forced. Zero means 2000.
 	MaxJobsPerPeriod int
+
+	// f32 caches the float32 weight conversion built by PrepareF32.
+	// Shallow Model copies (the serial engine copies the Model by value
+	// to override RateScale) share the conversion through this pointer,
+	// so PrepareF32 on the original covers every copy.
+	f32 *ModelF32
 }
 
 // ModelOptions bundles the knobs for training the full model.

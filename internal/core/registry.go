@@ -48,33 +48,39 @@ const (
 
 // EngineSpec bundles the knobs NewGenEngine needs. Window and
 // MaxBatch mirror NewEngine's parameters (batched/sharded only);
-// Shards and Obs apply to the sharded engine only.
+// Shards and Obs apply to the sharded engine only. Precision selects
+// the fleet numeric width for every kind ("" means f64, the bit-exact
+// default); it is orthogonal to Kind, so the registry is a (kind ×
+// precision) matrix.
 type EngineSpec struct {
-	Kind     EngineKind
-	Window   time.Duration
-	MaxBatch int
-	Shards   int           // sharded: shard count; <= 0 means GOMAXPROCS
-	Obs      *obs.Registry // sharded: sink for per-shard gauges; may be nil
+	Kind      EngineKind
+	Window    time.Duration
+	MaxBatch  int
+	Shards    int           // sharded: shard count; <= 0 means GOMAXPROCS
+	Obs       *obs.Registry // sharded: sink for per-shard gauges; may be nil
+	Precision Precision     // "" or "f64": bit-exact; "f32": fast path
 }
 
 // engineBuilders is the registry proper. Keeping it a map (rather
 // than a switch) lets tests enumerate kinds and keeps NewGenEngine's
-// validation in one place.
+// validation in one place. Builders receive a normalized precision.
 var engineBuilders = map[EngineKind]func(m *Model, spec EngineSpec) GenEngine{
 	EngineSerial: func(m *Model, spec EngineSpec) GenEngine {
-		return &serialEngine{m: m}
+		return &serialEngine{m: m, prec: spec.Precision}
 	},
 	EngineBatched: func(m *Model, spec EngineSpec) GenEngine {
-		return NewEngine(m, spec.Window, spec.MaxBatch)
+		return newEngine(m, spec.Window, spec.MaxBatch, spec.Precision)
 	},
 	EngineSharded: func(m *Model, spec EngineSpec) GenEngine {
-		return NewShardedEngine(m, spec.Window, spec.MaxBatch, spec.Shards, spec.Obs)
+		return newShardedEngine(m, spec.Window, spec.MaxBatch, spec.Shards, spec.Obs, spec.Precision)
 	},
 }
 
 // NewGenEngine builds the engine named by spec.Kind ("" selects
-// batched, the pre-registry default). Unknown kinds are an error —
-// surfaced at startup/reload, never mid-request.
+// batched, the pre-registry default) at spec.Precision ("" selects
+// f64). Unknown kinds or precisions are an error — surfaced at
+// startup/reload, never mid-request. For f32 the weight conversion
+// happens here, before the engine (or its scheduler goroutine) exists.
 func NewGenEngine(m *Model, spec EngineSpec) (GenEngine, error) {
 	kind := spec.Kind
 	if kind == "" {
@@ -83,6 +89,13 @@ func NewGenEngine(m *Model, spec EngineSpec) (GenEngine, error) {
 	build, ok := engineBuilders[kind]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown engine kind %q (have %v)", kind, EngineKinds())
+	}
+	if !ValidPrecision(string(spec.Precision)) {
+		return nil, fmt.Errorf("core: unknown precision %q (have %v)", spec.Precision, Precisions())
+	}
+	spec.Precision = spec.Precision.normalize()
+	if spec.Precision == PrecisionF32 {
+		m.PrepareF32()
 	}
 	return build(m, spec), nil
 }
@@ -106,9 +119,12 @@ func ValidEngineKind(name string) bool {
 // serialEngine runs each request through the serial reference decoder
 // on the caller's goroutine. It exists so the registry's yardstick is
 // literally Model.Generate; the batched engines define byte-identity
-// against this path.
+// against this path. At PrecisionF32 it decodes through a
+// single-stream fleet queue instead — there is no serial f32 decoder,
+// and a one-row fleet is the f32 reference all f32 engines match.
 type serialEngine struct {
-	m *Model
+	m    *Model
+	prec Precision
 }
 
 // Generate implements GenEngine. Cancellation is honored only before
@@ -120,18 +136,28 @@ func (e *serialEngine) Generate(ctx context.Context, g *rng.RNG, w trace.Window,
 		}
 	}
 	// Same scale semantics as Engine.admitReq: the request's scale
-	// overrides the model's, 0 meaning 1 (via rateScale()).
+	// overrides the model's, 0 meaning 1 (via rateScale()). The value
+	// copy shares the f32 weight cache by pointer (PrepareF32 already
+	// ran in NewGenEngine for f32 specs).
 	m := *e.m
 	m.RateScale = scale
+	decode := m.Generate
+	if e.prec.normalize() == PrecisionF32 {
+		decode = func(g *rng.RNG, w trace.Window) *trace.Trace {
+			out := make([]*trace.Trace, 1)
+			m.decodeQueue([]*rng.RNG{g}, nil, w, out, PrecisionF32)
+			return out[0]
+		}
+	}
 	if tr := rtrace.FromContext(ctx); tr != nil {
 		// The serial path has no queue or coalesce phases: the whole call
 		// is one decode span (with no step rounds to count).
 		start := time.Now()
-		out := m.Generate(g, w)
+		out := decode(g, w)
 		tr.Add("decode", start, time.Since(start))
 		return out, nil
 	}
-	return m.Generate(g, w), nil
+	return decode(g, w), nil
 }
 
 // Close implements GenEngine; the serial engine holds no resources.

@@ -153,7 +153,7 @@ func TestTracingDisabledRoundAllocs(t *testing.T) {
 	defer par.SetProcs(par.SetProcs(1))
 	m := shardTestModel()
 	w := trace.Window{Start: 0, End: 400 * trace.PeriodsPerDay} // long-lived streams
-	fe := newFleetEngine(m, 8)
+	fe := newFleetEngine(m, 8, PrecisionF64)
 	src := rng.New(177)
 	for i := 0; i < 8; i++ {
 		s := m.newGenStream(src.Split(), w, 1, nil)

@@ -52,6 +52,20 @@ func ShardOf(seed int64, shards int) int {
 // write only their own streams' output slots, and per-stream bytes
 // never depend on batch composition.
 func (m *Model) GenerateBatchSharded(gs []*rng.RNG, w trace.Window, shards int) []*trace.Trace {
+	return m.generateBatchSharded(gs, w, shards, PrecisionF64)
+}
+
+// GenerateBatchShardedF32 is GenerateBatchSharded on the float32 fast
+// path: identical sharding and scheduling, f32 fleet steps. Per-stream
+// results are byte-identical to GenerateBatchF32 at any shard count
+// (the f32 path keeps the batch-composition invariance the sharding
+// contract rests on).
+func (m *Model) GenerateBatchShardedF32(gs []*rng.RNG, w trace.Window, shards int) []*trace.Trace {
+	m.PrepareF32() // before the shard queues fan out across goroutines
+	return m.generateBatchSharded(gs, w, shards, PrecisionF32)
+}
+
+func (m *Model) generateBatchSharded(gs []*rng.RNG, w trace.Window, shards int, prec Precision) []*trace.Trace {
 	out := make([]*trace.Trace, len(gs))
 	if len(gs) == 0 {
 		return out
@@ -60,7 +74,7 @@ func (m *Model) GenerateBatchSharded(gs []*rng.RNG, w trace.Window, shards int) 
 		shards = runtime.GOMAXPROCS(0)
 	}
 	if shards <= 1 {
-		m.decodeQueue(gs, nil, w, out)
+		m.decodeQueue(gs, nil, w, out, prec)
 		return out
 	}
 	byShard := make([][]int, shards)
@@ -76,7 +90,7 @@ func (m *Model) GenerateBatchSharded(gs []*rng.RNG, w trace.Window, shards int) 
 		}
 	}
 	par.Do(len(work), func(i int) {
-		m.decodeQueue(gs, work[i], w, out)
+		m.decodeQueue(gs, work[i], w, out, prec)
 	})
 	return out
 }
@@ -142,6 +156,7 @@ type ShardedEngine struct {
 	window   time.Duration
 	maxBatch int // total streams across shards
 	shards   int
+	prec     Precision
 
 	reqs chan *engineReq
 	quit chan struct{}
@@ -159,6 +174,15 @@ type ShardedEngine struct {
 // GOMAXPROCS). Per-shard gauges are registered in reg (nil: a private
 // registry, keeping the hot path guard-free).
 func NewShardedEngine(m *Model, window time.Duration, maxBatch, shards int, reg *obs.Registry) *ShardedEngine {
+	return newShardedEngine(m, window, maxBatch, shards, reg, PrecisionF64)
+}
+
+func newShardedEngine(m *Model, window time.Duration, maxBatch, shards int, reg *obs.Registry, prec Precision) *ShardedEngine {
+	prec = prec.normalize()
+	if prec == PrecisionF32 {
+		// Convert before the scheduler goroutine builds per-shard fleets.
+		m.PrepareF32()
+	}
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -173,6 +197,7 @@ func NewShardedEngine(m *Model, window time.Duration, maxBatch, shards int, reg 
 		window:    window,
 		maxBatch:  maxBatch,
 		shards:    shards,
+		prec:      prec,
 		reqs:      make(chan *engineReq, 4*maxBatch),
 		quit:      make(chan struct{}),
 		occupancy: reg.GaugeFamily("decode.shard_occupancy", shards),
@@ -291,7 +316,7 @@ func (e *ShardedEngine) loop() {
 		perShard = defaultMaxStreams
 	}
 	for k := range fes {
-		fes[k] = newFleetEngine(e.m, perShard)
+		fes[k] = newFleetEngine(e.m, perShard, e.prec)
 	}
 	rounder := newShardRounder(fes)
 	total := 0

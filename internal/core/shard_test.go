@@ -307,7 +307,7 @@ func TestShardedRoundSteadyStateAllocs(t *testing.T) {
 	fes := make([]*fleetEngine, shards)
 	src := rng.New(77)
 	for k := range fes {
-		fes[k] = newFleetEngine(m, 4)
+		fes[k] = newFleetEngine(m, 4, PrecisionF64)
 		for i := 0; i < 4; i++ {
 			s := m.newGenStream(src.Split(), w, 1, nil)
 			if s.phase == phaseDone {

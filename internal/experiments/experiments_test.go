@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -340,5 +341,31 @@ func TestFigure8Shape(t *testing.T) {
 	if byName["LSTM"] <= byName["LSTM (no DOH sampling)"] {
 		t.Errorf("DOH sampling should improve coverage: %v vs %v",
 			byName["LSTM"], byName["LSTM (no DOH sampling)"])
+	}
+}
+
+// TestTable4SurvivalAllocs pins the pooled-curve memory discipline of
+// the Table 4 sweep: survival curves are converted once per KM table
+// and once per teacher-forced subject (one shared slab), never per
+// (subject, grid-time) sample. Before the SurvivalCurveAt refactor a
+// single Table4 call allocated ~19 GB across ~11.7M allocations; the
+// pooled path measures ~8k allocs / ~6 MB, and the budget below sits
+// two orders of magnitude above that but two under the broken state,
+// so any reintroduction of per-sample conversion trips it immediately.
+func TestTable4SurvivalAllocs(t *testing.T) {
+	c := azure(t)
+	Table4(c) // warm caches (model training, trace slices) outside the measurement
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	Table4(c)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	t.Logf("Table4: %d allocs, %.1f MB", allocs, float64(bytes)/(1<<20))
+	if allocs > 100_000 {
+		t.Errorf("Table4 allocations = %d, budget 100k: per-sample curve conversion is back?", allocs)
+	}
+	if bytes > 100<<20 {
+		t.Errorf("Table4 allocated %.1f MB, budget 100 MB: per-sample curve conversion is back?", float64(bytes)/(1<<20))
 	}
 }

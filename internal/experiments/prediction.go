@@ -181,9 +181,12 @@ func Table4(c *Cloud) []Table4Row {
 	}
 	var rows []Table4Row
 	addKM := func(bins survival.Bins, disc string, interp survival.Interpolation, iname string) {
-		h := survival.KaplanMeier(trainObs, bins)
+		// One curve conversion per table, not one per (subject, grid
+		// time): the grid sweep below evaluates the same hazard millions
+		// of times.
+		s := survival.HazardToSurvival(survival.KaplanMeier(trainObs, bins))
 		mse := survival.SurvivalMSE(func(_ int, t float64) float64 {
-			return survival.SurvivalAt(t, h, bins, interp)
+			return survival.SurvivalCurveAt(t, s, bins, interp)
 		}, obs, gridStep, horizon)
 		rows = append(rows, Table4Row{System: "KM", Discretization: disc, Interpolation: iname, SurvivalMSE: mse})
 	}
@@ -203,13 +206,23 @@ func Table4(c *Cloud) []Table4Row {
 	// lifetimes, which the 1-day scaled window would otherwise hide.
 	steps := core.LifetimeSteps(extended, c.Bins)
 	hazards := c.Model().Lifetime.TeacherForcedHazards(steps, c.TestW.Start)
+	// Convert every subject's hazard to its survival curve exactly once
+	// (one slab, J floats per subject) instead of per grid time — this
+	// was ~19 GB of duplicate HazardToSurvival allocations per Table4
+	// call, pinned by TestTable4SurvivalAllocs.
+	j := c.Bins.J()
+	slab := make([]float64, len(hazards)*j)
+	curves := make([][]float64, len(hazards))
+	for i, h := range hazards {
+		curves[i] = survival.HazardToSurvivalInto(slab[i*j:(i+1)*j], h)
+	}
 	for _, spec := range []struct {
 		interp survival.Interpolation
 		name   string
 	}{{survival.Stepped, "Stepped"}, {survival.CDI, "CDI"}} {
 		interp := spec.interp
 		mse := survival.SurvivalMSE(func(i int, t float64) float64 {
-			return survival.SurvivalAt(t, hazards[i], c.Bins, interp)
+			return survival.SurvivalCurveAt(t, curves[i], c.Bins, interp)
 		}, obs, gridStep, horizon)
 		rows = append(rows, Table4Row{System: "LSTM", Discretization: "47 bins", Interpolation: spec.name, SurvivalMSE: mse})
 	}

@@ -1,0 +1,136 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// actInputs32 is the shared edge-case-heavy input set for the
+// activation kernel tests: specials, saturation bounds, clamp edges,
+// tiny and denormal magnitudes, and a dense random sweep of the range
+// the gates actually see.
+func actInputs32() []float32 {
+	xs := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1, 0.5, -0.5,
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		exp32HI, exp32LO, exp32HI / 2, exp32LO / 2,
+		math.Nextafter32(exp32HI, 200), math.Nextafter32(exp32LO, -200),
+		88.5, -88.5, 127, -127, 1e4, -1e4, 3.4e38, -3.4e38,
+		1e-10, -1e-10, 1e-38, -1e-38, math.Float32frombits(1),
+		0.3465, -0.3465, 0.3466, -0.3466, // reduction half-ln2 boundary
+	}
+	g := rng.New(42)
+	for i := 0; i < 4096; i++ {
+		xs = append(xs, float32((g.Float64()-0.5)*40))
+	}
+	for i := 0; i < 512; i++ {
+		xs = append(xs, float32((g.Float64()-0.5)*240))
+	}
+	return xs
+}
+
+// TestActivation32ASMParity pins the determinism contract of the new
+// activation kernels: the AVX2 paths and the portable scalar paths
+// produce bit-identical float32 results for every input, including
+// NaN, infinities, and the clamp edges, at every slice offset modulo
+// the 8-lane granule.
+func TestActivation32ASMParity(t *testing.T) {
+	xs := actInputs32()
+	kernels := []struct {
+		name   string
+		slice  func(dst, x []float32)
+		scalar func(float32) float32
+	}{
+		{"sigmoid", SigmoidSlice32, sigmoid32},
+		{"tanh", TanhSlice32, tanh32},
+	}
+	for _, kn := range kernels {
+		// Portable reference for every element.
+		want := make([]float32, len(xs))
+		for i, v := range xs {
+			want[i] = kn.scalar(v)
+		}
+		withBatchASM(t, func(t *testing.T) {
+			// Vary the length so both the 8-wide body and the scalar
+			// tail are exercised against the same reference.
+			for _, n := range []int{len(xs), len(xs) - 3, 8, 7, 1, 0} {
+				dst := make([]float32, n)
+				kn.slice(dst, xs[:n])
+				for i := range dst {
+					if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("%s(%g) n=%d: got %x want %x (asm=%v)",
+							kn.name, xs[i], n, math.Float32bits(dst[i]),
+							math.Float32bits(want[i]), useBatchASM)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestActivation32Accuracy bounds the kernels against the correctly
+// rounded float64 reference: a few float32 ulps everywhere, which is
+// orders of magnitude inside the published f32 decode tolerances
+// (core.ValidateF32 measures the end-to-end effect).
+func TestActivation32Accuracy(t *testing.T) {
+	for _, x := range actInputs32() {
+		if x != x {
+			continue
+		}
+		x64 := float64(x)
+		if got, want := float64(sigmoid32(x)), 1/(1+math.Exp(-x64)); math.Abs(got-want) > 5e-7 {
+			t.Fatalf("sigmoid32(%g) = %g, want %g (|err| %g)", x, got, want, math.Abs(got-want))
+		}
+		if got, want := float64(tanh32(x)), math.Tanh(x64); math.Abs(got-want) > 5e-7 {
+			t.Fatalf("tanh32(%g) = %g, want %g (|err| %g)", x, got, want, math.Abs(got-want))
+		}
+	}
+	// Spot-check the saturated tails hit the limits exactly.
+	for _, x := range []float32{40, 100, 1e30, float32(math.Inf(1))} {
+		if sigmoid32(x) != 1 || sigmoid32(-x) >= 1e-15 {
+			t.Fatalf("sigmoid32 saturation broken at ±%g", x)
+		}
+		if tanh32(x) != 1 || tanh32(-x) != -1 {
+			t.Fatalf("tanh32 saturation broken at ±%g", x)
+		}
+	}
+}
+
+// TestActivation32Alias pins the documented exact-alias contract
+// (dst == x), which is how the fleet applies the gates in place.
+func TestActivation32Alias(t *testing.T) {
+	withBatchASM(t, func(t *testing.T) {
+		xs := actInputs32()
+		for _, apply := range []func(dst, x []float32){SigmoidSlice32, TanhSlice32} {
+			sep := make([]float32, len(xs))
+			apply(sep, xs)
+			inPlace := append([]float32(nil), xs...)
+			apply(inPlace, inPlace)
+			for i := range sep {
+				if math.Float32bits(sep[i]) != math.Float32bits(inPlace[i]) {
+					t.Fatalf("aliased result differs at %d: %g vs %g", i, inPlace[i], sep[i])
+				}
+			}
+		}
+	})
+}
+
+func benchActivation32(b *testing.B, apply func(dst, x []float32)) {
+	g := rng.New(7)
+	x := make([]float32, 256)
+	for i := range x {
+		x[i] = float32((g.Float64() - 0.5) * 20)
+	}
+	dst := make([]float32, len(x))
+	b.SetBytes(4 * 2 * int64(len(x)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apply(dst, x)
+	}
+}
+
+func BenchmarkSigmoidSlice32_256(b *testing.B) { benchActivation32(b, SigmoidSlice32) }
+func BenchmarkTanhSlice32_256(b *testing.B)    { benchActivation32(b, TanhSlice32) }

@@ -1,6 +1,9 @@
 package mat
 
-import "math"
+import (
+	"math"
+	"os"
+)
 
 // Batched-decode kernels (DESIGN.md §6.2). The continuous-batching
 // fleet in internal/nn drives many concurrent streams through shared
@@ -15,8 +18,13 @@ import "math"
 
 // useBatchASM gates the assembly kernels. It is a variable (not a
 // const) so exactness tests can force the fallback path; outside tests
-// it is written once at init.
-var useBatchASM = haveBatchASM()
+// it is written once at init. Setting REPRO_NOASM (to any non-empty
+// value) disables the assembly even where the CPU supports it, so CI
+// can exercise the portable fallbacks under instrumentation the asm
+// escapes (scripts/check.sh runs such a tier under -race); because
+// every fallback is bit-identical to its kernel, the flag never
+// changes results.
+var useBatchASM = haveBatchASM() && os.Getenv("REPRO_NOASM") == ""
 
 // MulAddBatched computes dst += a * b, bit-identically to MulAdd: each
 // dst element accumulates its k terms in ascending order, so blocking,

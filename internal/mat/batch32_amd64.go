@@ -1,0 +1,32 @@
+package mat
+
+// gemm32AVX2 computes dst[i*n+j] += Σ_k a[i*k+k′]·b[k′*n+j] in float32
+// for all m rows and columns [0, n&^7), eight lanes per YMM register —
+// twice gemmAVX2's width — accumulating each element's k terms in
+// ascending order with separate VMULPS+VADDPS (no FMA, matching the
+// portable fallback's plain float32 expression). Columns n&^7..n-1 are
+// the caller's job. Implemented in batch32_amd64.s.
+//
+//go:noescape
+func gemm32AVX2(dst, a, b *float32, m, k, n int)
+
+// gemm32FMA is gemm32AVX2 with each multiply-add fused into a single
+// VFMADD231PS rounding — the SetFastMath(true) variant, reproduced
+// exactly by the portable fma32. Implemented in batch32_amd64.s.
+//
+//go:noescape
+func gemm32FMA(dst, a, b *float32, m, k, n int)
+
+// sigmoid32AVX2 sets dst[i] = 1/(1+exp(-x[i])) for i in [0, n), n a
+// positive multiple of 8, bit-identical to the portable sigmoid32 in
+// act32.go. Implemented in batch32_amd64.s.
+//
+//go:noescape
+func sigmoid32AVX2(dst, x *float32, n int)
+
+// tanh32AVX2 sets dst[i] = tanh(x[i]) for i in [0, n), n a positive
+// multiple of 8, bit-identical to the portable tanh32 in act32.go.
+// Implemented in batch32_amd64.s.
+//
+//go:noescape
+func tanh32AVX2(dst, x *float32, n int)

@@ -1,0 +1,280 @@
+// AVX2 float32 GEMM kernels for the f32 serving fast path (DESIGN.md
+// §6.4). Both are eight-lane transcriptions of the float64 gemmAVX2
+// schedule — 32-column register tiles with an 8-column cleanup tile,
+// k innermost and ascending — and both are verified element-for-element
+// against the portable fallbacks in mat32_test.go:
+//
+//   - gemm32AVX2 uses separate VMULPS+VADDPS, matching the fallback's
+//     plain float32 multiply-then-add rounding.
+//
+//   - gemm32FMA fuses each term with VFMADD231PS (one rounding per
+//     term), matching the fallback's software fma32 exactly.
+
+#include "textflag.h"
+
+// func gemm32AVX2(dst, a, b *float32, m, k, n int)
+//
+// dst[i][j] += sum_k a[i][k]*b[k][j] over columns [0, n&^7), with
+// 32-column register tiles and an 8-column cleanup tile. The k loop is
+// innermost and ascending, and every product feeds a separate add.
+TEXT ·gemm32AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+
+	TESTQ CX, CX
+	JLE   sgdone
+	TESTQ R9, R9
+	JLE   sgdone
+
+	MOVQ R10, R11 // R11 = (n &^ 7) * 4: 8-wide column limit, bytes
+	ANDQ $-8, R11
+	SHLQ $2, R11
+	MOVQ R10, R12 // R12 = (n &^ 31) * 4: 32-wide column limit, bytes
+	ANDQ $-32, R12
+	SHLQ $2, R12
+	SHLQ $2, R10  // R10 = n*4: dst/b row stride, bytes
+
+sgrowi:
+	XORQ BX, BX // j, bytes
+
+sgj32:
+	CMPQ BX, R12
+	JGE  sgj8
+	VMOVUPS (DI)(BX*1), Y0
+	VMOVUPS 32(DI)(BX*1), Y1
+	VMOVUPS 64(DI)(BX*1), Y2
+	VMOVUPS 96(DI)(BX*1), Y3
+	LEAQ    (DX)(BX*1), R13 // &b[0][j]
+	MOVQ    SI, AX          // &a[i][0]
+	MOVQ    R9, R8          // k countdown
+
+sgk32:
+	VBROADCASTSS (AX), Y4
+	VMULPS       (R13), Y4, Y5
+	VADDPS       Y5, Y0, Y0
+	VMULPS       32(R13), Y4, Y6
+	VADDPS       Y6, Y1, Y1
+	VMULPS       64(R13), Y4, Y7
+	VADDPS       Y7, Y2, Y2
+	VMULPS       96(R13), Y4, Y8
+	VADDPS       Y8, Y3, Y3
+	ADDQ         $4, AX
+	ADDQ         R10, R13
+	DECQ         R8
+	JNZ          sgk32
+	VMOVUPS      Y0, (DI)(BX*1)
+	VMOVUPS      Y1, 32(DI)(BX*1)
+	VMOVUPS      Y2, 64(DI)(BX*1)
+	VMOVUPS      Y3, 96(DI)(BX*1)
+	ADDQ         $128, BX
+	JMP          sgj32
+
+sgj8:
+	CMPQ BX, R11
+	JGE  sgrowiend
+	VMOVUPS (DI)(BX*1), Y0
+	LEAQ    (DX)(BX*1), R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+sgk8:
+	VBROADCASTSS (AX), Y4
+	VMULPS       (R13), Y4, Y5
+	VADDPS       Y5, Y0, Y0
+	ADDQ         $4, AX
+	ADDQ         R10, R13
+	DECQ         R8
+	JNZ          sgk8
+	VMOVUPS      Y0, (DI)(BX*1)
+	ADDQ         $32, BX
+	JMP          sgj8
+
+sgrowiend:
+	ADDQ R10, DI        // next dst row
+	LEAQ (SI)(R9*4), SI // next a row
+	DECQ CX
+	JNZ  sgrowi
+
+sgdone:
+	VZEROUPPER
+	RET
+
+// func gemm32FMA(dst, a, b *float32, m, k, n int)
+//
+// gemm32AVX2 with every multiply-add fused: one VFMADD231PS rounding
+// per accumulated term (the SetFastMath contract).
+TEXT ·gemm32FMA(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+
+	TESTQ CX, CX
+	JLE   fgdone
+	TESTQ R9, R9
+	JLE   fgdone
+
+	MOVQ R10, R11 // R11 = (n &^ 7) * 4: 8-wide column limit, bytes
+	ANDQ $-8, R11
+	SHLQ $2, R11
+	MOVQ R10, R12 // R12 = (n &^ 31) * 4: 32-wide column limit, bytes
+	ANDQ $-32, R12
+	SHLQ $2, R12
+	SHLQ $2, R10  // R10 = n*4: dst/b row stride, bytes
+
+fgrowi:
+	XORQ BX, BX // j, bytes
+
+fgj32:
+	CMPQ BX, R12
+	JGE  fgj8
+	VMOVUPS (DI)(BX*1), Y0
+	VMOVUPS 32(DI)(BX*1), Y1
+	VMOVUPS 64(DI)(BX*1), Y2
+	VMOVUPS 96(DI)(BX*1), Y3
+	LEAQ    (DX)(BX*1), R13 // &b[0][j]
+	MOVQ    SI, AX          // &a[i][0]
+	MOVQ    R9, R8          // k countdown
+
+fgk32:
+	VBROADCASTSS (AX), Y4
+	VFMADD231PS  (R13), Y4, Y0
+	VFMADD231PS  32(R13), Y4, Y1
+	VFMADD231PS  64(R13), Y4, Y2
+	VFMADD231PS  96(R13), Y4, Y3
+	ADDQ         $4, AX
+	ADDQ         R10, R13
+	DECQ         R8
+	JNZ          fgk32
+	VMOVUPS      Y0, (DI)(BX*1)
+	VMOVUPS      Y1, 32(DI)(BX*1)
+	VMOVUPS      Y2, 64(DI)(BX*1)
+	VMOVUPS      Y3, 96(DI)(BX*1)
+	ADDQ         $128, BX
+	JMP          fgj32
+
+fgj8:
+	CMPQ BX, R11
+	JGE  fgrowiend
+	VMOVUPS (DI)(BX*1), Y0
+	LEAQ    (DX)(BX*1), R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+fgk8:
+	VBROADCASTSS (AX), Y4
+	VFMADD231PS  (R13), Y4, Y0
+	ADDQ         $4, AX
+	ADDQ         R10, R13
+	DECQ         R8
+	JNZ          fgk8
+	VMOVUPS      Y0, (DI)(BX*1)
+	ADDQ         $32, BX
+	JMP          fgj8
+
+fgrowiend:
+	ADDQ R10, DI        // next dst row
+	LEAQ (SI)(R9*4), SI // next a row
+	DECQ CX
+	JNZ  fgrowi
+
+fgdone:
+	VZEROUPPER
+	RET
+
+// Eight-lane f32 activation kernels for the decode fleet's gates
+// (act32.go holds the shared constant table ·exp32Consts and the
+// bit-identical portable transcription). EXPCORE32 is the common exp
+// core — clamp, round-to-nearest-even argument reduction, FMA Horner
+// polynomial, exponent-field scale — operating on Y0 with BX holding
+// the constant table base; it clobbers Y1-Y3. Table rows (32 bytes
+// each): +0 HI, +32 LO, +64 log2(e), +96 ln2 high, +128 ln2 low,
+// +160..+320 the six polynomial coefficients C5..C0, +352 1.0,
+// +384 int32 127 (exponent bias), +416 the sign mask.
+//
+// The clamp turns every special case into ordinary arithmetic: inputs
+// above HI or below LO (and NaNs, which MINPS/MAXPS resolve to the
+// bound) saturate, k stays in [-126, 127], and the 2^k scale factor is
+// always a normal float32.
+#define EXPCORE32 \
+	VMINPS 0(BX), Y0, Y0 \
+	VMAXPS 32(BX), Y0, Y0 \
+	VMULPS 64(BX), Y0, Y1 \
+	VCVTPS2DQ Y1, Y1 \
+	VCVTDQ2PS Y1, Y2 \
+	VFNMADD231PS 96(BX), Y2, Y0 \
+	VFNMADD231PS 128(BX), Y2, Y0 \
+	VMOVUPS 160(BX), Y3 \
+	VFMADD213PS 192(BX), Y0, Y3 \
+	VFMADD213PS 224(BX), Y0, Y3 \
+	VFMADD213PS 256(BX), Y0, Y3 \
+	VFMADD213PS 288(BX), Y0, Y3 \
+	VFMADD213PS 320(BX), Y0, Y3 \
+	VMULPS Y0, Y0, Y2 \
+	VFMADD213PS Y0, Y2, Y3 \
+	VADDPS 352(BX), Y3, Y3 \
+	VPADDD 384(BX), Y1, Y1 \
+	VPSLLD $23, Y1, Y1 \
+	VMULPS Y1, Y3, Y0
+
+// func sigmoid32AVX2(dst, x *float32, n int)
+//
+// dst[i] = 1/(1+exp(-x[i])) for i in [0, n), n a positive multiple
+// of 8. Negate via the sign mask, exp core, then a full-precision
+// divide (no reciprocal approximation: VDIVPS rounds correctly, which
+// is what the portable path computes).
+TEXT ·sigmoid32AVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $3, CX
+	MOVQ $·exp32Consts(SB), BX
+
+sigloop:
+	VMOVUPS (SI), Y0
+	VXORPS  416(BX), Y0, Y0 // -x
+	EXPCORE32
+	VADDPS  352(BX), Y0, Y2 // e + 1
+	VMOVUPS 352(BX), Y3
+	VDIVPS  Y2, Y3, Y0      // 1 / (e + 1)
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     sigloop
+	VZEROUPPER
+	RET
+
+// func tanh32AVX2(dst, x *float32, n int)
+//
+// dst[i] = tanh(x[i]) for i in [0, n), n a positive multiple of 8,
+// via e = exp(2x) and (e-1)/(e+1). The clamp inside the exp core
+// saturates both tails to ±1 without special cases.
+TEXT ·tanh32AVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $3, CX
+	MOVQ $·exp32Consts(SB), BX
+
+tanhloop:
+	VMOVUPS (SI), Y0
+	VADDPS  Y0, Y0, Y0 // 2x
+	EXPCORE32
+	VMOVUPS 352(BX), Y4
+	VSUBPS  Y4, Y0, Y2 // e - 1
+	VADDPS  Y4, Y0, Y3 // e + 1
+	VDIVPS  Y3, Y2, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     tanhloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package mat
+
+// Without assembly kernels MulAddBatched32 uses the portable tiled
+// fallbacks in mat32.go, which are bit-identical (and the reference the
+// assembly is tested against).
+
+func gemm32AVX2(dst, a, b *float32, m, k, n int) {
+	panic("mat: gemm32AVX2 without assembly kernel")
+}
+
+func gemm32FMA(dst, a, b *float32, m, k, n int) {
+	panic("mat: gemm32FMA without assembly kernel")
+}
+
+func sigmoid32AVX2(dst, x *float32, n int) {
+	panic("mat: sigmoid32AVX2 without assembly kernel")
+}
+
+func tanh32AVX2(dst, x *float32, n int) {
+	panic("mat: tanh32AVX2 without assembly kernel")
+}

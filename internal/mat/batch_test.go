@@ -154,6 +154,7 @@ func BenchmarkMulAddBatchedDecodeShape(b *testing.B) {
 	a := denseRand(8, 24, 1)
 	bm := denseRand(24, 96, 2)
 	dst := NewDense(8, 96)
+	b.SetBytes(8 * int64(len(a.Data)+len(bm.Data)+len(dst.Data)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -164,6 +165,7 @@ func BenchmarkMulAddBatchedDecodeShape(b *testing.B) {
 func BenchmarkExpSlice96(b *testing.B) {
 	x := denseRand(1, 96, 1).Data
 	dst := make([]float64, 96)
+	b.SetBytes(8 * 2 * 96)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ExpSlice(dst, x)
@@ -173,6 +175,7 @@ func BenchmarkExpSlice96(b *testing.B) {
 func BenchmarkExpScalar96(b *testing.B) {
 	x := denseRand(1, 96, 1).Data
 	dst := make([]float64, 96)
+	b.SetBytes(8 * 2 * 96)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, v := range x {

@@ -184,15 +184,21 @@ func mulAddSparseRows(dst, a, b *Dense, lo, hi int) {
 }
 
 // MulATB computes dst += aᵀ * b (a is kxm, b is kxn, dst is mxn).
-// The serial path streams a and b row-major (k outer); the parallel
-// path partitions dst rows, paying a strided read of a's columns to
-// keep writes disjoint. Both accumulate each dst element's k terms in
-// ascending order, so they are bit-identical.
+// Above packMinFlops it packs aᵀ once and runs the cache-blocked
+// batched kernel (see pack.go). Below, the serial path streams a and b
+// row-major (k outer); the parallel path partitions dst rows, paying a
+// strided read of a's columns to keep writes disjoint. All paths
+// accumulate each dst element's k terms in ascending order, so they
+// are bit-identical.
 func MulATB(dst, a, b *Dense) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulATB shape mismatch %vᵀ * %v -> %v", a, b, dst))
 	}
 	m, n := a.Cols, b.Cols
+	if m*a.Rows*n >= packMinFlops {
+		mulATBPacked(dst, a, b)
+		return
+	}
 	rowFlops := a.Rows * n
 	if m*rowFlops < parMinFlops || par.Procs() == 1 {
 		for k := 0; k < a.Rows; k++ {
@@ -235,10 +241,16 @@ func MulATBSparse(dst, a, b *Dense) {
 }
 
 // MulABT computes dst += a * bᵀ (a is mxk, b is nxk, dst is mxn),
-// row-parallel above the size threshold.
+// row-parallel above the size threshold. Above packMinFlops it packs
+// bᵀ once and runs the cache-blocked batched kernel through a zeroed
+// panel, bit-identical to the dot-then-add reference (see pack.go).
 func MulABT(dst, a, b *Dense) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MulABT shape mismatch %v * %vᵀ -> %v", a, b, dst))
+	}
+	if a.Rows*a.Cols*b.Rows >= packMinFlops {
+		mulABTPacked(dst, a, b)
+		return
 	}
 	rowFlops := a.Cols * b.Rows
 	if a.Rows*rowFlops < parMinFlops {

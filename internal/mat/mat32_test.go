@@ -1,0 +1,338 @@
+package mat
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func dense32Rand(r, c int, seed int64) *Dense32 {
+	g := rng.New(seed)
+	m := NewDense32(r, c)
+	for i := range m.Data {
+		m.Data[i] = float32(g.NormFloat64())
+	}
+	return m
+}
+
+// withFastMath runs f under both kernel contracts (separate rounding
+// and fused multiply-add), restoring the global afterwards.
+func withFastMath(t *testing.T, f func(t *testing.T)) {
+	for _, on := range []bool{false, true} {
+		name := "nofma"
+		if on {
+			name = "fma"
+		}
+		t.Run(name, func(t *testing.T) {
+			saved := fastMath
+			SetFastMath(on)
+			defer SetFastMath(saved)
+			f(t)
+		})
+	}
+}
+
+// mulAddBatched32Ref is the naive triple loop under the active
+// contract: ascending k, one rounding per multiply and add (no-FMA) or
+// one fused rounding per term (FMA, via fma32 — itself pinned against
+// exact arithmetic in TestFMA32Exact). Both kernel paths must match it
+// bit-for-bit, which transitively makes asm and fallback identical.
+func mulAddBatched32Ref(dst, a, b *Dense32) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := dst.Data[i*n+j]
+			for kk := 0; kk < k; kk++ {
+				if fastMath {
+					s = fma32(a.Data[i*k+kk], b.Data[kk*n+j], s)
+				} else {
+					s += a.Data[i*k+kk] * b.Data[kk*n+j]
+				}
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// TestMulAddBatched32BitExact checks MulAddBatched32 against the naive
+// reference over shapes exercising the 32-wide tiles, the 8-wide
+// cleanup, and the scalar column tail — on both kernel paths and under
+// both rounding contracts. On AVX2 hosts the FMA run also pins the
+// software fma32 against hardware VFMADD231PS across every element.
+func TestMulAddBatched32BitExact(t *testing.T) {
+	withFastMath(t, func(t *testing.T) {
+		withBatchASM(t, func(t *testing.T) {
+			shapes := [][3]int{
+				{8, 24, 96}, {1, 24, 96}, {64, 24, 96}, // decode gate panels
+				{8, 24, 18}, {8, 24, 48}, // head shapes
+				{7, 23, 97}, {3, 5, 3}, {2, 1, 1}, // tails everywhere
+				{5, 31, 40}, {1, 1, 17}, {9, 2, 130}, {4, 16, 33},
+			}
+			for _, sh := range shapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a := dense32Rand(m, k, 1)
+				b := dense32Rand(k, n, 2)
+				want := dense32Rand(m, n, 3)
+				got := NewDense32(m, n)
+				copy(got.Data, want.Data)
+				mulAddBatched32Ref(want, a, b)
+				MulAddBatched32(got, a, b)
+				for i := range want.Data {
+					if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+						t.Fatalf("%dx%dx%d: elem %d: got %x want %x",
+							m, k, n, i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+					}
+				}
+			}
+		})
+	})
+}
+
+// TestMulAddSparse32Matches checks the zero-skipping kernel against
+// MulAddBatched32's reference on one-hot rows (where skipped terms are
+// exact zeros, the two are bit-identical under either contract).
+func TestMulAddSparse32Matches(t *testing.T) {
+	withFastMath(t, func(t *testing.T) {
+		g := rng.New(7)
+		a := NewDense32(9, 26)
+		for i := 0; i < a.Rows; i++ {
+			a.Row(i)[g.Intn(a.Cols)] = 1
+		}
+		b := dense32Rand(26, 96, 2)
+		want := dense32Rand(9, 96, 3)
+		got := NewDense32(9, 96)
+		copy(got.Data, want.Data)
+		mulAddBatched32Ref(want, a, b)
+		MulAddSparse32(got, a, b)
+		for i := range want.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("elem %d: got %v want %v", i, got.Data[i], want.Data[i])
+			}
+		}
+	})
+}
+
+// TestFMA32Exact pins fma32 against arbitrary-precision arithmetic:
+// for finite inputs the result must be the correctly rounded (nearest,
+// ties to even) float32 of the exact a·b+c. Inputs include directed
+// double-rounding traps — products whose double sum with c lands
+// exactly between float32 neighbors plus a sliver only visible beyond
+// double precision — which the naive float32(float64 expression)
+// mis-rounds; the round-to-odd step exists for exactly these.
+func TestFMA32Exact(t *testing.T) {
+	check := func(a, b, c float32) {
+		got := fma32(a, b, c)
+		exact := new(big.Float).SetPrec(200)
+		exact.Mul(big.NewFloat(float64(a)), big.NewFloat(float64(b)))
+		exact.Add(exact, big.NewFloat(float64(c)))
+		var want float32
+		if exact.Sign() == 0 {
+			// Exact cancellation: the sign of the zero follows IEEE addition
+			// of the (exact) double product and addend.
+			want = float32(float64(a)*float64(b) + float64(c))
+		} else {
+			want, _ = exact.Float32()
+		}
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("fma32(%x, %x, %x) = %x, want %x",
+				a, b, c, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+
+	// Directed: specials, signed zeros, exact cancellation, denormals,
+	// and overflow.
+	f32 := math.Float32frombits
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	directed := [][3]float32{
+		{0, 0, 0}, {1, 1, -1}, {1.5, 2, -3}, {-1.5, 2, 3},
+		{1, -1, 1}, {3, 7, -21},
+		{f32(0x00000001), f32(0x00000001), 0},   // denormal² underflows
+		{f32(0x00800000), 0.5, f32(0x00000001)}, // denormal arithmetic
+		{f32(0x7F7FFFFF), 2, 0},                 // overflow to +Inf
+		{f32(0x7F7FFFFF), 1, f32(0x7F7FFFFF)},   // overflow via add
+		{f32(0x34000001), f32(0x34000001), 1},   // tiny product vs 1: sticky bits far below
+		{f32(0x3F800001), f32(0x3F800001), -1},  // (1+ε)² - 1
+		{f32(0x3F800001), f32(0xBF800001), 1},   // 1 - (1+ε)²
+		{1e19, 1e19, -inf}, {inf, 1, 1}, {1, inf, -inf},
+	}
+	for _, d := range directed {
+		a, b, c := d[0], d[1], d[2]
+		got := fma32(a, b, c)
+		if math.IsInf(float64(a)*float64(b)+float64(c), 0) || math.IsNaN(float64(a)*float64(b)+float64(c)) {
+			want := float32(float64(a)*float64(b) + float64(c))
+			if math.Float32bits(got) != math.Float32bits(want) &&
+				!(math.IsNaN(float64(got)) && math.IsNaN(float64(want))) {
+				t.Fatalf("fma32(%v, %v, %v) = %v, want %v", a, b, c, got, want)
+			}
+			continue
+		}
+		check(a, b, c)
+	}
+	if got := fma32(nan, 1, 1); !math.IsNaN(float64(got)) {
+		t.Fatalf("fma32(NaN,1,1) = %v", got)
+	}
+
+	// Randomized sweep across mixed magnitudes, biased toward near
+	// cancellation (c ≈ -a·b) where double rounding actually bites.
+	s := uint64(99)
+	next := func() float32 {
+		s = s*6364136223846793005 + 1442695040888963407
+		bits := uint32(s >> 32)
+		// Clamp exponent into the finite range, keep sign and mantissa.
+		exp := (bits >> 23) & 0xFF
+		if exp == 0xFF {
+			exp = 0xFE
+		}
+		return math.Float32frombits(bits&0x807FFFFF | exp<<23)
+	}
+	for i := 0; i < 50000; i++ {
+		a, b := next(), next()
+		var c float32
+		switch i % 3 {
+		case 0:
+			c = next()
+		case 1:
+			c = -a * b // near-cancellation: error term dominates
+		case 2:
+			c = float32(-float64(a) * float64(b) * 1.0000001)
+		}
+		if math.IsInf(float64(a)*float64(b)+float64(c), 0) {
+			continue
+		}
+		check(a, b, c)
+	}
+}
+
+// exp32Cases covers every float32-relevant branch of exp: the ordinary
+// range, the overflow cutoff (≈88.72), the denormal-result band and
+// underflow (≈-103.97), and the specials.
+func exp32Cases() []float32 {
+	cases := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1, 0.5, -0.5, 1e-9, -1e-9,
+		80, -80, 87.3, -87.3,
+		88.72283, 88.722839, 88.7229, 89, 100, 1000,
+		-87.33654, -87.4, -100,
+		-103.97, -103.972084, -103.9721, -104, -200,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		math.Float32frombits(0x00000001), math.Float32frombits(0x80000001),
+	}
+	for x := float32(-105); x < -86; x += 0.0078125 {
+		cases = append(cases, x)
+	}
+	for x := float32(88); x < 89.5; x += 0.00390625 {
+		cases = append(cases, x)
+	}
+	s := uint64(321)
+	for i := 0; i < 20000; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		cases = append(cases, float32((float64(s>>11)/float64(1<<53)-0.5)*240)) // [-120, 120)
+	}
+	return cases
+}
+
+// TestExpSlice32BitExact checks ExpSlice32 against its documented
+// definition float32(math.Exp(float64(x))) bit-for-bit, rotated so
+// every case visits every lane and chunk position.
+func TestExpSlice32BitExact(t *testing.T) {
+	withBatchASM(t, func(t *testing.T) {
+		cases := exp32Cases()
+		for rot := 0; rot < 4; rot++ {
+			x := make([]float32, len(cases))
+			for i, v := range cases {
+				x[(i+rot)%len(x)] = v
+			}
+			dst := make([]float32, len(x))
+			ExpSlice32(dst, x)
+			for i, v := range x {
+				want := float32(math.Exp(float64(v)))
+				if math.Float32bits(dst[i]) != math.Float32bits(want) {
+					t.Fatalf("rot %d: Exp32(%v) = %x, want %x",
+						rot, v, math.Float32bits(dst[i]), math.Float32bits(want))
+				}
+			}
+		}
+	})
+}
+
+// TestExpSlice32Alias checks the documented exact-alias contract across
+// a chunk boundary.
+func TestExpSlice32Alias(t *testing.T) {
+	withBatchASM(t, func(t *testing.T) {
+		x := make([]float32, expChunk32+9)
+		g := rng.New(5)
+		for i := range x {
+			x[i] = float32(g.NormFloat64())
+		}
+		want := make([]float32, len(x))
+		for i, v := range x {
+			want[i] = float32(math.Exp(float64(v)))
+		}
+		ExpSlice32(x, x)
+		for i := range x {
+			if math.Float32bits(x[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("elem %d: got %v want %v", i, x[i], want[i])
+			}
+		}
+	})
+}
+
+// TestBatchKernels32NoAlloc pins the f32 serving kernels at zero
+// allocations under both contracts.
+func TestBatchKernels32NoAlloc(t *testing.T) {
+	a := dense32Rand(8, 24, 1)
+	b := dense32Rand(24, 96, 2)
+	dst := NewDense32(8, 96)
+	x := dense32Rand(1, 96, 3).Data
+	y := make([]float32, 96)
+	for _, on := range []bool{false, true} {
+		saved := fastMath
+		SetFastMath(on)
+		if n := testing.AllocsPerRun(100, func() {
+			MulAddBatched32(dst, a, b)
+			ExpSlice32(y, x)
+		}); n != 0 {
+			t.Fatalf("fastMath=%v: f32 kernels allocated %v per run", on, n)
+		}
+		SetFastMath(saved)
+	}
+}
+
+func BenchmarkMulAddBatched32DecodeShape(b *testing.B) {
+	a := dense32Rand(8, 24, 1)
+	bm := dense32Rand(24, 96, 2)
+	dst := NewDense32(8, 96)
+	b.SetBytes(4 * int64(len(a.Data)+len(bm.Data)+len(dst.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddBatched32(dst, a, bm)
+	}
+}
+
+func BenchmarkMulAddBatched32FMADecodeShape(b *testing.B) {
+	a := dense32Rand(8, 24, 1)
+	bm := dense32Rand(24, 96, 2)
+	dst := NewDense32(8, 96)
+	saved := fastMath
+	SetFastMath(true)
+	defer SetFastMath(saved)
+	b.SetBytes(4 * int64(len(a.Data)+len(bm.Data)+len(dst.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddBatched32(dst, a, bm)
+	}
+}
+
+func BenchmarkExpSlice32_96(b *testing.B) {
+	x := dense32Rand(1, 96, 1).Data
+	dst := make([]float32, 96)
+	b.SetBytes(4 * 2 * 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpSlice32(dst, x)
+	}
+}

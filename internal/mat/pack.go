@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"sync"
+
+	"repro/internal/par"
+)
+
+// Packed cache-blocked backward GEMM fast paths. MulATB and MulABT feed
+// BPTT's gradient products ((T·b)-row activations against gate panels);
+// above packMinFlops they transpose one operand once into pooled
+// scratch and then run the batched AVX2 kernel (gemmAVX2, or its tiled
+// portable fallback) over contiguous rows, instead of the strided
+// axpy/dot loops the small-shape paths keep.
+//
+// Bit-compatibility: both fast paths reproduce the small-shape paths'
+// bits exactly, so the threshold (and any future retuning of it) can
+// never change a trained weight:
+//
+//   - MulATB accumulates directly into dst with ascending-k adds — the
+//     same per-element rounding sequence as the axpy loops.
+//
+//   - MulABT's reference rounds each dot product fully before the
+//     single add into dst. The fast path preserves that by accumulating
+//     into a zeroed scratch panel (ascending-k from zero computes the
+//     dot's bits exactly) and then adding the panel to dst elementwise.
+
+const (
+	// packMinFlops is the multiply-add count above which the packed
+	// paths win: below it the extra transpose pass and pool traffic cost
+	// more than the strided reads they remove (paired-measured at the
+	// BPTT shapes; see TestPairedBackwardGEMMMeasure).
+	packMinFlops = 1 << 14
+	// packTile is the square blocking granule of the transpose, sized so
+	// a tile of the source and destination both sit in L1.
+	packTile = 32
+)
+
+// packPool recycles transpose/panel scratch across calls. Training
+// shards call MulATB/MulABT concurrently, so the scratch cannot be a
+// package global; a Pool keeps the steady state allocation-free per P
+// without serializing the shards.
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func packGet(n int) *[]float64 {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func packPut(p *[]float64) { packPool.Put(p) }
+
+// transposeInto writes aᵀ (c×r) into dst, tile-blocked so neither side
+// streams with a large stride.
+func transposeInto(dst []float64, a *Dense) {
+	r, c := a.Rows, a.Cols
+	for i0 := 0; i0 < c; i0 += packTile {
+		i1 := i0 + packTile
+		if i1 > c {
+			i1 = c
+		}
+		for k0 := 0; k0 < r; k0 += packTile {
+			k1 := k0 + packTile
+			if k1 > r {
+				k1 = r
+			}
+			for i := i0; i < i1; i++ {
+				drow := dst[i*r : i*r+r]
+				for k := k0; k < k1; k++ {
+					drow[k] = a.Data[k*c+i]
+				}
+			}
+		}
+	}
+}
+
+// gemmRaw computes dst += a·b over raw row-major slices (m×kk, kk×n,
+// m×n), each element's k terms ascending: the AVX2 kernel where
+// enabled, the 4-column register tiles otherwise, and a scalar column
+// tail — all bit-identical to MulAdd's rounding sequence.
+func gemmRaw(dst, a, b []float64, m, kk, n int) {
+	if m == 0 || kk == 0 || n == 0 {
+		return
+	}
+	n4 := n &^ 3
+	if n4 > 0 {
+		if useBatchASM {
+			gemmAVX2(&dst[0], &a[0], &b[0], m, kk, n)
+		} else {
+			for i := 0; i < m; i++ {
+				arow := a[i*kk : i*kk+kk]
+				drow := dst[i*n : i*n+n]
+				for j := 0; j+4 <= n4; j += 4 {
+					s0, s1, s2, s3 := drow[j], drow[j+1], drow[j+2], drow[j+3]
+					for k := 0; k < kk; k++ {
+						al := arow[k]
+						brow := b[k*n+j : k*n+j+4]
+						s0 += al * brow[0]
+						s1 += al * brow[1]
+						s2 += al * brow[2]
+						s3 += al * brow[3]
+					}
+					drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+				}
+			}
+		}
+	}
+	for j := n4; j < n; j++ {
+		for i := 0; i < m; i++ {
+			arow := a[i*kk : i*kk+kk]
+			s := dst[i*n+j]
+			for k := 0; k < kk; k++ {
+				s += arow[k] * b[k*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// mulATBPacked computes dst += aᵀ·b by transposing a once into pooled
+// scratch and running the contiguous kernel, row-parallel above the
+// parallel threshold. Bit-identical to MulATB's small-shape paths.
+func mulATBPacked(dst, a, b *Dense) {
+	m, n, kk := a.Cols, b.Cols, a.Rows
+	sp := packGet(m * kk)
+	at := *sp
+	transposeInto(at, a)
+	rowFlops := kk * n
+	if m*rowFlops < parMinFlops || par.Procs() == 1 {
+		gemmRaw(dst.Data, at, b.Data, m, kk, n)
+	} else {
+		par.For(m, gemmGrain(rowFlops), func(lo, hi int) {
+			gemmRaw(dst.Data[lo*n:hi*n], at[lo*kk:hi*kk], b.Data, hi-lo, kk, n)
+		})
+	}
+	packPut(sp)
+}
+
+// mulABTPanelRows computes dst[lo:hi] += a[lo:hi]·bt through a zeroed
+// pooled panel, preserving MulABT's dot-then-add rounding (see the file
+// comment). Named helper so the serial path allocates no closure.
+func mulABTPanelRows(dst, a *Dense, bt []float64, lo, hi, kk, n int) {
+	pp := packGet((hi - lo) * n)
+	p := *pp
+	clear(p)
+	gemmRaw(p, a.Data[lo*kk:hi*kk], bt, hi-lo, kk, n)
+	d := dst.Data[lo*n : hi*n]
+	for i, v := range p {
+		d[i] += v
+	}
+	packPut(pp)
+}
+
+// mulABTPacked computes dst += a·bᵀ by transposing b once into pooled
+// scratch and running the contiguous kernel per row panel,
+// row-parallel above the parallel threshold. Bit-identical to MulABT's
+// small-shape paths for every dst (zeroed or not).
+func mulABTPacked(dst, a, b *Dense) {
+	m, kk, n := a.Rows, a.Cols, b.Rows
+	sp := packGet(kk * n)
+	bt := *sp
+	transposeInto(bt, b)
+	rowFlops := kk * n
+	if m*rowFlops < parMinFlops || par.Procs() == 1 {
+		mulABTPanelRows(dst, a, bt, 0, m, kk, n)
+	} else {
+		par.For(m, gemmGrain(rowFlops), func(lo, hi int) {
+			mulABTPanelRows(dst, a, bt, lo, hi, kk, n)
+		})
+	}
+	packPut(sp)
+}

@@ -1,0 +1,199 @@
+package mat
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// mulATBRef is the pre-pack serial MulATB loop (k outer, axpy rows),
+// kept as the bit-exactness reference for the packed path.
+func mulATBRef(dst, a, b *Dense) {
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : k*n+n]
+		for i, av := range arow {
+			axpy(av, brow, dst.Row(i))
+		}
+	}
+}
+
+// mulABTRef is the pre-pack MulABT loop (full dot rounded before the
+// single add into dst), the reference the zeroed-panel trick must
+// reproduce for every dst — zeroed or mid-accumulation.
+func mulABTRef(dst, a, b *Dense) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] += dot(arow, b.Row(j))
+		}
+	}
+}
+
+// packShapes spans both sides of packMinFlops, BPTT-like panels, and
+// tails in every dimension (odd k, odd n, sub-tile m).
+var packShapes = [][3]int{ // {k, m, n} for ATB: a is k×m, b is k×n
+	{768, 72, 192}, {768, 48, 192}, {96, 24, 96}, // BPTT gradient panels
+	{33, 7, 129}, {65, 3, 5}, {129, 31, 33}, // tails everywhere
+	{8, 4, 8}, {1, 1, 1}, {64, 64, 64},
+	{40, 100, 3}, {40, 3, 100},
+}
+
+// TestMulATBPackedBitExact checks the packed path (called directly, so
+// shapes below the dispatch threshold are covered too) and the public
+// MulATB against the pre-pack reference, bit-for-bit, on both kernel
+// paths, accumulating into a nonzero dst.
+func TestMulATBPackedBitExact(t *testing.T) {
+	withBatchASM(t, func(t *testing.T) {
+		for _, sh := range packShapes {
+			k, m, n := sh[0], sh[1], sh[2]
+			a := denseRand(k, m, 1)
+			b := denseRand(k, n, 2)
+			want := denseRand(m, n, 3)
+			got1 := want.Clone()
+			got2 := want.Clone()
+			mulATBRef(want, a, b)
+			mulATBPacked(got1, a, b)
+			MulATB(got2, a, b)
+			for i := range want.Data {
+				if math.Float64bits(got1.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("packed %dx%dx%d: elem %d: got %x want %x",
+						k, m, n, i, math.Float64bits(got1.Data[i]), math.Float64bits(want.Data[i]))
+				}
+				if math.Float64bits(got2.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("MulATB %dx%dx%d: elem %d: got %x want %x",
+						k, m, n, i, math.Float64bits(got2.Data[i]), math.Float64bits(want.Data[i]))
+				}
+			}
+		}
+	})
+}
+
+// TestMulABTPackedBitExact is the MulABT counterpart. The nonzero dst
+// matters doubly here: the attention backward accumulates MulABT into a
+// running gradient, and the zeroed-panel construction must keep the
+// dot-then-single-add rounding for those call sites.
+func TestMulABTPackedBitExact(t *testing.T) {
+	withBatchASM(t, func(t *testing.T) {
+		for _, sh := range packShapes {
+			k, m, n := sh[0], sh[1], sh[2] // a is m×k, b is n×k
+			a := denseRand(m, k, 1)
+			b := denseRand(n, k, 2)
+			want := denseRand(m, n, 3)
+			got1 := want.Clone()
+			got2 := want.Clone()
+			mulABTRef(want, a, b)
+			mulABTPacked(got1, a, b)
+			MulABT(got2, a, b)
+			for i := range want.Data {
+				if math.Float64bits(got1.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("packed %dx%dx%d: elem %d: got %x want %x",
+						m, k, n, i, math.Float64bits(got1.Data[i]), math.Float64bits(want.Data[i]))
+				}
+				if math.Float64bits(got2.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("MulABT %dx%dx%d: elem %d: got %x want %x",
+						m, k, n, i, math.Float64bits(got2.Data[i]), math.Float64bits(want.Data[i]))
+				}
+			}
+		}
+	})
+}
+
+// TestPackedSteadyStateNoAlloc pins the packed serial paths at zero
+// steady-state allocations (one warm call fills the pool; afterwards
+// every buffer is recycled).
+func TestPackedSteadyStateNoAlloc(t *testing.T) {
+	if par.Procs() > 1 {
+		t.Skip("parallel path allocates its par.For closure by design")
+	}
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool.Put randomly drops items, so the pool is not allocation-free under the detector")
+	}
+	a := denseRand(768, 48, 1)
+	b := denseRand(768, 192, 2)
+	dstT := NewDense(48, 192)
+	a2 := denseRand(768, 192, 3)
+	b2 := denseRand(48, 192, 4)
+	dst2 := NewDense(768, 48)
+	MulATB(dstT, a, b)
+	MulABT(dst2, a2, b2)
+	if n := testing.AllocsPerRun(50, func() {
+		MulATB(dstT, a, b)
+		MulABT(dst2, a2, b2)
+	}); n != 0 {
+		t.Fatalf("packed backward GEMMs allocated %v per run", n)
+	}
+}
+
+// TestPairedBackwardGEMMMeasure reports drift-resistant paired timings
+// of the packed backward GEMMs against the pre-pack loops at the BPTT
+// gradient shapes (SeqLen·Batch = 768 activation rows against the
+// 4H-wide gate panels of the default H=48 config). Variants alternate
+// round-robin in one process and per-round medians are compared, the
+// same methodology as TestPairedKernelMeasure. Run with -v; never fails.
+func TestPairedBackwardGEMMMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement, skipped in -short")
+	}
+	const rows, h = 768, 48
+	a := denseRand(rows, h, 1)    // layer activations
+	g := denseRand(rows, 4*h, 2)  // gate-panel gradient
+	wgrad := NewDense(h, 4*h)     // weight gradient (ATB dst)
+	wh := denseRand(h, 4*h, 3)    // recurrent weights as n×k for ABT
+	gw := denseRand(rows, 4*h, 4) // upstream gradient (ABT a)
+	dh := NewDense(rows, h)       // hidden gradient (ABT dst)
+
+	const rounds, iters = 120, 8
+	measure := func(f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return time.Since(start)
+	}
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+
+	var atbOld, atbPacked, abtOld, abtPacked []time.Duration
+	for r := 0; r < rounds; r++ {
+		atbOld = append(atbOld, measure(func() { mulATBRef(wgrad, a, g) }))
+		atbPacked = append(atbPacked, measure(func() { mulATBPacked(wgrad, a, g) }))
+		abtOld = append(abtOld, measure(func() { mulABTRef(dh, gw, wh) }))
+		abtPacked = append(abtPacked, measure(func() { mulABTPacked(dh, gw, wh) }))
+	}
+	t.Logf("MulATB %dx%dx%d  loop   median %v per %d calls", rows, h, 4*h, median(atbOld), iters)
+	t.Logf("MulATB %dx%dx%d  packed median %v per %d calls", rows, h, 4*h, median(atbPacked), iters)
+	t.Logf("MulABT %dx%dx%d  loop   median %v per %d calls", rows, 4*h, h, median(abtOld), iters)
+	t.Logf("MulABT %dx%dx%d  packed median %v per %d calls", rows, 4*h, h, median(abtPacked), iters)
+}
+
+func BenchmarkMulATBPackedBPTTShape(b *testing.B) {
+	a := denseRand(768, 48, 1)
+	g := denseRand(768, 192, 2)
+	dst := NewDense(48, 192)
+	b.SetBytes(8 * int64(len(a.Data)+len(g.Data)+len(dst.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulATB(dst, a, g)
+	}
+}
+
+func BenchmarkMulABTPackedBPTTShape(b *testing.B) {
+	a := denseRand(768, 192, 1)
+	w := denseRand(48, 192, 2)
+	dst := NewDense(768, 48)
+	b.SetBytes(8 * int64(len(a.Data)+len(w.Data)+len(dst.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulABT(dst, a, w)
+	}
+}

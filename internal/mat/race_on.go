@@ -1,0 +1,9 @@
+//go:build race
+
+package mat
+
+// raceEnabled reports whether the race detector is compiled in. Alloc
+// pins over sync.Pool-backed paths skip under the detector: race-mode
+// Pool.Put randomly drops items, so steady state is not allocation-free
+// by design there.
+const raceEnabled = true

@@ -1,0 +1,325 @@
+package nn
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/mat"
+)
+
+// Float32 serving fast path (DESIGN.md §6.4). LSTM32 is a frozen
+// float32 copy of a trained LSTM's weights, and Fleet32 is the batched
+// decode fleet that runs on it: the step GEMMs and the gate
+// nonlinearities all execute in float32 at twice the f64 kernels' AVX2
+// lane width (mat/act32.go holds the native sigmoid/tanh). The facade
+// stays float64 — InputRow hands out f64 staging rows and Step returns
+// f64 logits — so the decode scheduler and samplers in internal/core
+// are precision-blind.
+//
+// Like every decode kernel in this codebase, the f32 step is fully
+// deterministic and batch-composition invariant: each GEMM output
+// element accumulates its k terms in ascending order whatever the
+// batch, and activations are per-row. What f32 gives up is bit-parity
+// with the f64 path — outputs diverge within the tolerance validated
+// at snapshot publish (core.ValidateF32), not byte-identity.
+
+// StepFleet is the decode-fleet surface the batching engines drive;
+// *Fleet (float64, bit-exact) and *Fleet32 (float32 fast path) both
+// implement it. See Fleet for the row-index protocol.
+type StepFleet interface {
+	Rows() int
+	Admit() int
+	Retire(row int) (moved int)
+	InputRow(i int) []float64
+	Step(rows []int) *mat.Dense
+}
+
+var (
+	_ StepFleet = (*Fleet)(nil)
+	_ StepFleet = (*Fleet32)(nil)
+)
+
+// lstmLayer32 holds one layer's weights narrowed to float32. Gate
+// order matches lstmLayer: input, forget, cell (g), output.
+type lstmLayer32 struct {
+	first bool
+	wx    *mat.Dense32 // [in x 4H]
+	wh    *mat.Dense32 // [H x 4H]
+	b     []float32    // [4H]
+}
+
+// LSTM32 is a frozen float32 snapshot of an LSTM's weights for the f32
+// serving path. It holds no gradients and cannot train; build one per
+// published model snapshot with Convert32.
+type LSTM32 struct {
+	Cfg    Config
+	layers []*lstmLayer32
+	wy     *mat.Dense32 // [H x OutputDim]
+	by     []float32    // [OutputDim]
+}
+
+// Convert32 returns a float32 copy of the network's weights, each
+// element rounded once (to nearest even). The copy is immutable by
+// convention and safe to share across fleets and goroutines.
+func (n *LSTM) Convert32() *LSTM32 {
+	out := &LSTM32{Cfg: n.Cfg}
+	for _, l := range n.layers {
+		out.layers = append(out.layers, &lstmLayer32{
+			first: l.first,
+			wx:    l.wx.Value.Dense32(),
+			wh:    l.wh.Value.Dense32(),
+			b:     l.b.Value.Dense32().Data,
+		})
+	}
+	out.wy = n.wy.Value.Dense32()
+	out.by = n.by.Value.Dense32().Data
+	return out
+}
+
+// alignedDense32 is alignedDense for float32 slabs: backing array on a
+// cache-line boundary so concurrently stepped per-shard fleets never
+// share a line.
+func alignedDense32(r, c int) *mat.Dense32 {
+	n := r * c
+	const pad = cacheLine / 4 // float32s per line
+	raw := make([]float32, n+pad)
+	off := 0
+	if n > 0 {
+		addr := uintptr(unsafe.Pointer(&raw[0]))
+		if rem := addr % cacheLine; rem != 0 {
+			off = int((cacheLine - rem) / 4)
+		}
+	}
+	return mat.FromSlice32(r, c, raw[off:off+n])
+}
+
+// Fleet32 is the float32 counterpart of Fleet: per-stream hidden/cell
+// state lives in f32 slabs, and the step GEMMs and gate activations
+// run the native f32 kernels. Admission, retire compaction, and the
+// Step protocol are identical to Fleet. Not safe for concurrent use;
+// distinct Fleet32s may be stepped concurrently.
+type Fleet32 struct {
+	net *LSTM32
+	n   int
+	cap int
+
+	// Persistent per-stream state, f32, one row per stream per layer.
+	h, c []*mat.Dense32 // [cap x H]
+
+	// Staging and scratch. x is the float64 input facade (InputRow);
+	// x32 is its narrowed copy that actually feeds the layer-0 GEMM.
+	x   *mat.Dense   // [cap x InputDim] f64 staging
+	x32 *mat.Dense32 // [cap x InputDim]
+
+	gh, gc []*mat.Dense32 // gathered subset state [cap x H]
+	z      *mat.Dense32   // gate pre-activations [cap x 4H]
+	y32    *mat.Dense32   // head logits, f32 [cap x OutputDim]
+	y      *mat.Dense     // widened logits returned to the caller
+
+	// Preallocated view headers (no allocation in Step).
+	xv         mat.Dense
+	yv         mat.Dense
+	x32v, zv   mat.Dense32
+	y32v       mat.Dense32
+	ghv, gcv   []mat.Dense32
+	rx         mat.Dense   // 1-row f64 cursor for the sparsity dispatch
+	rx32, rz32 mat.Dense32 // 1-row f32 cursors for the layer-0 GEMMs
+
+	// tanh(c) scratch, one row.
+	tc32 []float32
+}
+
+// NewFleet32 returns an empty f32 fleet over the converted weights
+// with initial capacity for the given number of streams.
+func (n *LSTM32) NewFleet32(capacity int) *Fleet32 {
+	if capacity < 1 {
+		capacity = 1
+	}
+	f := &Fleet32{net: n}
+	f.alloc(capacity)
+	return f
+}
+
+func (f *Fleet32) alloc(capacity int) {
+	cfg := f.net.Cfg
+	nl := len(f.net.layers)
+	h := make([]*mat.Dense32, nl)
+	c := make([]*mat.Dense32, nl)
+	for l := 0; l < nl; l++ {
+		h[l] = alignedDense32(capacity, cfg.HiddenDim)
+		c[l] = alignedDense32(capacity, cfg.HiddenDim)
+		if f.n > 0 {
+			copy(h[l].Data, f.h[l].Data[:f.n*cfg.HiddenDim])
+			copy(c[l].Data, f.c[l].Data[:f.n*cfg.HiddenDim])
+		}
+	}
+	f.h, f.c = h, c
+	f.cap = capacity
+	f.x = alignedDense(capacity, cfg.InputDim)
+	f.x32 = alignedDense32(capacity, cfg.InputDim)
+	f.gh = make([]*mat.Dense32, nl)
+	f.gc = make([]*mat.Dense32, nl)
+	for l := 0; l < nl; l++ {
+		f.gh[l] = alignedDense32(capacity, cfg.HiddenDim)
+		f.gc[l] = alignedDense32(capacity, cfg.HiddenDim)
+	}
+	f.z = alignedDense32(capacity, 4*cfg.HiddenDim)
+	f.y32 = alignedDense32(capacity, cfg.OutputDim)
+	f.y = alignedDense(capacity, cfg.OutputDim)
+	f.ghv = make([]mat.Dense32, nl)
+	f.gcv = make([]mat.Dense32, nl)
+	f.tc32 = make([]float32, cfg.HiddenDim)
+}
+
+// Rows returns the number of live streams.
+func (f *Fleet32) Rows() int { return f.n }
+
+// Admit adds a stream with zero initial state and returns its row
+// index (see Fleet.Admit).
+func (f *Fleet32) Admit() int {
+	if f.n == f.cap {
+		f.alloc(2 * f.cap)
+	}
+	row := f.n
+	f.n++
+	hd := f.net.Cfg.HiddenDim
+	for l := range f.h {
+		clear(f.h[l].Row(row)[:hd])
+		clear(f.c[l].Row(row)[:hd])
+	}
+	return row
+}
+
+// Retire removes the stream in the given row by swap-remove compaction
+// (see Fleet.Retire).
+func (f *Fleet32) Retire(row int) (moved int) {
+	if row < 0 || row >= f.n {
+		panic(fmt.Sprintf("nn: Fleet32.Retire row %d of %d", row, f.n))
+	}
+	last := f.n - 1
+	moved = -1
+	if row != last {
+		for l := range f.h {
+			copy(f.h[l].Row(row), f.h[l].Row(last))
+			copy(f.c[l].Row(row), f.c[l].Row(last))
+		}
+		moved = last
+	}
+	f.n = last
+	return moved
+}
+
+// InputRow returns the i-th float64 staging buffer for the next Step
+// (slot i feeds rows[i]); Step narrows it to f32 internally. The
+// caller must fully overwrite it before Step.
+func (f *Fleet32) InputRow(i int) []float64 { return f.x.Row(i) }
+
+func viewRows32(v *mat.Dense32, m *mat.Dense32, k int) *mat.Dense32 {
+	v.Rows, v.Cols = k, m.Cols
+	v.Data = m.Data[:k*m.Cols]
+	return v
+}
+
+func viewRow32(v *mat.Dense32, m *mat.Dense32, i int) *mat.Dense32 {
+	v.Rows, v.Cols = 1, m.Cols
+	v.Data = m.Data[i*m.Cols : (i+1)*m.Cols]
+	return v
+}
+
+// Step advances the streams in rows[i] by one LSTM step on the f32
+// path and returns the [len(rows) x OutputDim] logits widened to
+// float64 (valid until the next Step). The schedule mirrors
+// Fleet.Step; per stream the result is deterministic and independent
+// of which other streams share the batch.
+func (f *Fleet32) Step(rows []int) *mat.Dense {
+	k := len(rows)
+	if k == 0 {
+		return viewRows(&f.yv, f.y, 0)
+	}
+	net := f.net
+	hd := net.Cfg.HiddenDim
+
+	// Gather the subset's state into contiguous rows.
+	for l := range f.h {
+		gh, gc := f.gh[l], f.gc[l]
+		hl, cl := f.h[l], f.c[l]
+		for i, r := range rows {
+			copy(gh.Row(i), hl.Row(r))
+			copy(gc.Row(i), cl.Row(r))
+		}
+	}
+
+	// Narrow the staged f64 inputs once; the one-hot and bounded-scalar
+	// encodings the decode path feeds are exactly representable, so this
+	// rounds nothing in practice.
+	in64 := viewRows(&f.xv, f.x, k)
+	for i := 0; i < len(in64.Data); i++ {
+		f.x32.Data[i] = float32(in64.Data[i])
+	}
+
+	in := viewRows32(&f.x32v, f.x32, k)
+	Z := viewRows32(&f.zv, f.z, k)
+	for l, layer := range net.layers {
+		Z.Zero()
+		if layer.first {
+			// Same per-row sparse-vs-dense dispatch as Fleet, decided on
+			// the staged f64 row (identical nonzero pattern).
+			for i := 0; i < k; i++ {
+				xr64 := viewRow(&f.rx, in64, i)
+				xr := viewRow32(&f.rx32, in, i)
+				zr := viewRow32(&f.rz32, Z, i)
+				if sparseEnough(xr64) {
+					mat.MulAddSparse32(zr, xr, layer.wx)
+				} else {
+					mat.MulAddBatched32(zr, xr, layer.wx)
+				}
+			}
+		} else {
+			mat.MulAddBatched32(Z, in, layer.wx)
+		}
+		H := viewRows32(&f.ghv[l], f.gh[l], k)
+		C := viewRows32(&f.gcv[l], f.gc[l], k)
+		mat.MulAddBatched32(Z, H, layer.wh)
+		mat.AddBiasRows32(Z, layer.b)
+		// Gate nonlinearities: native f32 activations in place on each
+		// gate segment (mat/act32.go; eight lanes on amd64, bit-identical
+		// portable fallback), then the cell/hidden update in plain f32.
+		for i := 0; i < k; i++ {
+			zrow := Z.Row(i)
+			hrow, crow := H.Row(i), C.Row(i)
+			mat.SigmoidSlice32(zrow[:2*hd], zrow[:2*hd])         // i and f gates
+			mat.TanhSlice32(zrow[2*hd:3*hd], zrow[2*hd:3*hd])    // g gate
+			mat.SigmoidSlice32(zrow[3*hd:4*hd], zrow[3*hd:4*hd]) // o gate
+			for j := 0; j < hd; j++ {
+				crow[j] = zrow[hd+j]*crow[j] + zrow[j]*zrow[2*hd+j]
+			}
+			mat.TanhSlice32(f.tc32, crow[:hd])
+			for j := 0; j < hd; j++ {
+				hrow[j] = zrow[3*hd+j] * f.tc32[j]
+			}
+		}
+		in = H
+	}
+	Y := viewRows32(&f.y32v, f.y32, k)
+	Y.Zero()
+	mat.MulAddBatched32(Y, in, net.wy)
+	mat.AddBiasRows32(Y, net.by)
+
+	// Scatter the advanced state back to the streams' home rows.
+	for l := range f.h {
+		gh, gc := f.gh[l], f.gc[l]
+		hl, cl := f.h[l], f.c[l]
+		for i, r := range rows {
+			copy(hl.Row(r), gh.Row(i))
+			copy(cl.Row(r), gc.Row(i))
+		}
+	}
+
+	// Widen the logits for the precision-blind consumers (softmax,
+	// sampling, and tracing all stay f64).
+	out := viewRows(&f.yv, f.y, k)
+	for i, v := range Y.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}

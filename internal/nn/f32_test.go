@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// TestFleet32BatchCompositionInvariant drives each stream through a
+// shared Fleet32 in deterministic varying subsets and through a
+// dedicated single-stream Fleet32, and asserts bit-identical logits:
+// the f32 path trades bit-parity with f64, never determinism or
+// batch-composition invariance.
+func TestFleet32BatchCompositionInvariant(t *testing.T) {
+	net32 := fleetTestNet().Convert32()
+	const streams = 6
+	f := net32.NewFleet32(streams)
+	solo := make([]*Fleet32, streams)
+	rows := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		rows[s] = f.Admit()
+		solo[s] = net32.NewFleet32(1)
+		solo[s].Admit()
+	}
+	steps := make([]int, streams)
+	pick := rng.New(99)
+	for round := 0; round < 60; round++ {
+		var sub []int
+		for s := 0; s < streams; s++ {
+			if round == 0 || pick.Float64() < 0.6 {
+				sub = append(sub, s)
+			}
+		}
+		batch := make([]int, len(sub))
+		for i, s := range sub {
+			batch[i] = rows[s]
+			fleetInput(f.InputRow(i), s, steps[s])
+		}
+		y := f.Step(batch)
+		for i, s := range sub {
+			fleetInput(solo[s].InputRow(0), s, steps[s])
+			want := solo[s].Step([]int{0})
+			got := y.Row(i)
+			for j := range want.Row(0) {
+				if math.Float64bits(got[j]) != math.Float64bits(want.Row(0)[j]) {
+					t.Fatalf("round %d stream %d logit %d: batched %v, solo %v",
+						round, s, j, got[j], want.Row(0)[j])
+				}
+			}
+			steps[s]++
+		}
+	}
+}
+
+// TestFleet32TracksF64 bounds the f32 fleet's logit divergence from the
+// bit-exact f64 fleet over a multi-step decode. This is a smoke bound
+// on raw logits (the serving-level distribution tolerance is validated
+// in core.ValidateF32); f32 weights carry ~1e-7 relative error and the
+// gate nonlinearities are contraction maps, so drift stays small over
+// any window the decode path uses.
+func TestFleet32TracksF64(t *testing.T) {
+	net := fleetTestNet()
+	net32 := net.Convert32()
+	const streams = 4
+	f64fleet := net.NewFleet(streams)
+	f32fleet := net32.NewFleet32(streams)
+	batch := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		batch[s] = f64fleet.Admit()
+		f32fleet.Admit()
+	}
+	const tol = 1e-4
+	for round := 0; round < 96; round++ {
+		for i := range batch {
+			fleetInput(f64fleet.InputRow(i), i, round)
+			fleetInput(f32fleet.InputRow(i), i, round)
+		}
+		y64 := f64fleet.Step(batch)
+		y32 := f32fleet.Step(batch)
+		for i := range batch {
+			r64, r32 := y64.Row(i), y32.Row(i)
+			for j := range r64 {
+				if d := math.Abs(r64[j] - r32[j]); d > tol || math.IsNaN(d) {
+					t.Fatalf("round %d stream %d logit %d: f64 %v f32 %v (|Δ|=%g > %g)",
+						round, i, j, r64[j], r32[j], d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestFleet32RetireCompaction mirrors the f64 compaction test: retire
+// first/middle/last rows and check survivors keep producing logits
+// bit-identical to their dedicated single-stream reference fleets.
+func TestFleet32RetireCompaction(t *testing.T) {
+	net32 := fleetTestNet().Convert32()
+	const streams = 5
+	f := net32.NewFleet32(2) // force growth too
+	solo := make([]*Fleet32, streams)
+	rows := make([]int, streams)
+	owner := make(map[int]int)
+	for s := 0; s < streams; s++ {
+		rows[s] = f.Admit()
+		owner[rows[s]] = s
+		solo[s] = net32.NewFleet32(1)
+		solo[s].Admit()
+	}
+	live := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	steps := make([]int, streams)
+
+	stepAll := func() {
+		t.Helper()
+		var sub []int
+		for s := 0; s < streams; s++ {
+			if live[s] {
+				sub = append(sub, s)
+			}
+		}
+		batch := make([]int, len(sub))
+		for i, s := range sub {
+			batch[i] = rows[s]
+			fleetInput(f.InputRow(i), s, steps[s])
+		}
+		y := f.Step(batch)
+		for i, s := range sub {
+			fleetInput(solo[s].InputRow(0), s, steps[s])
+			want := solo[s].Step([]int{0}).Row(0)
+			for j := range want {
+				if y.Row(i)[j] != want[j] {
+					t.Fatalf("stream %d logit %d: fleet %v, solo %v", s, j, y.Row(i)[j], want[j])
+				}
+			}
+			steps[s]++
+		}
+	}
+	retire := func(s int) {
+		t.Helper()
+		moved := f.Retire(rows[s])
+		if moved >= 0 {
+			o := owner[moved]
+			rows[o] = rows[s]
+			owner[rows[s]] = o
+			delete(owner, moved)
+		} else {
+			delete(owner, rows[s])
+		}
+		live[s] = false
+	}
+
+	stepAll()
+	retire(0)
+	stepAll()
+	retire(2)
+	stepAll()
+	lastRow := f.Rows() - 1
+	retire(owner[lastRow])
+	stepAll()
+	if f.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", f.Rows())
+	}
+}
+
+// TestFleet32StepAllocFree pins the f32 decode step at zero
+// steady-state allocations.
+func TestFleet32StepAllocFree(t *testing.T) {
+	defer par.SetProcs(par.SetProcs(1))
+	net32 := fleetTestNet().Convert32()
+	const streams = 8
+	f := net32.NewFleet32(streams)
+	batch := make([]int, streams)
+	for s := 0; s < streams; s++ {
+		batch[s] = f.Admit()
+	}
+	for i := range batch {
+		fleetInput(f.InputRow(i), i, 0)
+	}
+	f.Step(batch) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := range batch {
+			in := f.InputRow(i)
+			clear(in)
+			if i%2 == 1 {
+				in[i%len(in)] = 1
+			} else {
+				for j := range in {
+					in[j] = float64(i*7+j) * 0.125
+				}
+			}
+		}
+		f.Step(batch)
+	}); allocs != 0 {
+		t.Fatalf("f32 fleet step allocates %v times, want 0", allocs)
+	}
+}

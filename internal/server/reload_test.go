@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -139,6 +140,72 @@ func TestReloadEndpoint(t *testing.T) {
 	}
 }
 
+// TestPrecisionSurvivesReload pins the serving precision contract: a
+// server configured for the f32 fast path reports it in /model, serves
+// deterministically, and keeps serving f32 across hot reloads (the
+// rebuilt engine inherits the spec), with response bytes unchanged by
+// the swap. A bad precision surfaces as a clean engine error, like a
+// bad engine kind.
+func TestPrecisionSurvivesReload(t *testing.T) {
+	s := freshServer(t)
+	s.BatchWindow = 0
+	s.Precision = string(core.PrecisionF32)
+	h := s.Handler()
+
+	rec := do(t, h, "GET", "/model", "")
+	var meta map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta["precision"] != "f32" {
+		t.Fatalf("model metadata precision = %v, want f32", meta["precision"])
+	}
+
+	body := `{"periods": 24, "seed": 7, "format": "json"}`
+	before := do(t, h, "POST", "/generate", body)
+	if before.Code != http.StatusOK {
+		t.Fatalf("f32 generate: status %d: %s", before.Code, before.Body.String())
+	}
+	// The engine the first request built must be an f32 decode: its
+	// response equals the model's own f32 reference bytes.
+	ref := refF32Bytes(t, s, 7, 24)
+	if before.Body.String() != ref {
+		t.Fatal("served f32 response differs from the model's f32 reference decode")
+	}
+
+	s.Reload(s.currentModel(), s.catalog)
+	after := do(t, h, "POST", "/generate", body)
+	if after.Code != http.StatusOK {
+		t.Fatalf("post-reload generate: status %d: %s", after.Code, after.Body.String())
+	}
+	if after.Body.String() != before.Body.String() {
+		t.Fatal("f32 response bytes changed across hot reload")
+	}
+
+	s.Precision = "f16"
+	s.Reload(s.currentModel(), s.catalog) // drop the cached engine
+	rec = do(t, h, "POST", "/generate", body)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("bad precision: status %d, want 500", rec.Code)
+	}
+}
+
+// refF32Bytes decodes one stream through the model's f32 reference
+// path (GenerateBatchF32) and serializes it the way /generate does.
+func refF32Bytes(t *testing.T, s *Server, seed int64, periods int) string {
+	t.Helper()
+	m := s.currentModel()
+	start := m.Flavor.HistoryDays * trace.PeriodsPerDay
+	w := trace.Window{Start: start, End: start + periods}
+	out := m.GenerateBatchF32([]*rng.RNG{rng.New(seed)}, w)
+	tr := core.WithCatalog(out[0], s.catalog)
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
 // TestGenerateRejectsHostileRequests pins the request-validation caps:
 // each of these bodies must get a clean 400, never a hung decode loop
 // or a panic.
@@ -146,14 +213,14 @@ func TestGenerateRejectsHostileRequests(t *testing.T) {
 	s := freshServer(t)
 	h := s.Handler()
 	cases := map[string]string{
-		"huge scale":           `{"periods": 4, "scale": 1e300}`,
-		"scale above cap":      `{"periods": 4, "scale": 1000001}`,
-		"negative scale":       `{"periods": 4, "scale": -2}`,
-		"negative start":       `{"periods": 4, "start_period": -5}`,
-		"absurd start":         `{"periods": 4, "start_period": 999999999999999}`,
-		"garbage body":         `{"periods": !!!`,
-		"wrong type":           `{"periods": "many"}`,
-		"zero periods":         `{"periods": 0}`,
+		"huge scale":      `{"periods": 4, "scale": 1e300}`,
+		"scale above cap": `{"periods": 4, "scale": 1000001}`,
+		"negative scale":  `{"periods": 4, "scale": -2}`,
+		"negative start":  `{"periods": 4, "start_period": -5}`,
+		"absurd start":    `{"periods": 4, "start_period": 999999999999999}`,
+		"garbage body":    `{"periods": !!!`,
+		"wrong type":      `{"periods": "many"}`,
+		"zero periods":    `{"periods": 0}`,
 		"huge body": fmt.Sprintf(`{"periods": 4, "format": "%s"}`,
 			strings.Repeat("x", 2<<20)),
 	}

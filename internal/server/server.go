@@ -94,6 +94,11 @@ type Server struct {
 	// DecodeShards is the sharded engine's shard count (<= 0 means
 	// GOMAXPROCS); ignored by the other kinds.
 	DecodeShards int
+	// Precision selects the decode numeric width for every engine kind
+	// ("" or "f64": bit-exact reference; "f32": the float32 fast path,
+	// DESIGN.md §6.4). Set before the first request; like EngineKind it
+	// survives hot reloads — engines rebuilt on Reload keep it.
+	Precision string
 	// TrainInfo optionally carries training-run metadata (cloud, epochs,
 	// seed, wall time, journal path) surfaced under "train" at /metrics.
 	TrainInfo map[string]any
@@ -192,11 +197,12 @@ func (s *Server) snapshot() (*core.Model, *trace.FlavorSet, core.GenEngine, erro
 	}
 	if s.eng == nil {
 		eng, err := core.NewGenEngine(s.model, core.EngineSpec{
-			Kind:     core.EngineKind(s.EngineKind),
-			Window:   s.BatchWindow,
-			MaxBatch: s.MaxBatch,
-			Shards:   s.DecodeShards,
-			Obs:      s.reg,
+			Kind:      core.EngineKind(s.EngineKind),
+			Window:    s.BatchWindow,
+			MaxBatch:  s.MaxBatch,
+			Shards:    s.DecodeShards,
+			Obs:       s.reg,
+			Precision: core.Precision(s.Precision),
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -378,6 +384,10 @@ func (s *Server) modelMeta() map[string]any {
 	if m == nil {
 		return map[string]any{"status": "no model published"}
 	}
+	precision := s.Precision
+	if precision == "" {
+		precision = string(core.PrecisionF64)
+	}
 	return map[string]any{
 		"flavors":        m.Flavor.K,
 		"history_days":   m.Flavor.HistoryDays,
@@ -386,6 +396,7 @@ func (s *Server) modelMeta() map[string]any {
 		"hazard_params":  m.Lifetime.Net.NumParams(),
 		"max_periods":    s.MaxPeriods,
 		"period_seconds": trace.PeriodSeconds,
+		"precision":      precision,
 	}
 }
 

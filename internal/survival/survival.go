@@ -117,13 +117,23 @@ func HazardToPMF(h []float64) []float64 {
 // HazardToSurvival converts hazard to the survival function: S(j) =
 // ∏_{i<=j} (1-h(i)) is the probability the lifetime exceeds bin j.
 func HazardToSurvival(h []float64) []float64 {
-	s := make([]float64, len(h))
+	return HazardToSurvivalInto(make([]float64, len(h)), h)
+}
+
+// HazardToSurvivalInto is HazardToSurvival into a caller-owned buffer
+// (len(dst) must equal len(h)), for hot loops that evaluate many
+// curves — the Table 4 grid sweep converts each subject's hazard once
+// instead of once per grid time. Returns dst.
+func HazardToSurvivalInto(dst, h []float64) []float64 {
+	if len(dst) != len(h) {
+		panic("survival: HazardToSurvivalInto length mismatch")
+	}
 	surv := 1.0
 	for j, hj := range h {
 		surv *= 1 - hj
-		s[j] = surv
+		dst[j] = surv
 	}
-	return s
+	return dst
 }
 
 // PMFToHazard converts a PMF over bins into the discrete hazard.
@@ -302,15 +312,23 @@ const (
 )
 
 // SurvivalAt evaluates the survival function S(t) implied by a discrete
-// hazard at continuous time t under the given interpolation.
+// hazard at continuous time t under the given interpolation. It
+// converts the hazard on every call; loops that evaluate one hazard at
+// many times should convert once and use SurvivalCurveAt.
 func SurvivalAt(t float64, hazard []float64, bins Bins, interp Interpolation) float64 {
+	return SurvivalCurveAt(t, HazardToSurvival(hazard), bins, interp)
+}
+
+// SurvivalCurveAt is SurvivalAt on a precomputed survival curve s
+// (HazardToSurvival of the hazard), the allocation-free form for grid
+// sweeps.
+func SurvivalCurveAt(t float64, s []float64, bins Bins, interp Interpolation) float64 {
 	if t < 0 {
 		return 1
 	}
 	if t >= bins.Horizon() {
 		t = bins.Horizon()
 	}
-	s := HazardToSurvival(hazard)
 	j := bins.Index(math.Min(t, math.Nextafter(bins.Horizon(), 0)))
 	sPrev := 1.0
 	if j > 0 {

@@ -50,6 +50,29 @@ for G in 2 4 8; do
 		awk -v g="$G" '/^Benchmark/ { $1 = $1 "@gomaxprocs=" g; print; print > "/dev/stderr" }' >> "$TMP"
 done
 
+# Precision delta (DESIGN.md §6.4): the f32 serving fast path is only
+# worth its tolerance budget if it actually outruns f64, so report the
+# streams/s ratio of each F32 decode row against its f64 twin (the row
+# with the F32 suffix stripped). Both rows come from the same -bench .
+# run above.
+awk '
+	/^BenchmarkGenerate(Batch|Sharded)LSTM[^ ]*F32(-[0-9]+)? / {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		for (i = 4; i <= NF; i++) if ($i == "streams/s") f32[name] = $(i-1)
+	}
+	/^BenchmarkGenerate(Batch|Sharded)LSTM[^ ]* / && $1 !~ /F32/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		for (i = 4; i <= NF; i++) if ($i == "streams/s") f64[name] = $(i-1)
+	}
+	END {
+		for (n in f32) {
+			base = n; sub(/F32$/, "", base)
+			if (base in f64 && f64[base] > 0)
+				printf "bench.sh: f32 vs f64: %s %.2f streams/s vs %s %.2f (%.2fx)\n", \
+					n, f32[n], base, f64[base], f32[n] / f64[base]
+		}
+	}' "$TMP"
+
 # Tracing-overhead pair (DESIGN.md §7.1): the serve-decode benchmark
 # runs once with request tracing off and once with it on; report the
 # ns/op delta explicitly so a tracing-path regression is visible at a
@@ -84,9 +107,14 @@ awk '
 		gmp = topgmp
 		if (match(name, /@gomaxprocs=[0-9]+/))
 			gmp = substr(name, RSTART+12, RLENGTH-12)
+		# Precision of the kernel under test: the f32 serving-path
+		# benchmarks carry an F32 suffix or a 32 in the kernel name
+		# (Dense32/Fleet32/Slice32); everything else is float64.
+		prec = "f64"
+		if (name ~ /32/) prec = "f32"
 		if (n++) printf ",\n"
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"streams_per_s\": %s, \"gomaxprocs\": %s}", \
-			name, iters, nsop, mbs, bop, allocs, sps, gmp
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"streams_per_s\": %s, \"gomaxprocs\": %s, \"precision\": \"%s\"}", \
+			name, iters, nsop, mbs, bop, allocs, sps, gmp, prec
 	} END { print "" }' "$TMP"
 	echo '  ]'
 	echo '}'

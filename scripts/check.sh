@@ -6,7 +6,8 @@
 # store, the request-trace ring, and the fidelity drift monitor), plus
 # the end-to-end determinism and crash-recovery regression
 # tests (REPRO_PROCS=1 vs 8, observability on/off, kill-and-resume),
-# plus a short-budget fuzz tier over the untrusted decode surfaces.
+# plus a pure-Go kernel tier (REPRO_NOASM under -race) and a
+# short-budget fuzz tier over the untrusted decode surfaces.
 # Run from the repository root: scripts/check.sh
 set -eu
 
@@ -25,22 +26,32 @@ GOMAXPROCS=4 go test -race \
 GOMAXPROCS=4 go test -race -run 'TestHotReloadUnderLoad|TestMetricsShardGauges|TestShardedServerMatchesBatched' \
 	./internal/server
 
+# Pure-Go kernel tier (DESIGN.md §6.4): REPRO_NOASM forces every
+# assembly kernel onto its portable fallback, so the bit-identity
+# contracts (f64 decode determinism, f32 cross-engine identity, GEMM
+# and activation parity) are proven on the exact code non-amd64 hosts
+# run — under -race, which the assembly paths cannot be.
+REPRO_NOASM=1 go test -race ./internal/mat ./internal/nn ./internal/core
+
 # Memory-discipline pins: the per-shard round path, the fleet step
 # kernel, and the par Snapshot poll must stay allocation-free in steady
-# state (AllocsPerRun pins run without -race; the race runtime's
-# instrumentation allocates).
+# state, and the Table4 survival-MSE sweep must hold its pooled-curve
+# allocation budget (AllocsPerRun pins run without -race; the race
+# runtime's instrumentation allocates).
 go test -run 'TestShardedRoundSteadyStateAllocs|TestTracingDisabledRoundAllocs' ./internal/core
 go test -run 'TestFleetStepAllocFree' ./internal/nn
 go test -run 'TestSnapshotZeroAlloc' ./internal/par
+go test -run 'TestTable4SurvivalAllocs' ./internal/experiments
 
 # Short-budget fuzz tier: each target gets a few seconds of coverage-
 # guided input on top of its checked-in seed corpus. Skipped cleanly on
 # toolchains without native fuzzing support.
 if go help testflag 2>/dev/null | grep -q -- '-fuzz '; then
-	go test -run '^$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/core
+	go test -run '^$' -fuzz 'FuzzSnapshotDecode$' -fuzztime 10s ./internal/core
+	go test -run '^$' -fuzz 'FuzzSnapshotDecodeF32$' -fuzztime 10s ./internal/core
 	go test -run '^$' -fuzz FuzzGenerateRequest -fuzztime 10s ./internal/server
 else
 	echo "check.sh: go toolchain lacks -fuzz; skipping fuzz tier"
 fi
 
-echo "check.sh: vet + race + determinism + sharded + alloc pins + resume + fuzz OK"
+echo "check.sh: vet + race + noasm + determinism + sharded + alloc pins + resume + fuzz OK"
