@@ -278,15 +278,24 @@ func newFleetEngine(m *Model, capacity int, prec Precision) *fleetEngine {
 		hz:    make([]float64, m.Lifetime.Bins.J()),
 	}
 	if prec.normalize() == PrecisionF32 {
-		// PrepareF32 is idempotent and the conversion is cached on the
+		// PrepareF32/PreparePackedF32 are idempotent and cached on the
 		// model; callers that fan fleet construction out across
-		// goroutines (GenerateBatchShardedF32) prepare it up front.
+		// goroutines (GenerateBatchShardedF32) prepare them up front.
+		// Nil panels (REPRO_NOPACK) fall through to unpacked fleets.
 		f32 := m.PrepareF32()
-		e.ff = f32.Flavor.NewFleet32(capacity)
-		e.lf = f32.Lifetime.NewFleet32(capacity)
+		var pf, pl *nn.PackedLSTM32
+		if pp := m.PreparePackedF32(); pp != nil {
+			pf, pl = pp.Flavor, pp.Lifetime
+		}
+		e.ff = f32.Flavor.NewFleet32Packed(capacity, pf)
+		e.lf = f32.Lifetime.NewFleet32Packed(capacity, pl)
 	} else {
-		e.ff = m.Flavor.Net.NewFleet(capacity)
-		e.lf = m.Lifetime.Net.NewFleet(capacity)
+		var pf, pl *nn.PackedLSTM
+		if pp := m.PreparePacked(); pp != nil {
+			pf, pl = pp.Flavor, pp.Lifetime
+		}
+		e.ff = m.Flavor.Net.NewFleetPacked(capacity, pf)
+		e.lf = m.Lifetime.Net.NewFleetPacked(capacity, pl)
 	}
 	return e
 }
@@ -423,6 +432,7 @@ func (m *Model) GenerateBatch(gs []*rng.RNG, w trace.Window) []*trace.Trace {
 	if len(gs) == 0 {
 		return out
 	}
+	m.PreparePacked()
 	m.decodeQueue(gs, nil, w, out, PrecisionF64)
 	return out
 }
@@ -439,6 +449,7 @@ func (m *Model) GenerateBatchF32(gs []*rng.RNG, w trace.Window) []*trace.Trace {
 		return out
 	}
 	m.PrepareF32()
+	m.PreparePackedF32()
 	m.decodeQueue(gs, nil, w, out, PrecisionF32)
 	return out
 }
@@ -567,10 +578,14 @@ func newEngine(m *Model, window time.Duration, maxBatch int, prec Precision) *En
 		maxBatch = defaultMaxStreams
 	}
 	prec = prec.normalize()
+	// Convert and pack the serving weights before the scheduler
+	// goroutine (or any engine sharing this model) can race on the
+	// caches.
 	if prec == PrecisionF32 {
-		// Convert the weights before the scheduler goroutine (or any
-		// engine sharing this model) can race on the cache.
-		m.PrepareF32()
+		m.PreparePackedF32()
+		m.PrepareF32() // unconditionally: packing is skippable, f32 is not
+	} else {
+		m.PreparePacked()
 	}
 	e := &Engine{
 		m:        m,

@@ -39,6 +39,12 @@ type Model struct {
 	// to override RateScale) share the conversion through this pointer,
 	// so PrepareF32 on the original covers every copy.
 	f32 *ModelF32
+
+	// packed and packed32 cache the panel-packed serving weights built
+	// by PreparePacked/PreparePackedF32 (pack.go), shared across shallow
+	// copies the same way.
+	packed   *ModelPacked
+	packed32 *ModelPacked32
 }
 
 // ModelOptions bundles the knobs for training the full model.

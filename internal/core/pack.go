@@ -1,0 +1,77 @@
+package core
+
+import (
+	"os"
+
+	"repro/internal/nn"
+)
+
+// Publish-time packed serving weights (DESIGN.md §6.5). Alongside the
+// f32 conversion, snapshot publish packs each decode weight matrix
+// once into cache-blocked panels; every decode fleet — serial-f32,
+// batched, and sharded, both precisions — then steps on panels with
+// the bias/activation epilogue fused into the GEMM tails. Packing is a
+// bit-exact address permutation (see mat.PackedDense), so packed and
+// unpacked engines emit byte-identical traces; training and the scalar
+// serial f64 reference path keep the unpacked matrices as the honest
+// baseline the packed paths are pinned against.
+
+// packDisabled is the REPRO_NOPACK kill-switch: any non-empty value
+// makes the Prepare* functions return nil panels, dropping every fleet
+// back to the unpacked kernels. Because packed and unpacked decode are
+// bit-identical, flipping it never changes emitted traces —
+// scripts/check.sh proves that with a REPRO_NOPACK=1 tier. A variable,
+// not a const, so in-package tests can force either path.
+var packDisabled = os.Getenv("REPRO_NOPACK") != ""
+
+// ModelPacked holds the panel-packed f64 decode weights of the model's
+// two LSTMs.
+type ModelPacked struct {
+	Flavor   *nn.PackedLSTM
+	Lifetime *nn.PackedLSTM
+}
+
+// ModelPacked32 holds the panel-packed weights of the f32 conversion.
+type ModelPacked32 struct {
+	Flavor   *nn.PackedLSTM32
+	Lifetime *nn.PackedLSTM32
+}
+
+// PreparePacked packs the model's f64 decode weights once and caches
+// the result on the model; later calls (and shallow Model copies,
+// which share the cache pointer) return the same panels. Returns nil
+// under REPRO_NOPACK. Like PrepareF32, the first call mutates the
+// model and must happen before the model is shared across goroutines —
+// engine constructors and the batch entry points call it eagerly.
+// Hot reload republishes a fresh Model value whose cache starts nil,
+// so reloaded weights are always freshly packed.
+func (m *Model) PreparePacked() *ModelPacked {
+	if packDisabled {
+		return nil
+	}
+	if m.packed == nil {
+		m.packed = &ModelPacked{
+			Flavor:   m.Flavor.Net.Pack(),
+			Lifetime: m.Lifetime.Net.Pack(),
+		}
+	}
+	return m.packed
+}
+
+// PreparePackedF32 packs the f32 weight conversion (building it first
+// if needed) once and caches the result. Returns nil under
+// REPRO_NOPACK. Same sharing and publish-before-fan-out contract as
+// PreparePacked.
+func (m *Model) PreparePackedF32() *ModelPacked32 {
+	if packDisabled {
+		return nil
+	}
+	if m.packed32 == nil {
+		f32 := m.PrepareF32()
+		m.packed32 = &ModelPacked32{
+			Flavor:   f32.Flavor.Pack(),
+			Lifetime: f32.Lifetime.Pack(),
+		}
+	}
+	return m.packed32
+}

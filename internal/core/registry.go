@@ -94,8 +94,16 @@ func NewGenEngine(m *Model, spec EngineSpec) (GenEngine, error) {
 		return nil, fmt.Errorf("core: unknown precision %q (have %v)", spec.Precision, Precisions())
 	}
 	spec.Precision = spec.Precision.normalize()
+	// Prepare the serving-weight caches eagerly: the serial f32 engine
+	// decodes on concurrent request goroutines and every builder may
+	// share the model, so conversion and packing must happen before the
+	// engine (or its scheduler goroutine) exists. The serial f64 engine
+	// stays on the scalar unpacked reference path by construction.
 	if spec.Precision == PrecisionF32 {
 		m.PrepareF32()
+		m.PreparePackedF32()
+	} else if kind != EngineSerial {
+		m.PreparePacked()
 	}
 	return build(m, spec), nil
 }

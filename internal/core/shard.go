@@ -62,6 +62,7 @@ func (m *Model) GenerateBatchSharded(gs []*rng.RNG, w trace.Window, shards int) 
 // contract rests on).
 func (m *Model) GenerateBatchShardedF32(gs []*rng.RNG, w trace.Window, shards int) []*trace.Trace {
 	m.PrepareF32() // before the shard queues fan out across goroutines
+	m.PreparePackedF32()
 	return m.generateBatchSharded(gs, w, shards, PrecisionF32)
 }
 
@@ -72,6 +73,15 @@ func (m *Model) generateBatchSharded(gs []*rng.RNG, w trace.Window, shards int, 
 	}
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
+	}
+	// Pack (and for f32, convert) the serving weights before the shard
+	// queues fan out: the per-shard fleet constructors read the caches
+	// concurrently.
+	if prec.normalize() == PrecisionF32 {
+		m.PrepareF32()
+		m.PreparePackedF32()
+	} else {
+		m.PreparePacked()
 	}
 	if shards <= 1 {
 		m.decodeQueue(gs, nil, w, out, prec)
@@ -179,9 +189,13 @@ func NewShardedEngine(m *Model, window time.Duration, maxBatch, shards int, reg 
 
 func newShardedEngine(m *Model, window time.Duration, maxBatch, shards int, reg *obs.Registry, prec Precision) *ShardedEngine {
 	prec = prec.normalize()
+	// Convert and pack before the scheduler goroutine builds per-shard
+	// fleets.
 	if prec == PrecisionF32 {
-		// Convert before the scheduler goroutine builds per-shard fleets.
 		m.PrepareF32()
+		m.PreparePackedF32()
+	} else {
+		m.PreparePacked()
 	}
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)

@@ -30,3 +30,32 @@ func sigmoid32AVX2(dst, x *float32, n int)
 //
 //go:noescape
 func tanh32AVX2(dst, x *float32, n int)
+
+// gemmPacked32AVX2 accumulates one 32-column packed panel tile into dst
+// for m activation rows: dst[i*n+j] += Σ_k a[i*k+k′]·p[k′*32+j], j in
+// [0, 32), with dst addressed at the tile's first column. Same
+// ascending-k separate-VMULPS+VADDPS schedule as gemm32AVX2, so results
+// are bit-identical; only the panel loads are contiguous. m and k must
+// be positive. Implemented in batch32_amd64.s.
+//
+//go:noescape
+func gemmPacked32AVX2(dst, a, p *float32, m, k, n int)
+
+// gemmPacked8AVX2 is the 8-column narrow-tile variant of
+// gemmPacked32AVX2. Implemented in batch32_amd64.s.
+//
+//go:noescape
+func gemmPacked8AVX2(dst, a, p *float32, m, k, n int)
+
+// gemmPacked32FMA is gemmPacked32AVX2 with each multiply-add fused into
+// one VFMADD231PS rounding — the SetFastMath(true) variant, reproduced
+// exactly by the portable fma32. Implemented in batch32_amd64.s.
+//
+//go:noescape
+func gemmPacked32FMA(dst, a, p *float32, m, k, n int)
+
+// gemmPacked8FMA is the fused 8-column narrow-tile variant.
+// Implemented in batch32_amd64.s.
+//
+//go:noescape
+func gemmPacked8FMA(dst, a, p *float32, m, k, n int)

@@ -278,3 +278,170 @@ tanhloop:
 	JNZ     tanhloop
 	VZEROUPPER
 	RET
+
+// Packed-panel f32 tile kernels (DESIGN.md §6.5): the eight-lane
+// counterparts of gemmPacked16AVX2/gemmPacked4AVX2, one pair per
+// accumulation contract. Each processes ONE j-tile of a packed panel
+// across all m activation rows with sequential panel loads; the
+// no-FMA pair matches mulAddPackedTile32's separate multiply-then-add
+// rounding, the FMA pair matches mulAddPackedTileFMA32's single fused
+// rounding per term (SetFastMath).
+
+// func gemmPacked32AVX2(dst, a, p *float32, m, k, n int)
+//
+// dst[i*n + j] += Σ_kk a[i*k + kk] * p[kk*32 + j] for i in [0, m),
+// j in [0, 32). dst row stride n*4 bytes; a rows contiguous (k*4
+// bytes); p is one k×32 panel tile (rows 128 bytes apart, sequential).
+TEXT ·gemmPacked32AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10 // dst row stride, bytes
+
+sp32row:
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	MOVQ    DX, R13 // panel cursor, reset per row
+	MOVQ    SI, AX  // &a[i][0]
+	MOVQ    R9, R8  // k countdown
+
+sp32k:
+	VBROADCASTSS (AX), Y4
+	VMULPS       (R13), Y4, Y5
+	VADDPS       Y5, Y0, Y0
+	VMULPS       32(R13), Y4, Y6
+	VADDPS       Y6, Y1, Y1
+	VMULPS       64(R13), Y4, Y7
+	VADDPS       Y7, Y2, Y2
+	VMULPS       96(R13), Y4, Y8
+	VADDPS       Y8, Y3, Y3
+	ADDQ         $4, AX
+	ADDQ         $128, R13
+	DECQ         R8
+	JNZ          sp32k
+	VMOVUPS      Y0, (DI)
+	VMOVUPS      Y1, 32(DI)
+	VMOVUPS      Y2, 64(DI)
+	VMOVUPS      Y3, 96(DI)
+	ADDQ         R10, DI        // next dst row
+	LEAQ         (SI)(R9*4), SI // next a row
+	DECQ         CX
+	JNZ          sp32row
+	VZEROUPPER
+	RET
+
+// func gemmPacked8AVX2(dst, a, p *float32, m, k, n int)
+//
+// The 8-column narrow-tile variant: one YMM accumulator, panel rows
+// 32 bytes apart.
+TEXT ·gemmPacked8AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10
+
+sp8row:
+	VMOVUPS (DI), Y0
+	MOVQ    DX, R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+sp8k:
+	VBROADCASTSS (AX), Y4
+	VMULPS       (R13), Y4, Y5
+	VADDPS       Y5, Y0, Y0
+	ADDQ         $4, AX
+	ADDQ         $32, R13
+	DECQ         R8
+	JNZ          sp8k
+	VMOVUPS      Y0, (DI)
+	ADDQ         R10, DI
+	LEAQ         (SI)(R9*4), SI
+	DECQ         CX
+	JNZ          sp8row
+	VZEROUPPER
+	RET
+
+// func gemmPacked32FMA(dst, a, p *float32, m, k, n int)
+//
+// gemmPacked32AVX2 with each multiply-add fused into one VFMADD231PS
+// rounding per term (the SetFastMath contract).
+TEXT ·gemmPacked32FMA(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10
+
+fp32row:
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	MOVQ    DX, R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+fp32k:
+	VBROADCASTSS (AX), Y4
+	VFMADD231PS  (R13), Y4, Y0
+	VFMADD231PS  32(R13), Y4, Y1
+	VFMADD231PS  64(R13), Y4, Y2
+	VFMADD231PS  96(R13), Y4, Y3
+	ADDQ         $4, AX
+	ADDQ         $128, R13
+	DECQ         R8
+	JNZ          fp32k
+	VMOVUPS      Y0, (DI)
+	VMOVUPS      Y1, 32(DI)
+	VMOVUPS      Y2, 64(DI)
+	VMOVUPS      Y3, 96(DI)
+	ADDQ         R10, DI
+	LEAQ         (SI)(R9*4), SI
+	DECQ         CX
+	JNZ          fp32row
+	VZEROUPPER
+	RET
+
+// func gemmPacked8FMA(dst, a, p *float32, m, k, n int)
+//
+// The fused 8-column narrow-tile variant.
+TEXT ·gemmPacked8FMA(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $2, R10
+
+fp8row:
+	VMOVUPS (DI), Y0
+	MOVQ    DX, R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+fp8k:
+	VBROADCASTSS (AX), Y4
+	VFMADD231PS  (R13), Y4, Y0
+	ADDQ         $4, AX
+	ADDQ         $32, R13
+	DECQ         R8
+	JNZ          fp8k
+	VMOVUPS      Y0, (DI)
+	ADDQ         R10, DI
+	LEAQ         (SI)(R9*4), SI
+	DECQ         CX
+	JNZ          fp8row
+	VZEROUPPER
+	RET

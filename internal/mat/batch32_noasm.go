@@ -21,3 +21,19 @@ func sigmoid32AVX2(dst, x *float32, n int) {
 func tanh32AVX2(dst, x *float32, n int) {
 	panic("mat: tanh32AVX2 without assembly kernel")
 }
+
+func gemmPacked32AVX2(dst, a, p *float32, m, k, n int) {
+	panic("mat: gemmPacked32AVX2 without assembly kernel")
+}
+
+func gemmPacked8AVX2(dst, a, p *float32, m, k, n int) {
+	panic("mat: gemmPacked8AVX2 without assembly kernel")
+}
+
+func gemmPacked32FMA(dst, a, p *float32, m, k, n int) {
+	panic("mat: gemmPacked32FMA without assembly kernel")
+}
+
+func gemmPacked8FMA(dst, a, p *float32, m, k, n int) {
+	panic("mat: gemmPacked8FMA without assembly kernel")
+}

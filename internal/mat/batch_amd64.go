@@ -28,3 +28,19 @@ func gemmAVX2(dst, a, b *float64, m, k, n int)
 //
 //go:noescape
 func expAVX2(dst, x *float64, n int)
+
+// gemmPacked16AVX2 accumulates one 16-column packed panel tile into dst
+// for m activation rows: dst[i*n+j] += Σ_k a[i*k+k′]·p[k′*16+j], j in
+// [0, 16), with dst addressed at the tile's first column. Same
+// ascending-k separate-VMULPD+VADDPD schedule as gemmAVX2, so results
+// are bit-identical; only the panel loads are contiguous. m and k must
+// be positive. Implemented in batch_amd64.s.
+//
+//go:noescape
+func gemmPacked16AVX2(dst, a, p *float64, m, k, n int)
+
+// gemmPacked4AVX2 is the 4-column narrow-tile variant of
+// gemmPacked16AVX2. Implemented in batch_amd64.s.
+//
+//go:noescape
+func gemmPacked4AVX2(dst, a, p *float64, m, k, n int)

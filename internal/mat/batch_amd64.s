@@ -322,3 +322,95 @@ eloop:
 	JNZ     eloop
 	VZEROUPPER
 	RET
+
+// Packed-panel tile kernels (DESIGN.md §6.5). Each processes ONE
+// j-tile of a packed weight panel across all m activation rows, with
+// the panel's k rows loaded sequentially (the tile is k-major and
+// contiguous), so after the first activation row the whole tile serves
+// from L1. The accumulation schedule is gemmAVX2's — k innermost and
+// ascending, separate VMULPD+VADDPD per term — so packing cannot
+// change a single output bit.
+
+// func gemmPacked16AVX2(dst, a, p *float64, m, k, n int)
+//
+// dst[i*n + j] += Σ_kk a[i*k + kk] * p[kk*16 + j] for i in [0, m),
+// j in [0, 16). dst is addressed at the tile's first column (row
+// stride n*8 bytes); a rows are contiguous (stride k*8 bytes); p is
+// one k×16 panel tile (rows 128 bytes apart, sequential).
+TEXT ·gemmPacked16AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $3, R10 // dst row stride, bytes
+
+p16row:
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	MOVQ    DX, R13 // panel cursor, reset per row
+	MOVQ    SI, AX  // &a[i][0]
+	MOVQ    R9, R8  // k countdown
+
+p16k:
+	VBROADCASTSD (AX), Y4
+	VMULPD       (R13), Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	VMULPD       32(R13), Y4, Y6
+	VADDPD       Y6, Y1, Y1
+	VMULPD       64(R13), Y4, Y7
+	VADDPD       Y7, Y2, Y2
+	VMULPD       96(R13), Y4, Y8
+	VADDPD       Y8, Y3, Y3
+	ADDQ         $8, AX
+	ADDQ         $128, R13
+	DECQ         R8
+	JNZ          p16k
+	VMOVUPD      Y0, (DI)
+	VMOVUPD      Y1, 32(DI)
+	VMOVUPD      Y2, 64(DI)
+	VMOVUPD      Y3, 96(DI)
+	ADDQ         R10, DI        // next dst row
+	LEAQ         (SI)(R9*8), SI // next a row
+	DECQ         CX
+	JNZ          p16row
+	VZEROUPPER
+	RET
+
+// func gemmPacked4AVX2(dst, a, p *float64, m, k, n int)
+//
+// The 4-column narrow-tile variant of gemmPacked16AVX2: one YMM
+// accumulator, panel rows 32 bytes apart.
+TEXT ·gemmPacked4AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ m+24(FP), CX
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R10
+	SHLQ $3, R10 // dst row stride, bytes
+
+p4row:
+	VMOVUPD (DI), Y0
+	MOVQ    DX, R13
+	MOVQ    SI, AX
+	MOVQ    R9, R8
+
+p4k:
+	VBROADCASTSD (AX), Y4
+	VMULPD       (R13), Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	ADDQ         $8, AX
+	ADDQ         $32, R13
+	DECQ         R8
+	JNZ          p4k
+	VMOVUPD      Y0, (DI)
+	ADDQ         R10, DI
+	LEAQ         (SI)(R9*8), SI
+	DECQ         CX
+	JNZ          p4row
+	VZEROUPPER
+	RET

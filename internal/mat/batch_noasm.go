@@ -15,3 +15,11 @@ func gemmAVX2(dst, a, b *float64, m, k, n int) {
 func expAVX2(dst, x *float64, n int) {
 	panic("mat: expAVX2 without assembly kernel")
 }
+
+func gemmPacked16AVX2(dst, a, p *float64, m, k, n int) {
+	panic("mat: gemmPacked16AVX2 without assembly kernel")
+}
+
+func gemmPacked4AVX2(dst, a, p *float64, m, k, n int) {
+	panic("mat: gemmPacked4AVX2 without assembly kernel")
+}

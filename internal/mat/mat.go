@@ -119,6 +119,15 @@ func MulAdd(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulAdd shape mismatch %v * %v -> %v", a, b, dst))
 	}
 	rowFlops := a.Cols * b.Cols
+	if usePackedB && a.Rows*rowFlops >= packMinFlops {
+		// Forward GEMMs above the same threshold the transpose-packed
+		// backward kernels use repack B into panel scratch and run the
+		// packed tile kernel: identical bits (ascending-k accumulation
+		// is preserved), contiguous loads instead of the scalar axpy
+		// stream (TestPairedForwardGEMMMeasure).
+		mulAddPackedB(dst, a, b)
+		return
+	}
 	if a.Rows*rowFlops < parMinFlops {
 		mulAddRows(dst, a, b, 0, a.Rows)
 		return

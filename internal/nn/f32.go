@@ -127,6 +127,12 @@ type Fleet32 struct {
 
 	// tanh(c) scratch, one row.
 	tc32 []float32
+
+	// Packed serving weights and fused tile epilogues (pack.go); nil on
+	// an unpacked fleet. Set by NewFleet32Packed only.
+	panels  *PackedLSTM32
+	epis    []func(j0, j1 int)
+	headEpi func(j0, j1 int)
 }
 
 // NewFleet32 returns an empty f32 fleet over the converted weights
@@ -260,25 +266,53 @@ func (f *Fleet32) Step(rows []int) *mat.Dense {
 	in := viewRows32(&f.x32v, f.x32, k)
 	Z := viewRows32(&f.zv, f.z, k)
 	for l, layer := range net.layers {
+		var pw *packedLayer32
+		if f.panels != nil {
+			pw = &f.panels.layers[l]
+		}
 		Z.Zero()
 		if layer.first {
 			// Same per-row sparse-vs-dense dispatch as Fleet, decided on
-			// the staged f64 row (identical nonzero pattern).
+			// the staged f64 row (identical nonzero pattern). Sparse rows
+			// read the unpacked matrix; dense rows take the panel.
 			for i := 0; i < k; i++ {
 				xr64 := viewRow(&f.rx, in64, i)
 				xr := viewRow32(&f.rx32, in, i)
 				zr := viewRow32(&f.rz32, Z, i)
 				if sparseEnough(xr64) {
 					mat.MulAddSparse32(zr, xr, layer.wx)
+				} else if pw != nil {
+					mat.MulAddPacked32(zr, xr, pw.wx)
 				} else {
 					mat.MulAddBatched32(zr, xr, layer.wx)
 				}
 			}
+		} else if pw != nil {
+			mat.MulAddPacked32(Z, in, pw.wx)
 		} else {
 			mat.MulAddBatched32(Z, in, layer.wx)
 		}
 		H := viewRows32(&f.ghv[l], f.gh[l], k)
 		C := viewRows32(&f.gcv[l], f.gc[l], k)
+		if pw != nil {
+			// Packed recurrent GEMM with bias + gate activations fused
+			// into the tile epilogue (pack.go), then the cell/hidden
+			// update. Identical bits to the unpacked schedule.
+			mat.MulAddPackedEpi32(Z, H, pw.wh, f.epis[l])
+			for i := 0; i < k; i++ {
+				zrow := Z.Row(i)
+				hrow, crow := H.Row(i), C.Row(i)
+				for j := 0; j < hd; j++ {
+					crow[j] = zrow[hd+j]*crow[j] + zrow[j]*zrow[2*hd+j]
+				}
+				mat.TanhSlice32(f.tc32, crow[:hd])
+				for j := 0; j < hd; j++ {
+					hrow[j] = zrow[3*hd+j] * f.tc32[j]
+				}
+			}
+			in = H
+			continue
+		}
 		mat.MulAddBatched32(Z, H, layer.wh)
 		mat.AddBiasRows32(Z, layer.b)
 		// Gate nonlinearities: native f32 activations in place on each
@@ -302,8 +336,12 @@ func (f *Fleet32) Step(rows []int) *mat.Dense {
 	}
 	Y := viewRows32(&f.y32v, f.y32, k)
 	Y.Zero()
-	mat.MulAddBatched32(Y, in, net.wy)
-	mat.AddBiasRows32(Y, net.by)
+	if f.panels != nil {
+		mat.MulAddPackedEpi32(Y, in, f.panels.wy, f.headEpi)
+	} else {
+		mat.MulAddBatched32(Y, in, net.wy)
+		mat.AddBiasRows32(Y, net.by)
+	}
 
 	// Scatter the advanced state back to the streams' home rows.
 	for l := range f.h {

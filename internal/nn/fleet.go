@@ -55,6 +55,14 @@ type Fleet struct {
 	// Gate-loop scratch for the vectorized activations: tanh exp
 	// arguments and the tanh(c) output, one hidden row each.
 	ts, tc []float64
+
+	// Packed serving weights and the fused tile epilogues bound to them
+	// (pack.go); nil on an unpacked fleet. Set by NewFleetPacked only —
+	// the epilogue closures are prebuilt there so Step stays
+	// allocation-free.
+	panels  *PackedLSTM
+	epis    []func(j0, j1 int)
+	headEpi func(j0, j1 int)
 }
 
 // NewFleet returns an empty fleet with initial capacity for the given
@@ -216,25 +224,56 @@ func (f *Fleet) Step(rows []int) *mat.Dense {
 	in := viewRows(&f.xv, f.x, k)
 	Z := viewRows(&f.zv, f.z, k)
 	for l, layer := range net.layers {
+		var pw *packedLayer
+		if f.panels != nil {
+			pw = &f.panels.layers[l]
+		}
 		Z.Zero()
 		if layer.first {
 			// Replicate StepForward's per-row kernel dispatch: each
 			// stream's input chooses sparse vs dense exactly as its
-			// serial step would.
+			// serial step would. Sparse rows read the unpacked matrix
+			// (the skip-zero kernel needs row-major B); dense rows take
+			// the panel, which computes identical bits.
 			for i := 0; i < k; i++ {
 				xr := viewRow(&f.rx, in, i)
 				zr := viewRow(&f.rz, Z, i)
 				if sparseEnough(xr) {
 					mat.MulAddSparse(zr, xr, layer.wx.Value)
+				} else if pw != nil {
+					mat.MulAddPacked(zr, xr, pw.wx)
 				} else {
 					mat.MulAddBatched(zr, xr, layer.wx.Value)
 				}
 			}
+		} else if pw != nil {
+			mat.MulAddPacked(Z, in, pw.wx)
 		} else {
 			mat.MulAddBatched(Z, in, layer.wx.Value)
 		}
 		H := viewRows(&f.ghv[l], f.gh[l], k)
 		C := viewRows(&f.gcv[l], f.gc[l], k)
+		if pw != nil {
+			// Packed recurrent GEMM with the bias + gate nonlinearities
+			// fused into the tile epilogue (pack.go): each finished gate
+			// segment is activated while still hot in L1 instead of a
+			// second sweep over the whole (k x 4H) slab. Elementwise math
+			// in the unpacked order — identical bits.
+			mat.MulAddPackedEpi(Z, H, pw.wh, f.epis[l])
+			for i := 0; i < k; i++ {
+				zrow := Z.Row(i)
+				hrow, crow := H.Row(i), C.Row(i)
+				for j := 0; j < hd; j++ {
+					crow[j] = zrow[hd+j]*crow[j] + zrow[j]*zrow[2*hd+j]
+				}
+				vecTanhInto(f.tc, crow, f.ts)
+				for j := 0; j < hd; j++ {
+					hrow[j] = zrow[3*hd+j] * f.tc[j]
+				}
+			}
+			in = H
+			continue
+		}
 		mat.MulAddBatched(Z, H, layer.wh.Value)
 		mat.AddBiasRows(Z, layer.b.Value.Row(0))
 		// Gate nonlinearities via the vectorized activations. Per
@@ -259,8 +298,12 @@ func (f *Fleet) Step(rows []int) *mat.Dense {
 	}
 	Y := viewRows(&f.yv, f.y, k)
 	Y.Zero()
-	mat.MulAddBatched(Y, in, net.wy.Value)
-	mat.AddBiasRows(Y, net.by.Value.Row(0))
+	if f.panels != nil {
+		mat.MulAddPackedEpi(Y, in, f.panels.wy, f.headEpi)
+	} else {
+		mat.MulAddBatched(Y, in, net.wy.Value)
+		mat.AddBiasRows(Y, net.by.Value.Row(0))
+	}
 
 	// Scatter the advanced state back to the streams' home rows.
 	for l := range f.h {

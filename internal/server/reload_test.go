@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -97,6 +98,108 @@ func testHotReloadUnderLoad(t *testing.T, configure func(*Server)) {
 	for err := range errs {
 		t.Error(err)
 	}
+}
+
+// TestHotReloadRepacksPanels pins the publish-time packing contract
+// across a weight swap: a reload that actually changes the model must
+// serve the NEW model's bytes immediately after the swap, with zero
+// dropped or torn requests while it happens. The reference bytes come
+// from the new model's scalar serial decode — the unpacked honest
+// baseline — so a rebuilt engine reusing stale panels (or packing the
+// old weights) could not pass: the packed decode is bit-exact, and the
+// only way to produce the new bytes through packed fleets is freshly
+// packed panels. Run with -race via scripts/check.sh.
+func TestHotReloadRepacksPanels(t *testing.T) {
+	s := freshServer(t)
+	s.BatchWindow = 0
+	h := s.Handler()
+
+	const seed, periods = 5, 24
+	body := fmt.Sprintf(`{"periods": %d, "seed": %d, "format": "json"}`, periods, seed)
+
+	oldModel := s.currentModel()
+	oldWant := refF64Bytes(t, s, oldModel, seed, periods)
+	rec := do(t, h, "POST", "/generate", body)
+	if rec.Code != http.StatusOK || rec.Body.String() != oldWant {
+		t.Fatalf("pre-reload serve mismatch (status %d)", rec.Code)
+	}
+
+	// Deep-copy the snapshot and perturb the copy's weights, so the
+	// reload is a real weight swap (the shared test model is untouched).
+	blob, err := oldModel.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newModel := new(core.Model)
+	if err := newModel.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []interface{ Params() []*nn.Param }{newModel.Flavor.Net, newModel.Lifetime.Net} {
+		for _, p := range net.Params() {
+			for i := range p.Value.Data {
+				p.Value.Data[i] *= 1.25
+			}
+		}
+	}
+	newWant := refF64Bytes(t, s, newModel, seed, periods)
+	if newWant == oldWant {
+		t.Fatal("perturbed model decodes identically; the reload check would be vacuous")
+	}
+
+	// Hammer /generate across the swap: every response must be exactly
+	// the old or the new model's bytes — never an error, never a blend.
+	const workers = 8
+	const perWorker = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := do(t, h, "POST", "/generate", body)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d: status %d: %s", w, rec.Code, rec.Body.String())
+					return
+				}
+				if got := rec.Body.String(); got != oldWant && got != newWant {
+					errs <- fmt.Errorf("worker %d: response matches neither snapshot", w)
+					return
+				}
+			}
+		}(w)
+	}
+	s.Reload(newModel, s.catalog)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The settled server must serve from freshly packed new-model
+	// panels: exactly the new model's unpacked serial reference bytes.
+	rec = do(t, h, "POST", "/generate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-reload: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Body.String() != newWant {
+		t.Fatal("post-reload response is not the new model's reference decode; stale weights or stale panels are being served")
+	}
+}
+
+// refF64Bytes decodes one stream through the model's scalar serial
+// reference path (Model.Generate, unpacked weights) and serializes it
+// the way /generate does.
+func refF64Bytes(t *testing.T, s *Server, m *core.Model, seed int64, periods int) string {
+	t.Helper()
+	start := m.Flavor.HistoryDays * trace.PeriodsPerDay
+	w := trace.Window{Start: start, End: start + periods}
+	tr := core.WithCatalog(m.Generate(rng.New(seed), w), s.catalog)
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }
 
 func TestReloadEndpoint(t *testing.T) {

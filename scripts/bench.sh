@@ -20,7 +20,8 @@ BENCHTIME="${1:-1s}"
 OUT="BENCH_baseline.json"
 PREV="BENCH_baseline.prev.json"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+DEDUP="$(mktemp)"
+trap 'rm -f "$TMP" "$DEDUP"' EXIT
 
 if [ -f "$OUT" ]; then
 	cp "$OUT" "$PREV"
@@ -37,6 +38,18 @@ REPRO_EFF="${REPRO_PROCS:-$GOMAX_EFF}"
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 	. ./internal/mat ./internal/nn ./internal/par ./internal/obs | tee "$TMP"
 
+# Decode iteration floor (DESIGN.md §6.5): the decode-fleet rows are
+# heavyweight enough that a time-based -benchtime often yields a single
+# iteration, which makes their ns/op and streams/s single-shot samples.
+# Re-run the decode group at a fixed -benchtime 3x so every decode row
+# in the baseline carries at least 3 iterations; the JSON writer below
+# dedupes by row name keeping the LAST run, so these rows supersede the
+# single-shot ones from the main block.
+echo "bench.sh: decode-fleet benchmarks at -benchtime 3x iteration floor"
+go test -run '^$' -bench 'GenerateBatchLSTM|GenerateShardedLSTM' \
+	-benchmem -benchtime 3x . | \
+	awk '/^Benchmark/ { print; print > "/dev/stderr" }' >> "$TMP"
+
 # Multi-core scaling rows (DESIGN.md §6.3): re-run the decode-fleet
 # benchmarks at fixed GOMAXPROCS values so the sharded engine's scaling
 # curve is captured in the baseline. Rows are suffixed @gomaxprocs=G
@@ -49,6 +62,15 @@ for G in 2 4 8; do
 		-benchmem -benchtime "$BENCHTIME" . | \
 		awk -v g="$G" '/^Benchmark/ { $1 = $1 "@gomaxprocs=" g; print; print > "/dev/stderr" }' >> "$TMP"
 done
+
+# Packed-panel reference rows (DESIGN.md §6.5): re-run the decode group
+# with the REPRO_NOPACK kill-switch so the baseline always carries the
+# unpacked twin of every decode row. Rows are suffixed @nopack and use
+# the same fixed iteration floor for a fair pairing.
+echo "bench.sh: decode-fleet benchmarks with REPRO_NOPACK=1 (unpacked weights)"
+REPRO_NOPACK=1 go test -run '^$' -bench 'GenerateBatchLSTM|GenerateShardedLSTM' \
+	-benchmem -benchtime 3x . | \
+	awk '/^Benchmark/ { $1 = $1 "@nopack"; print; print > "/dev/stderr" }' >> "$TMP"
 
 # Precision delta (DESIGN.md §6.4): the f32 serving fast path is only
 # worth its tolerance budget if it actually outruns f64, so report the
@@ -89,6 +111,36 @@ awk '
 			print "bench.sh: tracing overhead pair missing from run" > "/dev/stderr"
 	}' "$TMP"
 
+# Packed-vs-unpacked delta (DESIGN.md §6.5): report each decode row's
+# streams/s against its @nopack twin from the kill-switch re-run above,
+# so a packed-kernel regression (or a host where packing loses) is
+# visible at a glance next to the f32-vs-f64 and tracing deltas. Both
+# legs come from the same -benchtime 3x iteration floor.
+awk '
+	/^BenchmarkGenerate(Batch|Sharded)LSTM[^ ]*@nopack / {
+		name = $1; sub(/@nopack$/, "", name); sub(/-[0-9]+$/, "", name)
+		for (i = 4; i <= NF; i++) if ($i == "streams/s") np[name] = $(i-1)
+	}
+	/^BenchmarkGenerate(Batch|Sharded)LSTM[^ ]* / && $1 !~ /@/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		for (i = 4; i <= NF; i++) if ($i == "streams/s") pk[name] = $(i-1)
+	}
+	END {
+		for (n in np)
+			if (n in pk && np[n] > 0)
+				printf "bench.sh: packed vs unpacked: %s %.2f streams/s vs %.2f (%.2fx)\n", \
+					n, pk[n], np[n], pk[n] / np[n]
+	}' "$TMP"
+
+# Last-wins dedup by row name: the iteration-floor decode re-runs above
+# append rows whose names collide with the single-shot rows from the
+# main block; keep only the final occurrence of each name (order
+# preserved) so the baseline carries the floor-enforced measurements.
+awk '/^Benchmark/ {
+		if (!($1 in line)) order[++n] = $1
+		line[$1] = $0
+	} END { for (i = 1; i <= n; i++) print line[order[i]] }' "$TMP" > "$DEDUP"
+
 {
 	echo '{'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -115,7 +167,7 @@ awk '
 		if (n++) printf ",\n"
 		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"streams_per_s\": %s, \"gomaxprocs\": %s, \"precision\": \"%s\"}", \
 			name, iters, nsop, mbs, bop, allocs, sps, gmp, prec
-	} END { print "" }' "$TMP"
+	} END { print "" }' "$DEDUP"
 	echo '  ]'
 	echo '}'
 } > "$OUT"

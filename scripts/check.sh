@@ -33,13 +33,26 @@ GOMAXPROCS=4 go test -race -run 'TestHotReloadUnderLoad|TestMetricsShardGauges|T
 # run — under -race, which the assembly paths cannot be.
 REPRO_NOASM=1 go test -race ./internal/mat ./internal/nn ./internal/core
 
+# Packed-panel parity tier (DESIGN.md §6.5): REPRO_NOPACK drops every
+# decode fleet and forward GEMM back to the unpacked kernels; the same
+# byte-identity suites must pass, proving the kill-switch cannot change
+# a trace. The -race leg also races the packed kernels (epilogue
+# closures run inside concurrently stepped per-shard fleets), and the
+# combined NOASM+NOPACK leg pins the fully-portable, fully-unpacked
+# floor every other configuration is measured against.
+REPRO_NOPACK=1 go test -race ./internal/mat ./internal/nn ./internal/core
+REPRO_NOPACK=1 REPRO_NOASM=1 go test \
+	-run 'TestShardedDecodeDeterminism|TestPrecisionRegistryMatrix|TestPackedDecode|TestBatchedFleet' \
+	./internal/core .
+REPRO_NOPACK=1 go test -run 'TestHotReloadRepacksPanels' ./internal/server
+
 # Memory-discipline pins: the per-shard round path, the fleet step
 # kernel, and the par Snapshot poll must stay allocation-free in steady
 # state, and the Table4 survival-MSE sweep must hold its pooled-curve
 # allocation budget (AllocsPerRun pins run without -race; the race
 # runtime's instrumentation allocates).
 go test -run 'TestShardedRoundSteadyStateAllocs|TestTracingDisabledRoundAllocs' ./internal/core
-go test -run 'TestFleetStepAllocFree' ./internal/nn
+go test -run 'TestFleetStepAllocFree|TestFleetPackedStepAllocFree' ./internal/nn
 go test -run 'TestSnapshotZeroAlloc' ./internal/par
 go test -run 'TestTable4SurvivalAllocs' ./internal/experiments
 
@@ -50,8 +63,9 @@ if go help testflag 2>/dev/null | grep -q -- '-fuzz '; then
 	go test -run '^$' -fuzz 'FuzzSnapshotDecode$' -fuzztime 10s ./internal/core
 	go test -run '^$' -fuzz 'FuzzSnapshotDecodeF32$' -fuzztime 10s ./internal/core
 	go test -run '^$' -fuzz FuzzGenerateRequest -fuzztime 10s ./internal/server
+	go test -run '^$' -fuzz FuzzMulAddPacked -fuzztime 10s ./internal/mat
 else
 	echo "check.sh: go toolchain lacks -fuzz; skipping fuzz tier"
 fi
 
-echo "check.sh: vet + race + noasm + determinism + sharded + alloc pins + resume + fuzz OK"
+echo "check.sh: vet + race + noasm + nopack + determinism + sharded + alloc pins + resume + fuzz OK"
