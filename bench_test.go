@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"runtime"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // benchScale trims the sampling volume so the whole suite completes in
@@ -430,6 +432,50 @@ func benchGenerateSharded(b *testing.B, streams, shards int) {
 func BenchmarkGenerateShardedLSTM64x2(b *testing.B) { benchGenerateSharded(b, 64, 2) }
 func BenchmarkGenerateShardedLSTM64x4(b *testing.B) { benchGenerateSharded(b, 64, 4) }
 func BenchmarkGenerateShardedLSTM64x8(b *testing.B) { benchGenerateSharded(b, 64, 8) }
+
+// BenchmarkReplayDecode times the trace-replay path end to end
+// (DESIGN.md §9): parse a recorded generation from its versioned JSON
+// record, regenerate it through the serial decode engine from the
+// recorded seed/window/scale, and verify VM-by-VM agreement with the
+// recorded bytes. Compare against BenchmarkGenerateTraceLSTM to read
+// off the record parse + verify overhead on top of raw decode.
+func BenchmarkReplayDecode(b *testing.B) {
+	c := benchAzure(b)
+	m := c.Model()
+	eng, err := core.NewGenEngine(m, core.EngineSpec{Kind: "serial"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	const seed = 7
+	tr, err := eng.Generate(ctx, rng.New(seed), c.TestW, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr = core.WithCatalog(tr, c.Full.Flavors)
+	data, err := workload.NewRecord("bench", "serial", "f64",
+		workload.ModelTag(m), seed, c.TestW, 1, tr).Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := workload.ReadRecord(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		replayed, err := workload.Replay(ctx, eng, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Verify(replayed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "replays/s")
+}
 
 // benchGenerateBatchF32 is benchGenerateBatch on the float32 fast path
 // (DESIGN.md §6.4); compare streams/s against the same-shape f64 rows

@@ -4,9 +4,20 @@
 // Usage:
 //
 //	experiments [-full] [-cloud azure|huawei|both] [-exp all|table1|fig4|fig5|fig6|table2|table3|table4|fig7|fig8|fig9|table5|tenx|censoring|joint] [-seed N] [-journal run.jsonl]
+//	experiments -workload-spec mixed -exp table2
+//	experiments -replay-trace served.jsonl -exp table2,fig9
 //
 // The default scale is the fast test configuration; -full uses the
 // larger configuration (several minutes of LSTM training per cloud).
+//
+// -workload-spec replaces the hardcoded clouds with one declarative
+// scenario (a preset name or a JSON spec file, DESIGN.md §9); the
+// experiment suite runs over the compiled spec exactly as it does over
+// the presets. -replay-trace goes one step further: the first record
+// in the given file (the workload record format cmd/traced -record and
+// cmd/tracegen -record write) becomes the ground-truth history, so the
+// sched/capacity experiments run against exactly the bytes that were
+// served.
 package main
 
 import (
@@ -18,11 +29,32 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/workload"
 )
+
+// readRecords loads a non-empty workload record file.
+func readRecords(path string) ([]*workload.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := workload.ReadRecords(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("replay-trace: %s holds no records", path)
+	}
+	return recs, nil
+}
 
 func main() {
 	full := flag.Bool("full", false, "run the larger FullScale configuration")
 	cloud := flag.String("cloud", "both", "azure, huawei, or both")
+	workloadSpec := flag.String("workload-spec", "", "run one declarative scenario instead of the -cloud presets: a preset name (azure-like, huawei-like, mixed) or a JSON spec file")
+	replayTrace := flag.String("replay-trace", "", "use the first record in this file (workload record format) as the ground-truth history instead of generating one")
 	exp := flag.String("exp", "all", "comma-separated experiments to run (all, table1, fig4, fig5, fig6, table2, table3, table4, fig7, fig8, fig9, table5, tenx, censoring, joint, forecast, arch, heads)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	export := flag.String("export", "", "also write per-figure TSV plot data into this directory")
@@ -60,17 +92,61 @@ func main() {
 	want := func(name string) bool { return wants["all"] || wants[name] }
 
 	var clouds []*experiments.Cloud
-	runAzure := *cloud == "azure" || *cloud == "both"
-	runHuawei := *cloud == "huawei" || *cloud == "both"
 	start := time.Now()
-	var azure, huawei *experiments.Cloud
-	if runAzure {
-		azure = experiments.NewCloud(experiments.Azure, scale)
-		clouds = append(clouds, azure)
-	}
-	if runHuawei {
-		huawei = experiments.NewCloud(experiments.Huawei, scale)
-		clouds = append(clouds, huawei)
+	switch {
+	case *replayTrace != "":
+		// Trace replay: a recorded generation is the ground truth.
+		recs, err := readRecords(*replayTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		tr := recs[0].Trace()
+		cfg := synth.AzureLike()
+		if *cloud == "huawei" {
+			cfg = synth.HuaweiLike()
+		}
+		id := experiments.Azure
+		if *cloud == "huawei" {
+			id = experiments.Huawei
+		}
+		clouds = append(clouds, experiments.NewCloudFromTrace(id, scale, cfg, tr))
+		fmt.Printf("Replaying %d VMs over %d periods from %s\n", len(tr.VMs), tr.Periods, *replayTrace)
+	case *workloadSpec != "":
+		// Declarative scenario: one cloud, compiled from the spec. The
+		// catalog decides which preset's experiment slots it fills.
+		spec := workload.Preset(*workloadSpec)
+		if spec == nil {
+			data, err := os.ReadFile(*workloadSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -workload-spec %q is neither a preset (%v) nor a readable file: %v\n",
+					*workloadSpec, workload.PresetNames(), err)
+				os.Exit(1)
+			}
+			spec, err = workload.ParseSpec(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		cfg, err := spec.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: compile workload spec:", err)
+			os.Exit(1)
+		}
+		id := experiments.Azure
+		if spec.Flavors.Catalog == "huawei259" {
+			id = experiments.Huawei
+		}
+		clouds = append(clouds, experiments.NewCloudFromConfig(id, scale, cfg))
+		fmt.Printf("Workload spec %q: %d users, %d cohorts\n", spec.Name, spec.Users, len(spec.Cohorts))
+	default:
+		if *cloud == "azure" || *cloud == "both" {
+			clouds = append(clouds, experiments.NewCloud(experiments.Azure, scale))
+		}
+		if *cloud == "huawei" || *cloud == "both" {
+			clouds = append(clouds, experiments.NewCloud(experiments.Huawei, scale))
+		}
 	}
 	if len(clouds) == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: unknown -cloud value")

@@ -11,6 +11,21 @@
 //	traced -engine sharded -decode-shards 8
 //	traced -precision f32 [-fast-math]
 //	traced -checkpoint-dir ckpt/ -checkpoint-every 5 -resume
+//	traced -workload-spec mixed
+//	traced -workload-spec examples/workloads/mixed.json -record served.jsonl
+//
+// -workload-spec replaces -cloud with the declarative workload layer
+// (DESIGN.md §9): its value is either a named preset (azure-like,
+// huawei-like, mixed — the first two compile to exactly the hardcoded
+// -cloud configs) or a path to a JSON spec file describing
+// heterogeneous client cohorts with per-cohort rate fractions, arrival
+// processes (poisson, bursty gamma, weibull), lifetime overrides, and
+// SLO classes. The active spec is echoed under "workload" on GET
+// /metrics and survives hot reloads unchanged. -record appends every
+// served /generate trace — with the seed, window, scale, engine, and
+// model tag that reproduce it — to a JSONL file in the versioned
+// record format that cmd/tracegen -replay and cmd/experiments
+// -replay-trace consume.
 //
 // With -checkpoint-dir set, training writes an atomic, versioned
 // checkpoint (weights + optimizer moments + RNG stream state) every
@@ -71,6 +86,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -86,6 +102,7 @@ import (
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // servingPrefix names the published serving snapshots inside the
@@ -156,6 +173,8 @@ func loadModelFile(path string) (*core.Model, error) {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cloud := flag.String("cloud", "azure", "azure or huawei preset")
+	workloadSpec := flag.String("workload-spec", "", "workload spec: a preset name (azure-like, huawei-like, mixed) or a path to a JSON spec file; overrides -cloud")
+	recordPath := flag.String("record", "", "append every served /generate trace to this JSONL file in the workload record/replay format")
 	days := flag.Int("days", 9, "history length for training")
 	seed := flag.Int64("seed", 1, "data/training seed")
 	modelPath := flag.String("model", "", "load a serialized model instead of training")
@@ -202,6 +221,32 @@ func main() {
 	cfg := synth.AzureLike()
 	if *cloud == "huawei" {
 		cfg = synth.HuaweiLike()
+	}
+	// -workload-spec swaps the hardcoded scenario for a declarative one:
+	// a named preset or a JSON spec file, compiled to the same
+	// synth.Config shape the presets use, so everything downstream
+	// (training, flavors catalog, hot reload) is spec-agnostic.
+	var spec *workload.Spec
+	if *workloadSpec != "" {
+		spec = workload.Preset(*workloadSpec)
+		if spec == nil {
+			data, err := os.ReadFile(*workloadSpec)
+			if err != nil {
+				log.Fatalf("traced: -workload-spec %q is neither a preset (%v) nor a readable file: %v",
+					*workloadSpec, workload.PresetNames(), err)
+			}
+			spec, err = workload.ParseSpec(data)
+			if err != nil {
+				log.Fatalf("traced: %v", err)
+			}
+		}
+		var err error
+		cfg, err = spec.Compile()
+		if err != nil {
+			log.Fatalf("traced: compile workload spec: %v", err)
+		}
+		log.Printf("workload spec %q: %d users, %d cohorts, catalog of %d flavors",
+			spec.Name, spec.Users, len(spec.Cohorts), cfg.Flavors.K())
 	}
 
 	// One registry carries checkpoint telemetry from training straight
@@ -326,6 +371,32 @@ func main() {
 	s.Precision = *precision
 	defer s.Close()
 
+	if spec != nil {
+		s.Workload = spec.Summary()
+	}
+	// modelTag fingerprints the serving weights for the record stream;
+	// hot reloads refresh it below so records always name the model
+	// that actually produced them.
+	var modelTag atomic.Value
+	var recorder *workload.Recorder
+	if *recordPath != "" {
+		var err error
+		recorder, err = workload.OpenRecorder(*recordPath)
+		if err != nil {
+			log.Fatalf("traced: open record sink: %v", err)
+		}
+		defer recorder.Close()
+		modelTag.Store(workload.ModelTag(model))
+		engine, prec := *engineKind, *precision
+		s.OnTrace = func(seed int64, w trace.Window, scale float64, tr *trace.Trace) {
+			rec := workload.NewRecord("generate", engine, prec, modelTag.Load().(string), seed, w, scale, tr)
+			if err := recorder.Append(rec); err != nil {
+				log.Printf("traced: record: %v", err)
+			}
+		}
+		log.Printf("recording served traces to %s", *recordPath)
+	}
+
 	if *traceBuffer > 0 {
 		s.Tracer = rtrace.NewTracer(*traceBuffer)
 		log.Printf("request tracing on: ring of %d traces at GET /debug/traces", *traceBuffer)
@@ -382,6 +453,17 @@ func main() {
 			m, catalog, err := inner()
 			if err == nil {
 				fid.SetReference(fidelityReference(m))
+			}
+			return m, catalog, err
+		}
+	}
+	if recorder != nil && reloadSrc != nil {
+		// Keep the record stream's model tag in step with hot swaps.
+		inner := reloadSrc
+		reloadSrc = func() (*core.Model, *trace.FlavorSet, error) {
+			m, catalog, err := inner()
+			if err == nil {
+				modelTag.Store(workload.ModelTag(m))
 			}
 			return m, catalog, err
 		}

@@ -7,6 +7,16 @@
 // Usage:
 //
 //	tracegen [-cloud azure|huawei] [-days N] [-gen-days N] [-scale X] [-seed N] [-o trace.csv] [-v]
+//	tracegen -workload-spec mixed [-record gen.jsonl]
+//	tracegen -replay gen.jsonl
+//
+// -workload-spec replaces -cloud with a declarative scenario: a named
+// preset (azure-like, huawei-like, mixed) or a path to a JSON spec
+// file (DESIGN.md §9). -record writes the generated trace — plus the
+// seed, window, and scale that reproduce it — to a JSONL file in the
+// versioned record format. -replay skips training entirely and
+// re-emits the trace(s) stored in a record file as CSV, so a recorded
+// generation can be piped into downstream tools without the model.
 package main
 
 import (
@@ -21,10 +31,73 @@ import (
 	"repro/internal/survival"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// outputWriter opens -o, defaulting to stdout.
+func outputWriter(path string) (io.Writer, func()) {
+	if path == "" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return f, func() { f.Close() }
+}
+
+// loadSpec resolves -workload-spec: preset name first, then file path.
+func loadSpec(arg string) *workload.Spec {
+	if spec := workload.Preset(arg); spec != nil {
+		return spec
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		fatalf("-workload-spec %q is neither a preset (%v) nor a readable file: %v",
+			arg, workload.PresetNames(), err)
+	}
+	spec, err := workload.ParseSpec(data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return spec
+}
+
+// replay re-emits recorded traces as CSV without touching a model.
+func replay(path string, w io.Writer) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	recs, err := workload.ReadRecords(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(recs) == 0 {
+		fatalf("replay: %s holds no records", path)
+	}
+	total := 0
+	for _, rec := range recs {
+		tr := rec.Trace()
+		if err := tr.WriteCSV(w); err != nil {
+			fatalf("write: %v", err)
+		}
+		total += len(tr.VMs)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d record(s), %d VMs from %s\n", len(recs), total, path)
+}
 
 func main() {
 	cloud := flag.String("cloud", "azure", "azure or huawei preset")
+	workloadSpec := flag.String("workload-spec", "", "workload spec: a preset name (azure-like, huawei-like, mixed) or a JSON spec file; overrides -cloud")
+	recordPath := flag.String("record", "", "also write the generated trace to this JSONL file in the workload record/replay format")
+	replayPath := flag.String("replay", "", "re-emit the traces stored in this record file as CSV and exit (no training)")
 	days := flag.Int("days", 9, "history length in days (training data)")
 	genDays := flag.Int("gen-days", 2, "length of the generated future trace in days")
 	scale := flag.Float64("scale", 1, "arrival-rate multiplier for the generated trace")
@@ -35,15 +108,36 @@ func main() {
 	verbose := flag.Bool("v", false, "log training progress to stderr")
 	flag.Parse()
 
+	w, closeOut := outputWriter(*out)
+	defer closeOut()
+
+	if *replayPath != "" {
+		replay(*replayPath, w)
+		return
+	}
+
 	var cfg synth.Config
-	switch *cloud {
-	case "azure":
-		cfg = synth.AzureLike()
-	case "huawei":
-		cfg = synth.HuaweiLike()
-	default:
-		fmt.Fprintln(os.Stderr, "tracegen: -cloud must be azure or huawei")
-		os.Exit(2)
+	if *workloadSpec != "" {
+		spec := loadSpec(*workloadSpec)
+		var err error
+		cfg, err = spec.Compile()
+		if err != nil {
+			fatalf("compile workload spec: %v", err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "workload spec %q: %d users, %d cohorts\n",
+				spec.Name, spec.Users, len(spec.Cohorts))
+		}
+	} else {
+		switch *cloud {
+		case "azure":
+			cfg = synth.AzureLike()
+		case "huawei":
+			cfg = synth.HuaweiLike()
+		default:
+			fmt.Fprintln(os.Stderr, "tracegen: -cloud must be azure or huawei")
+			os.Exit(2)
+		}
 	}
 	cfg.Days = *days
 
@@ -68,8 +162,7 @@ func main() {
 	start := time.Now()
 	model, err := core.TrainModel(train, core.ModelOptions{Bins: survival.PaperBins(), Train: tc})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "trained on %d VMs in %v\n", len(train.VMs), time.Since(start).Round(time.Millisecond))
@@ -80,21 +173,29 @@ func main() {
 		Start: history.Periods,
 		End:   history.Periods + *genDays*trace.PeriodsPerDay,
 	}
-	generated := core.WithCatalog(model.Generate(rng.New(*seed+1), futureW), cfg.Flavors)
+	genSeed := *seed + 1
+	generated := core.WithCatalog(model.Generate(rng.New(genSeed), futureW), cfg.Flavors)
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *recordPath != "" {
+		// RateScale is baked into the model here, so the record's scale
+		// is what a replay must pass to Generate to reproduce the bytes.
+		rec := workload.NewRecord("tracegen", "serial", "f64", workload.ModelTag(model),
+			genSeed, futureW, *scale, generated)
+		sink, err := workload.OpenRecorder(*recordPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
-		defer f.Close()
-		w = f
+		if err := sink.Append(rec); err != nil {
+			fatalf("record: %v", err)
+		}
+		if err := sink.Close(); err != nil {
+			fatalf("record: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded generation to %s\n", *recordPath)
 	}
+
 	if err := generated.WriteCSV(w); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: write: %v\n", err)
-		os.Exit(1)
+		fatalf("write: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "generated %d VMs over %d periods (scale %.1fx)\n",
 		len(generated.VMs), generated.Periods, *scale)

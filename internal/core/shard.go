@@ -360,11 +360,14 @@ func (e *ShardedEngine) loop() {
 			}
 		}
 		for _, k := range rounder.round() {
+			// Gauge before delivery: a requester unblocked by its result
+			// must never observe its own stream still counted in-flight
+			// (the /metrics drain check would otherwise race this loop).
+			e.occupancy[k].Set(int64(fes[k].active()))
 			for _, s := range rounder.retired[k] {
 				s.done <- engineResult{tr: s.out, err: s.err}
 				total--
 			}
-			e.occupancy[k].Set(int64(fes[k].active()))
 		}
 	}
 }

@@ -110,7 +110,6 @@ type Cloud struct {
 // NewCloud generates the ground-truth history and carves the windows.
 func NewCloud(id CloudID, s Scale) *Cloud {
 	var cfg synth.Config
-	var extra float64
 	switch id {
 	case Azure:
 		cfg = synth.AzureLike()
@@ -118,12 +117,36 @@ func NewCloud(id CloudID, s Scale) *Cloud {
 	case Huawei:
 		cfg = synth.HuaweiLike()
 		cfg.Days, cfg.Users, cfg.BaseRate = s.HuaweiDays, s.HuaweiUsers, s.HuaweiRate
-		extra = float64(s.HuaweiExtraDays) * 86400
 	default:
 		panic(fmt.Sprintf("experiments: unknown cloud %d", id))
 	}
+	return NewCloudFromConfig(id, s, cfg)
+}
+
+// NewCloudFromConfig generates the ground-truth history from an
+// arbitrary scenario config — the workload-spec path: cmd/experiments
+// compiles a declarative spec (possibly multi-cohort) and runs the
+// same experiment suite over it that the hardcoded presets get.
+func NewCloudFromConfig(id CloudID, s Scale, cfg synth.Config) *Cloud {
 	full := cfg.Generate(s.Seed*1000 + int64(id))
-	trainW, devW, testW := synth.StandardSplit(cfg.Days)
+	return NewCloudFromTrace(id, s, cfg, full)
+}
+
+// NewCloudFromTrace carves windows over an existing ground-truth trace
+// — the trace-replay path: a recorded generation (workload record
+// format) stands in for a fresh synth run, so the sched/capacity
+// experiments run against exactly the bytes that were served. The
+// trace's length, not cfg.Days, determines the windows.
+func NewCloudFromTrace(id CloudID, s Scale, cfg synth.Config, full *trace.Trace) *Cloud {
+	days := full.Periods / trace.PeriodsPerDay
+	if days < 3 {
+		panic(fmt.Sprintf("experiments: ground-truth trace spans %d periods; need at least 3 days", full.Periods))
+	}
+	var extra float64
+	if id == Huawei {
+		extra = float64(s.HuaweiExtraDays) * 86400
+	}
+	trainW, devW, testW := synth.StandardSplit(days)
 	return &Cloud{
 		ID:     id,
 		Scale:  s,

@@ -219,6 +219,53 @@ func (g *RNG) Exponential(rate float64) float64 {
 	return g.r.ExpFloat64() / rate
 }
 
+// Gamma samples from Gamma(shape, scale) with mean shape*scale using
+// the Marsaglia–Tsang squeeze method (2000). Shapes below 1 are boosted
+// via the Gamma(shape+1) * U^(1/shape) identity. The workload layer
+// uses unit-mean Gamma multipliers (shape=1/cv², scale=cv²) to build
+// bursty doubly-stochastic arrival processes.
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma requires shape > 0 and scale > 0")
+	}
+	if shape < 1 {
+		// Boost: X ~ Gamma(a+1), X * U^(1/a) ~ Gamma(a).
+		u := g.r.Float64()
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = g.r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull samples from Weibull(shape k, scale λ) by inverse CDF:
+// λ * (-ln(1-U))^(1/k). The mean is λ·Γ(1+1/k); shape k < 1 gives
+// heavy-tailed (bursty) interarrivals, k > 1 regular ones.
+func (g *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull requires shape > 0 and scale > 0")
+	}
+	u := g.r.Float64()
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
 // ZipfWeights returns n unnormalized Zipf(s) weights: w[i] = 1/(i+1)^s.
 func ZipfWeights(n int, s float64) []float64 {
 	w := make([]float64, n)

@@ -227,3 +227,91 @@ func TestPoissonAlwaysNonNegativeQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGammaMeanVariance(t *testing.T) {
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {2.5, 0.4}, {9, 3},
+	} {
+		g := New(11)
+		n := 40000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := g.Gamma(tc.shape, tc.scale)
+			if v <= 0 {
+				t.Fatalf("Gamma(%v,%v) produced non-positive %v", tc.shape, tc.scale, v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		// Standard error of the mean is sqrt(var/n); allow 5 sigma.
+		tol := 5 * math.Sqrt(wantVar/float64(n))
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("Gamma(%v,%v): mean %v want %v (tol %v)", tc.shape, tc.scale, mean, wantMean, tol)
+		}
+		if math.Abs(variance-wantVar) > 0.15*wantVar+tol {
+			t.Errorf("Gamma(%v,%v): variance %v want %v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	g := New(1)
+	for _, tc := range []struct{ shape, scale float64 }{{0, 1}, {-1, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v,%v) should panic", tc.shape, tc.scale)
+				}
+			}()
+			g.Gamma(tc.shape, tc.scale)
+		}()
+	}
+}
+
+func TestWeibullMeanVariance(t *testing.T) {
+	gamma := math.Gamma
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.7, 1}, {1, 2}, {1.5, 0.5}, {3, 4},
+	} {
+		g := New(13)
+		n := 40000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := g.Weibull(tc.shape, tc.scale)
+			if v < 0 {
+				t.Fatalf("Weibull(%v,%v) produced negative %v", tc.shape, tc.scale, v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		wantMean := tc.scale * gamma(1+1/tc.shape)
+		wantVar := tc.scale*tc.scale*gamma(1+2/tc.shape) - wantMean*wantMean
+		tol := 5 * math.Sqrt(wantVar/float64(n))
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("Weibull(%v,%v): mean %v want %v (tol %v)", tc.shape, tc.scale, mean, wantMean, tol)
+		}
+		if math.Abs(variance-wantVar) > 0.15*wantVar+tol {
+			t.Errorf("Weibull(%v,%v): variance %v want %v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestWeibullPanics(t *testing.T) {
+	g := New(1)
+	for _, tc := range []struct{ shape, scale float64 }{{0, 1}, {-1, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Weibull(%v,%v) should panic", tc.shape, tc.scale)
+				}
+			}()
+			g.Weibull(tc.shape, tc.scale)
+		}()
+	}
+}

@@ -102,6 +102,18 @@ type Server struct {
 	// TrainInfo optionally carries training-run metadata (cloud, epochs,
 	// seed, wall time, journal path) surfaced under "train" at /metrics.
 	TrainInfo map[string]any
+	// Workload optionally carries the declarative workload-spec summary
+	// the server was configured from (cmd/traced -workload-spec),
+	// surfaced under "workload" at /metrics. Like TrainInfo it is
+	// read-only after startup and survives hot reloads: a reload swaps
+	// the model, not the scenario that trained it.
+	Workload map[string]any
+	// OnTrace, when set (before the first request), observes every
+	// successfully served /generate trace together with the request
+	// parameters that produced it — the trace record/replay hook
+	// (cmd/traced -record wires it to a workload.Recorder). It runs on
+	// the request goroutine after generation and must not mutate tr.
+	OnTrace func(seed int64, w trace.Window, scale float64, tr *trace.Trace)
 	// Tracer, when set (before the first request), threads a request
 	// trace through every /generate: the response carries an X-Trace-Id
 	// header, the engine records queue/coalesce/decode spans, the
@@ -443,6 +455,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.Fidelity != nil {
 		payload["fidelity"] = s.Fidelity.Snapshot()
 	}
+	if s.Workload != nil {
+		payload["workload"] = s.Workload
+	}
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -510,6 +525,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// trace honestly accumulates one queue span per attempt).
 	var tr *trace.Trace
 	var catalog *trace.FlavorSet
+	var window trace.Window
 	sampleStart := time.Now()
 	for attempt := 0; ; attempt++ {
 		model, cat, eng, err := s.snapshot()
@@ -522,7 +538,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		if start <= 0 {
 			start = model.Flavor.HistoryDays * trace.PeriodsPerDay
 		}
-		window := trace.Window{Start: start, End: start + req.Periods}
+		window = trace.Window{Start: start, End: start + req.Periods}
 		tr, err = eng.Generate(ctx, rng.New(seed), window, req.Scale)
 		if err == nil {
 			catalog = cat
@@ -554,6 +570,13 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// encoding (the monitor only reads; the trace is immutable from
 	// here). The request's scale normalizes the expected arrival rate.
 	s.Fidelity.ObserveTrace(tr, req.Scale)
+
+	// Record/replay hook: hand the served trace and the parameters that
+	// reproduce it to the recorder before encoding, so a recorded
+	// request is replayable even if the client disconnects mid-encode.
+	if s.OnTrace != nil {
+		s.OnTrace(seed, window, req.Scale, tr)
+	}
 
 	w.Header().Set("X-Trace-Seed", fmt.Sprint(seed))
 	w.Header().Set("X-Trace-VMs", fmt.Sprint(len(tr.VMs)))

@@ -58,6 +58,14 @@ type Config struct {
 	// the flavor→lifetime correlation that makes the paper's per-flavor
 	// Kaplan-Meier baseline beat the pooled one (Table 3).
 	FlavorLifeEffect float64
+
+	// Cohorts, when non-empty, switches Generate to the multi-cohort
+	// process (cohort.go): each cohort gets its own rate share, arrival
+	// process, and population/batch/lifetime parameters, while BaseRate,
+	// the diurnal/weekly/growth schedules, DayEffect, and
+	// FlavorLifeEffect stay global. Empty Cohorts runs the legacy
+	// single-population path byte-for-byte unchanged.
+	Cohorts []Cohort
 	// LifeShift returns an additive shift to the log-lifetime for a
 	// given day (identity if nil). HuaweiLike shortens lifetimes over
 	// the history, planting the regime change that defeats whole-history
@@ -200,6 +208,12 @@ type user struct {
 // trace. The trace is uncensored (every VM has its true duration);
 // apply trace.Slice to impose observation windows.
 func (c Config) Generate(seed int64) *trace.Trace {
+	if len(c.Cohorts) > 0 {
+		if c.Days <= 0 || c.Flavors == nil || c.Flavors.K() == 0 {
+			panic(fmt.Sprintf("synth: invalid config %+v", c.Name))
+		}
+		return c.generateCohorts(seed)
+	}
 	if c.Days <= 0 || c.Users <= 0 || c.Flavors == nil || c.Flavors.K() == 0 {
 		panic(fmt.Sprintf("synth: invalid config %+v", c.Name))
 	}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/synth"
+)
+
+// Sampler compiles the arrival-process spec into a synth.ArrivalSampler
+// drawing per-period batch counts at a scheduled mean lambda. The three
+// processes and their count moments (the property-test contracts in
+// arrival_test.go):
+//
+//   - poisson: counts ~ Poisson(lambda); mean lambda, variance lambda.
+//   - gamma: a doubly-stochastic (Cox) process — each period's rate is
+//     lambda times a unit-mean Gamma(1/cv², cv²) multiplier, then counts
+//     are Poisson at that rate. Marginally negative-binomial: mean
+//     lambda, variance lambda + (cv·lambda)²; cv is the rate CV, so
+//     cv > 0 means burstier-than-Poisson periods.
+//   - weibull: a renewal process with Weibull(k, s) interarrival times
+//     inside the unit period, shape k solved so the interarrival CV is
+//     the spec's cv and scale s so the mean interarrival is 1/lambda.
+//     cv < 1 gives regular (underdispersed) arrivals, cv > 1 bursty
+//     ones; asymptotically Var/Mean -> cv².
+//
+// All three draw only through the supplied *rng.RNG, so spec-driven
+// generation stays deterministic per seed at any REPRO_PROCS.
+func (a ArrivalProcessSpec) Sampler() (synth.ArrivalSampler, error) {
+	if err := a.validate("arrival_process"); err != nil {
+		return nil, err
+	}
+	switch a.Process {
+	case "poisson":
+		return func(g *rng.RNG, lambda float64) int {
+			return g.Poisson(lambda)
+		}, nil
+	case "gamma":
+		shape := 1 / (a.CV * a.CV)
+		scale := a.CV * a.CV // shape*scale = 1: unit-mean multiplier
+		return func(g *rng.RNG, lambda float64) int {
+			if lambda <= 0 {
+				return 0
+			}
+			return g.Poisson(lambda * g.Gamma(shape, scale))
+		}, nil
+	case "weibull":
+		k, err := weibullShapeForCV(a.CV)
+		if err != nil {
+			return nil, err
+		}
+		meanFactor := math.Gamma(1 + 1/k) // mean of Weibull(k, 1)
+		return func(g *rng.RNG, lambda float64) int {
+			if lambda <= 0 {
+				return 0
+			}
+			// Renewal count in the unit period: interarrivals are
+			// Weibull(k, s) with s*meanFactor = 1/lambda.
+			s := 1 / (lambda * meanFactor)
+			n := 0
+			for t := g.Weibull(k, s); t < 1; t += g.Weibull(k, s) {
+				n++
+			}
+			return n
+		}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival process %q", a.Process)
+}
+
+// weibullCV returns the interarrival coefficient of variation of a
+// Weibull with shape k (scale cancels).
+func weibullCV(k float64) float64 {
+	m := math.Gamma(1 + 1/k)
+	v := math.Gamma(1+2/k) - m*m
+	if v <= 0 { // numerical floor at large k
+		return 0
+	}
+	return math.Sqrt(v) / m
+}
+
+// weibullShapeForCV inverts weibullCV by bisection. CV is strictly
+// decreasing in k (k=1 is exponential, CV=1); the validated spec range
+// [minCV, maxCV] maps comfortably inside the bracket below.
+func weibullShapeForCV(cv float64) (float64, error) {
+	lo, hi := 0.08, 80.0 // cv(0.08) ≈ 2.6e4, cv(80) ≈ 0.018
+	if cv >= weibullCV(lo) || cv <= weibullCV(hi) {
+		return 0, fmt.Errorf("workload: weibull cv %v out of invertible range", cv)
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if weibullCV(mid) > cv {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

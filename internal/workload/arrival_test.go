@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// arrivalCases is the property-test grid: every process × 3
+// parameterizations, with the analytically expected count mean and
+// count CV and precomputed tolerance bands. Expectations:
+//
+//	poisson        mean = λ, CV = 1/√λ
+//	gamma (cv)     mean = λ, CV = √(1/λ + cv²)       (negative binomial)
+//	weibull (cv)   mean ≈ λ, CV ≈ cv/√λ              (renewal asymptotics)
+//
+// The weibull rows carry wider mean bands: an ordinary (non-stationary)
+// renewal process has E[N(t)] = λt + (cv²−1)/2 + o(1), so a finite
+// period biases the mean by up to |cv²−1|/2 counts.
+var arrivalCases = []struct {
+	name     string
+	spec     ArrivalProcessSpec
+	lambda   float64
+	wantMean float64
+	meanTol  float64
+	wantCV   float64
+	cvTol    float64
+}{
+	{"poisson/2", ArrivalProcessSpec{Process: "poisson"}, 2, 2, 0.06, 1 / math.Sqrt2, 0.03},
+	{"poisson/8", ArrivalProcessSpec{Process: "poisson"}, 8, 8, 0.12, 1 / math.Sqrt(8), 0.02},
+	{"poisson/40", ArrivalProcessSpec{Process: "poisson"}, 40, 40, 0.25, 1 / math.Sqrt(40), 0.01},
+	{"gamma/cv0.5", ArrivalProcessSpec{Process: "gamma", CV: 0.5}, 10, 10, 0.25, math.Sqrt(1.0/10 + 0.25), 0.04},
+	{"gamma/cv1", ArrivalProcessSpec{Process: "gamma", CV: 1}, 20, 20, 0.8, math.Sqrt(1.0/20 + 1), 0.06},
+	{"gamma/cv2", ArrivalProcessSpec{Process: "gamma", CV: 2}, 5, 5, 0.45, math.Sqrt(1.0/5 + 4), 0.15},
+	{"weibull/cv0.5", ArrivalProcessSpec{Process: "weibull", CV: 0.5}, 40, 40, 0.8, 0.5 / math.Sqrt(40), 0.03},
+	{"weibull/cv1", ArrivalProcessSpec{Process: "weibull", CV: 1}, 40, 40, 0.5, 1 / math.Sqrt(40), 0.03},
+	{"weibull/cv1.5", ArrivalProcessSpec{Process: "weibull", CV: 1.5}, 40, 40, 1.5, 1.5 / math.Sqrt(40), 0.06},
+}
+
+// TestArrivalSamplerMoments checks each sampler's empirical count mean
+// and CV against the analytic bands above over N seeded draws.
+func TestArrivalSamplerMoments(t *testing.T) {
+	const n = 30000
+	for _, tc := range arrivalCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sampler, err := tc.spec.Sampler()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := rng.New(77)
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				c := sampler(g, tc.lambda)
+				if c < 0 {
+					t.Fatalf("negative count %d", c)
+				}
+				x := float64(c)
+				sum += x
+				sumSq += x * x
+			}
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			cv := math.Sqrt(variance) / mean
+			if math.Abs(mean-tc.wantMean) > tc.meanTol {
+				t.Errorf("mean = %.4f, want %.4f +- %.3f", mean, tc.wantMean, tc.meanTol)
+			}
+			if math.Abs(cv-tc.wantCV) > tc.cvTol {
+				t.Errorf("count CV = %.4f, want %.4f +- %.3f", cv, tc.wantCV, tc.cvTol)
+			}
+		})
+	}
+}
+
+// TestArrivalSamplerDeterministic pins every sampler's exact draw
+// sequence to its seed: same seed, same counts; different seed,
+// different counts somewhere.
+func TestArrivalSamplerDeterministic(t *testing.T) {
+	for _, tc := range arrivalCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sampler, err := tc.spec.Sampler()
+			if err != nil {
+				t.Fatal(err)
+			}
+			draw := func(seed int64) []int {
+				g := rng.New(seed)
+				out := make([]int, 200)
+				for i := range out {
+					out[i] = sampler(g, tc.lambda)
+				}
+				return out
+			}
+			a, b, c := draw(5), draw(5), draw(6)
+			differs := false
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+				}
+				if a[i] != c[i] {
+					differs = true
+				}
+			}
+			if !differs {
+				t.Fatal("seeds 5 and 6 produced identical sequences")
+			}
+		})
+	}
+}
+
+// TestArrivalZeroLambda: every process returns 0 at lambda <= 0 without
+// drawing forever.
+func TestArrivalZeroLambda(t *testing.T) {
+	for _, tc := range arrivalCases {
+		sampler, err := tc.spec.Sampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := rng.New(1)
+		if got := sampler(g, 0); got != 0 {
+			t.Errorf("%s: sampler(0) = %d, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestSpecGenerationProcsInvariant: a compiled mixed-cohort spec
+// generates identical trace bytes under REPRO_PROCS=1 and 8 — the
+// samplers draw only through the request RNG, so the parallel layer's
+// width cannot leak into the stream.
+func TestSpecGenerationProcsInvariant(t *testing.T) {
+	spec := Preset("mixed")
+	spec.Days = 2
+	cfg, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(procs int) []byte {
+		defer par.SetProcs(par.SetProcs(procs))
+		tr := cfg.Generate(11)
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := gen(1)
+	eight := gen(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatal("spec generation differs between REPRO_PROCS=1 and 8")
+	}
+}
+
+// TestWeibullShapeInversion: the bisection recovers shapes whose CV
+// matches the request to high precision across the validated range.
+func TestWeibullShapeInversion(t *testing.T) {
+	for _, cv := range []float64{minCV, 0.2, 0.5, 1, 2, 5, maxCV} {
+		k, err := weibullShapeForCV(cv)
+		if err != nil {
+			t.Fatalf("cv=%v: %v", cv, err)
+		}
+		if got := weibullCV(k); math.Abs(got-cv) > 1e-6*cv {
+			t.Errorf("cv=%v: shape %v gives CV %v", cv, k, got)
+		}
+	}
+	if k, err := weibullShapeForCV(1); err != nil || math.Abs(k-1) > 1e-6 {
+		t.Errorf("cv=1 should invert to the exponential shape 1, got %v (%v)", k, err)
+	}
+}

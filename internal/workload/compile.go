@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Compile lowers a validated spec to a synth.Config. Specs with no
+// cohorts compile to the legacy single-population process — the named
+// presets reproduce the hardcoded AzureLike()/HuaweiLike() configs
+// exactly (pinned by golden_test.go) — while specs with cohorts fill
+// every cohort's unset blocks from the base and compile each arrival
+// process to its sampler.
+func (s *Spec) Compile() (synth.Config, error) {
+	if err := s.Validate(); err != nil {
+		return synth.Config{}, err
+	}
+	fs, err := s.Flavors.FlavorSet()
+	if err != nil {
+		return synth.Config{}, err
+	}
+	cfg := synth.Config{
+		Name:             s.Name,
+		Days:             s.Days,
+		Users:            s.Users,
+		Flavors:          fs,
+		BaseRate:         s.Arrival.BaseRate,
+		DiurnalAmp:       s.Arrival.DiurnalAmplitude,
+		WeekendDip:       s.Arrival.WeekendDip,
+		DayEffect:        s.Arrival.DayEffectSigma,
+		UserZipf:         s.Population.Zipf,
+		FavoriteCount:    s.Population.FavoriteCount,
+		Persistence:      s.Population.Persistence,
+		BatchSizeMean:    s.Batch.SizeMean,
+		RepeatFlavorP:    s.Batch.RepeatFlavorP,
+		RepeatLifetimeP:  s.Batch.RepeatLifetimeP,
+		TemplateP:        s.Batch.TemplateP,
+		LifeMuMin:        math.Log(s.Lifetime.MuMinSeconds),
+		LifeMuMax:        math.Log(s.Lifetime.MuMaxSeconds),
+		LifeSigma:        s.Lifetime.Sigma,
+		FlavorLifeEffect: s.Lifetime.FlavorEffect,
+	}
+	days := float64(s.Days)
+	if s.Arrival.Growth != nil {
+		cfg.Growth = s.Arrival.Growth.dayFunc(days)
+	}
+	if s.Lifetime.Shift != nil {
+		cfg.LifeShift = s.Lifetime.Shift.dayFunc(days)
+	}
+	if len(s.Cohorts) == 0 {
+		return cfg, nil
+	}
+
+	names := make([]string, fs.K())
+	for i, d := range fs.Defs {
+		names[i] = d.Name
+	}
+	// Cohorts that omit "users" split the spec-level pool by rate
+	// fraction (at least one user each).
+	cohorts := make([]synth.Cohort, len(s.Cohorts))
+	for i := range s.Cohorts {
+		co := &s.Cohorts[i]
+		sampler, err := co.Arrival.Sampler()
+		if err != nil {
+			return synth.Config{}, err
+		}
+		subset, err := cohortFlavorSubset(co, names)
+		if err != nil {
+			return synth.Config{}, err
+		}
+		users := co.Users
+		if users == 0 {
+			users = int(math.Round(co.RateFraction * float64(s.Users)))
+			if users < 1 {
+				users = 1
+			}
+		}
+		batch := s.Batch
+		if co.Batch != nil {
+			batch = *co.Batch
+		}
+		pop := s.Population
+		if co.Population != nil {
+			pop = *co.Population
+		}
+		muMin, muMax, sigma := s.Lifetime.MuMinSeconds, s.Lifetime.MuMaxSeconds, s.Lifetime.Sigma
+		if co.Lifetime != nil {
+			muMin, muMax, sigma = co.Lifetime.MuMinSeconds, co.Lifetime.MuMaxSeconds, co.Lifetime.Sigma
+		}
+		cohorts[i] = synth.Cohort{
+			Name:            co.Name,
+			RateFraction:    co.RateFraction,
+			Users:           users,
+			Arrival:         sampler,
+			SLOClass:        co.SLOClass,
+			UserZipf:        pop.Zipf,
+			FavoriteCount:   pop.FavoriteCount,
+			Persistence:     pop.Persistence,
+			BatchSizeMean:   batch.SizeMean,
+			RepeatFlavorP:   batch.RepeatFlavorP,
+			RepeatLifetimeP: batch.RepeatLifetimeP,
+			TemplateP:       batch.TemplateP,
+			LifeMuMin:       math.Log(muMin),
+			LifeMuMax:       math.Log(muMax),
+			LifeSigma:       sigma,
+			FlavorSubset:    subset,
+		}
+	}
+	cfg.Cohorts = cohorts
+	return cfg, nil
+}
+
+// FlavorSet materializes the spec's flavor catalog.
+func (f *FlavorsSpec) FlavorSet() (*trace.FlavorSet, error) {
+	switch f.Catalog {
+	case "azure16":
+		return synth.AzureFlavors(), nil
+	case "huawei259":
+		return synth.HuaweiFlavors(), nil
+	case "":
+		fs := &trace.FlavorSet{Defs: make([]trace.FlavorDef, len(f.Defs))}
+		for i, d := range f.Defs {
+			fs.Defs[i] = trace.FlavorDef{Name: d.Name, CPU: d.CPU, MemGB: d.MemGB}
+		}
+		return fs, nil
+	}
+	return nil, fmt.Errorf("workload: unknown flavor catalog %q", f.Catalog)
+}
+
+// dayFunc compiles a schedule to the day-indexed multiplier/shift form
+// synth.Config carries. The formulas are written to match the hardcoded
+// HuaweiLike closures term for term, so a compiled preset is
+// bit-identical to the hand-written schedule.
+func (sc *ScheduleSpec) dayFunc(days float64) func(day int) float64 {
+	switch sc.Kind {
+	case "logistic":
+		base, amp, steep, mid := sc.Base, sc.Amplitude, sc.Steepness, sc.Midpoint
+		return func(day int) float64 {
+			x := float64(day) / days
+			return base + amp/(1+math.Exp(-steep*(x-mid)))
+		}
+	case "linear-decay":
+		scale, until := sc.Scale, sc.Until
+		return func(day int) float64 {
+			x := float64(day) / days
+			return scale * math.Max(0, 1-x/until)
+		}
+	}
+	// Validate rejects unknown kinds before compilation can get here.
+	panic(fmt.Sprintf("workload: unvalidated schedule kind %q", sc.Kind))
+}

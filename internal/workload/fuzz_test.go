@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWorkloadSpec hammers the spec parser: arbitrary bytes must never
+// panic or allocate proportionally to declared (rather than actual)
+// sizes, and any spec that parses must round-trip through Marshal and
+// compile without panicking.
+func FuzzWorkloadSpec(f *testing.F) {
+	for _, name := range PresetNames() {
+		data, err := Preset(name).Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"name":"x","days":1,"users":1,` +
+		`"flavors":{"defs":[{"name":"f","cpu":1,"mem_gb":1}]},` +
+		`"arrival":{"base_rate":1,"weekend_dip":1},` +
+		`"batch":{"size_mean":1},"population":{"favorite_count":1},` +
+		`"lifetime":{"mu_min_s":60,"mu_max_s":60,"sigma":1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := spec.Marshal()
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v", err)
+		}
+		back, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshalled spec failed to re-parse: %v\n%s", err, out)
+		}
+		// Compile may reject (unknown flavor references resolve against
+		// the catalog here), but must not panic, and a compilable spec
+		// must stay compilable after the round trip.
+		if _, err := spec.Compile(); err == nil {
+			if _, err := back.Compile(); err != nil {
+				t.Fatalf("round-tripped spec lost compilability: %v", err)
+			}
+		}
+		_ = spec.Summary()
+	})
+}
+
+// FuzzTraceReplay hammers the trace-record parser the same way: no
+// panics, validate-before-allocate, and accepted records round-trip
+// and reconstitute without violating trace invariants.
+func FuzzTraceReplay(f *testing.F) {
+	seed, err := sampleRecord().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"version":1,"source":"generate","seed":1,"start_period":0,"periods":1,"scale":0,"count":0,"vms":[]}`))
+	f.Add([]byte(`{"version":9,"count":999999999}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ReadRecord(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		tr := rec.Trace()
+		if len(tr.VMs) != rec.Count {
+			t.Fatalf("reconstituted %d VMs from a record declaring %d", len(tr.VMs), rec.Count)
+		}
+		if err := rec.Verify(tr); err != nil {
+			t.Fatalf("record does not verify against its own trace: %v", err)
+		}
+		out, err := rec.Marshal()
+		if err != nil {
+			t.Fatalf("valid record failed to marshal: %v", err)
+		}
+		if _, err := ReadRecord(bytes.NewReader(out)); err != nil {
+			t.Fatalf("marshalled record failed to re-parse: %v", err)
+		}
+	})
+}

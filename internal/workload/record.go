@@ -1,0 +1,358 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Trace record/replay (DESIGN.md §9): a versioned JSON format capturing
+// what a decode produced together with everything needed to reproduce
+// it — the seed, window, rate scale, engine kind/precision, and a model
+// tag binding the record to the weights that generated it. Replay
+// regenerates through any registered engine; the registry's contract
+// (all kinds byte-identical per (seed, window, scale)) makes the
+// replayed trace byte-identical to the recorded one, and Verify checks
+// exactly that, VM by VM.
+
+// RecordVersion is the current trace-record format version.
+const RecordVersion = 1
+
+// MaxRecordBytes bounds a trace-record document (a full 30-day
+// AzureLike generation serializes well under 10 MB).
+const MaxRecordBytes = 64 << 20
+
+// maxRecordVMs caps the declared and actual VM count of a record.
+const maxRecordVMs = 10_000_000
+
+// Record is one recorded generation. Count is the declared VM count
+// and must match len(VMs) — a cheap integrity check that catches
+// truncated files before an expensive replay does.
+type Record struct {
+	Version   int     `json:"version"`
+	Source    string  `json:"source"` // "generate", "experiment", ...
+	Engine    string  `json:"engine,omitempty"`
+	Precision string  `json:"precision,omitempty"`
+	ModelTag  string  `json:"model_tag,omitempty"`
+	Seed      int64   `json:"seed"`
+	Start     int     `json:"start_period"`
+	Periods   int     `json:"periods"`
+	Scale     float64 `json:"scale"`
+	Count     int     `json:"count"`
+	// Flavors is the catalog snapshot so a record is self-describing.
+	Flavors []FlavorDefSpec `json:"flavors,omitempty"`
+	VMs     []RecordVM      `json:"vms"`
+}
+
+// RecordVM mirrors trace.VM with stable JSON names.
+type RecordVM struct {
+	ID       int     `json:"id"`
+	User     int     `json:"user"`
+	Flavor   int     `json:"flavor"`
+	Start    int     `json:"start"`
+	Duration float64 `json:"duration_s"`
+	Censored bool    `json:"censored,omitempty"`
+}
+
+// NewRecord captures a served trace. The window/seed/scale are the
+// request parameters; tr is what the engine returned for them.
+func NewRecord(source, engine, precision, modelTag string, seed int64, w trace.Window, scale float64, tr *trace.Trace) *Record {
+	rec := &Record{
+		Version:   RecordVersion,
+		Source:    source,
+		Engine:    engine,
+		Precision: precision,
+		ModelTag:  modelTag,
+		Seed:      seed,
+		Start:     w.Start,
+		Periods:   w.Periods(),
+		Scale:     scale,
+		Count:     len(tr.VMs),
+		VMs:       make([]RecordVM, len(tr.VMs)),
+	}
+	if tr.Flavors != nil {
+		rec.Flavors = make([]FlavorDefSpec, len(tr.Flavors.Defs))
+		for i, d := range tr.Flavors.Defs {
+			rec.Flavors[i] = FlavorDefSpec{Name: d.Name, CPU: d.CPU, MemGB: d.MemGB}
+		}
+	}
+	for i, vm := range tr.VMs {
+		rec.VMs[i] = RecordVM{ID: vm.ID, User: vm.User, Flavor: vm.Flavor, Start: vm.Start, Duration: vm.Duration, Censored: vm.Censored}
+	}
+	return rec
+}
+
+// Validate checks the record header and per-VM invariants. Like the
+// spec grammar it is strict: version, caps, count cross-check, and VM
+// fields all have to be in range before anything downstream sizes a
+// buffer from them.
+func (r *Record) Validate() error {
+	if r.Version != RecordVersion {
+		return fmt.Errorf("workload: unsupported record version %d (want %d)", r.Version, RecordVersion)
+	}
+	if err := checkName("record source", r.Source); err != nil {
+		return err
+	}
+	if len(r.Engine) > maxNameLen || len(r.Precision) > maxNameLen || len(r.ModelTag) > maxNameLen {
+		return fmt.Errorf("workload: record engine/precision/model_tag too long")
+	}
+	if r.Start < 0 || r.Start > maxDays*trace.PeriodsPerDay {
+		return fmt.Errorf("workload: record start_period %d out of range", r.Start)
+	}
+	if r.Periods < 1 || r.Periods > maxDays*trace.PeriodsPerDay {
+		return fmt.Errorf("workload: record periods %d outside [1,%d]", r.Periods, maxDays*trace.PeriodsPerDay)
+	}
+	if r.Scale < 0 || r.Scale > 1e6 || r.Scale != r.Scale {
+		return fmt.Errorf("workload: record scale %v out of range", r.Scale)
+	}
+	if r.Count < 0 || r.Count > maxRecordVMs {
+		return fmt.Errorf("workload: record count %d outside [0,%d]", r.Count, maxRecordVMs)
+	}
+	if r.Count != len(r.VMs) {
+		return fmt.Errorf("workload: record declares %d VMs but carries %d", r.Count, len(r.VMs))
+	}
+	if len(r.Flavors) > maxFlavors {
+		return fmt.Errorf("workload: record has %d flavors (cap %d)", len(r.Flavors), maxFlavors)
+	}
+	k := len(r.Flavors)
+	for i, vm := range r.VMs {
+		if vm.Start < 0 || vm.Start >= r.Periods {
+			return fmt.Errorf("workload: record vm[%d] start %d outside [0,%d)", i, vm.Start, r.Periods)
+		}
+		if vm.Flavor < 0 || (k > 0 && vm.Flavor >= k) {
+			return fmt.Errorf("workload: record vm[%d] flavor %d out of catalog range", i, vm.Flavor)
+		}
+		if vm.User < 0 {
+			return fmt.Errorf("workload: record vm[%d] negative user", i)
+		}
+		if vm.Duration < 0 || math.IsNaN(vm.Duration) || math.IsInf(vm.Duration, 0) {
+			return fmt.Errorf("workload: record vm[%d] bad duration %v", i, vm.Duration)
+		}
+	}
+	return nil
+}
+
+// ReadRecord reads and validates one record document. The reader is
+// hard-capped at MaxRecordBytes and parsing is strict (unknown fields
+// and trailing data are errors), so a hostile record fails fast.
+func ReadRecord(r io.Reader) (*Record, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxRecordBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("workload: read record: %w", err)
+	}
+	if len(data) > MaxRecordBytes {
+		return nil, fmt.Errorf("workload: record exceeds %d bytes", MaxRecordBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	rec := &Record{}
+	if err := dec.Decode(rec); err != nil {
+		return nil, fmt.Errorf("workload: parse record: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("workload: trailing data after record document")
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadRecordFile reads a record from path.
+func ReadRecordFile(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRecord(f)
+}
+
+// Marshal serializes the record as a single JSON document.
+func (r *Record) Marshal() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// WriteTo writes the marshalled record followed by a newline (the
+// JSONL framing Recorder uses). Implements io.WriterTo.
+func (r *Record) WriteTo(w io.Writer) (int64, error) {
+	data, err := r.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// Trace reconstitutes the recorded trace (for feeding experiments or
+// fidelity checks without touching a model).
+func (r *Record) Trace() *trace.Trace {
+	tr := &trace.Trace{Periods: r.Periods, VMs: make([]trace.VM, len(r.VMs))}
+	for i, vm := range r.VMs {
+		tr.VMs[i] = trace.VM{ID: vm.ID, User: vm.User, Flavor: vm.Flavor, Start: vm.Start, Duration: vm.Duration, Censored: vm.Censored}
+	}
+	if len(r.Flavors) > 0 {
+		fs := &trace.FlavorSet{Defs: make([]trace.FlavorDef, len(r.Flavors))}
+		for i, d := range r.Flavors {
+			fs.Defs[i] = trace.FlavorDef{Name: d.Name, CPU: d.CPU, MemGB: d.MemGB}
+		}
+		tr.Flavors = fs
+	}
+	return tr
+}
+
+// Window returns the recorded generation window.
+func (r *Record) Window() trace.Window {
+	return trace.Window{Start: r.Start, End: r.Start + r.Periods}
+}
+
+// Replay regenerates the record through eng at the recorded seed,
+// window, and scale. With the model that produced the record (compare
+// ModelTag), the result is byte-identical to r regardless of engine
+// kind — the registry contract the replay tests pin.
+func Replay(ctx context.Context, eng core.GenEngine, r *Record) (*trace.Trace, error) {
+	return eng.Generate(ctx, rng.New(r.Seed), r.Window(), r.Scale)
+}
+
+// Verify checks that tr reproduces the record exactly: same VM count
+// and every field of every VM equal. It returns a positioned error on
+// first divergence so test failures point at the offending VM.
+func (r *Record) Verify(tr *trace.Trace) error {
+	if tr.Periods != r.Periods {
+		return fmt.Errorf("workload: replay periods %d != recorded %d", tr.Periods, r.Periods)
+	}
+	if len(tr.VMs) != len(r.VMs) {
+		return fmt.Errorf("workload: replay produced %d VMs, recorded %d", len(tr.VMs), len(r.VMs))
+	}
+	for i, vm := range tr.VMs {
+		want := trace.VM{ID: r.VMs[i].ID, User: r.VMs[i].User, Flavor: r.VMs[i].Flavor, Start: r.VMs[i].Start, Duration: r.VMs[i].Duration, Censored: r.VMs[i].Censored}
+		if vm != want {
+			return fmt.Errorf("workload: replay diverges at vm[%d]: got %+v want %+v", i, vm, want)
+		}
+	}
+	return nil
+}
+
+// ModelTag derives a short stable tag from the model's flavor-stage
+// weights and dimensions. Two models trained identically share a tag;
+// any weight difference changes it, so a replay against the wrong
+// model is detectable before the byte-compare fails.
+func ModelTag(m *core.Model) string {
+	if m == nil || m.Flavor == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(m.Flavor.K))
+	writeU64(uint64(m.Flavor.HistoryDays))
+	if m.Flavor.Net != nil {
+		for _, p := range m.Flavor.Net.Params() {
+			for _, v := range p.Value.Data {
+				writeU64(math.Float64bits(v))
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Recorder appends records to a JSONL file, safe for concurrent
+// request handlers. The zero value is a no-op sink, so callers can
+// wire it unconditionally.
+type Recorder struct {
+	mu sync.Mutex
+	w  io.WriteCloser
+	n  int
+}
+
+// OpenRecorder creates (or truncates) a JSONL record sink at path.
+func OpenRecorder(path string) (*Recorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{w: f}, nil
+}
+
+// Append writes one record. Safe for concurrent use.
+func (rc *Recorder) Append(r *Record) error {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.w == nil {
+		return nil
+	}
+	if _, err := r.WriteTo(rc.w); err != nil {
+		return err
+	}
+	rc.n++
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (rc *Recorder) Count() int {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.n
+}
+
+// Close flushes and closes the sink. Further Appends are no-ops.
+func (rc *Recorder) Close() error {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.w == nil {
+		return nil
+	}
+	err := rc.w.Close()
+	rc.w = nil
+	return err
+}
+
+// ReadRecords reads every record from a JSONL stream (the Recorder
+// format), validating each. Total input is capped at MaxRecordBytes.
+func ReadRecords(r io.Reader) ([]*Record, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxRecordBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("workload: read records: %w", err)
+	}
+	if len(data) > MaxRecordBytes {
+		return nil, fmt.Errorf("workload: record stream exceeds %d bytes", MaxRecordBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var out []*Record
+	for dec.More() {
+		rec := &Record{}
+		if err := dec.Decode(rec); err != nil {
+			return nil, fmt.Errorf("workload: parse record %d: %w", len(out), err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -155,6 +155,7 @@ awk '/^Benchmark/ {
 			if ($i == "B/op") bop=$(i-1)
 			if ($i == "allocs/op") allocs=$(i-1)
 			if ($i == "streams/s") sps=$(i-1)
+			if ($i == "replays/s") sps=$(i-1)
 		}
 		gmp = topgmp
 		if (match(name, /@gomaxprocs=[0-9]+/))

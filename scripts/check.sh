@@ -3,7 +3,8 @@
 # concurrency (the parallel execution layer and everything threaded
 # through it, the metrics registry, the HTTP service with hot model
 # reload, the continuous-batching decode engine, the checkpoint
-# store, the request-trace ring, and the fidelity drift monitor), plus
+# store, the request-trace ring, the fidelity drift monitor, and the
+# workload spec/record layer), plus
 # the end-to-end determinism and crash-recovery regression
 # tests (REPRO_PROCS=1 vs 8, observability on/off, kill-and-resume),
 # plus a pure-Go kernel tier (REPRO_NOASM under -race) and a
@@ -14,7 +15,7 @@ set -eu
 go vet ./...
 go test -race ./internal/par ./internal/mat ./internal/nn ./internal/obs \
 	./internal/server ./internal/core ./internal/ckpt ./internal/rng \
-	./internal/rtrace ./internal/fidelity
+	./internal/rtrace ./internal/fidelity ./internal/workload
 go test -race -run 'TestDeterminism|TestObservability|TestKillAndResume|TestBatchedFleet' .
 
 # Sharded decode tier (DESIGN.md §6.3): the determinism and hot-reload
@@ -64,6 +65,8 @@ if go help testflag 2>/dev/null | grep -q -- '-fuzz '; then
 	go test -run '^$' -fuzz 'FuzzSnapshotDecodeF32$' -fuzztime 10s ./internal/core
 	go test -run '^$' -fuzz FuzzGenerateRequest -fuzztime 10s ./internal/server
 	go test -run '^$' -fuzz FuzzMulAddPacked -fuzztime 10s ./internal/mat
+	go test -run '^$' -fuzz 'FuzzWorkloadSpec$' -fuzztime 10s ./internal/workload
+	go test -run '^$' -fuzz 'FuzzTraceReplay$' -fuzztime 10s ./internal/workload
 else
 	echo "check.sh: go toolchain lacks -fuzz; skipping fuzz tier"
 fi
